@@ -1,0 +1,1 @@
+examples/cannon_demo.ml: Algorithms Array Float Format List Machine

@@ -1,0 +1,1 @@
+examples/cannon_demo.mli:

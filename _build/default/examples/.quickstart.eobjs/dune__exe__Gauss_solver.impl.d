@@ -1,0 +1,1 @@
+examples/gauss_solver.ml: Algorithms Format Fun List Machine Runtime Scl

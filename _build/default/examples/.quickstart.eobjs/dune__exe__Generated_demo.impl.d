@@ -1,0 +1,1 @@
+examples/generated_demo.ml: Array Format Generated_pipeline_lib Machine Transform

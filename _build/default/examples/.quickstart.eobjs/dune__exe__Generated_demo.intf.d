@@ -1,0 +1,1 @@
+examples/generated_demo.mli:

@@ -1,0 +1,1 @@
+examples/hypersort_demo.ml: Algorithms Array Format List Machine Runtime String

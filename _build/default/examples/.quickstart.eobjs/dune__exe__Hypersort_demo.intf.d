@@ -1,0 +1,1 @@
+examples/hypersort_demo.mli:

@@ -1,0 +1,1 @@
+examples/jacobi_demo.ml: Algorithms Array Float Format List Machine

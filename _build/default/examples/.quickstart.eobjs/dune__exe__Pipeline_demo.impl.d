@@ -1,0 +1,1 @@
+examples/pipeline_demo.ml: Array Domain Format Fun List Runtime Scl Unix

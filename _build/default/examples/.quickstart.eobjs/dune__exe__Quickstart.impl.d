@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Exec Fmt Format Fun Par_array Partition Runtime Scl

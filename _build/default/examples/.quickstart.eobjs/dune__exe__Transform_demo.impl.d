@@ -1,0 +1,1 @@
+examples/transform_demo.ml: Array Ast Fn Format Machine Optimizer Rewrite Sim_exec Transform Value

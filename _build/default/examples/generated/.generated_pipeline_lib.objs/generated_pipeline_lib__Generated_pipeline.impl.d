@@ -1,0 +1,1 @@
+examples/generated/generated_pipeline.ml: Machine Scl_sim

@@ -1,0 +1,1 @@
+examples/generated/generated_pipeline_host.ml: Scl

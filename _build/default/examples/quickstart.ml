@@ -1,0 +1,44 @@
+(* Quickstart: the SCL skeletons in ten lines each.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Scl
+
+let () =
+  (* A ParArray: element i conceptually lives on virtual processor i. *)
+  let xs = Par_array.init 8 (fun i -> i + 1) in
+  Format.printf "input           : %a@." (Par_array.pp Fmt.int) xs;
+
+  (* Elementary skeletons. *)
+  let doubled = map (fun x -> x * 2) xs in
+  Format.printf "map (2*)        : %a@." (Par_array.pp Fmt.int) doubled;
+  Format.printf "fold (+)        : %d@." (fold ( + ) xs);
+  Format.printf "scan (+)        : %a@." (Par_array.pp Fmt.int) (scan ( + ) xs);
+
+  (* Communication skeletons. *)
+  Format.printf "rotate 3        : %a@." (Par_array.pp Fmt.int) (rotate 3 xs);
+  let fetched = fetch (fun i -> 7 - i) xs in
+  Format.printf "fetch (reverse) : %a@." (Par_array.pp Fmt.int) fetched;
+
+  (* Configuration skeletons: partition a sequential array, compute on the
+     pieces, gather it back. *)
+  let a = Array.init 10 (fun i -> i * i) in
+  let pieces = partition (Partition.Block 3) a in
+  let sums = map (Array.fold_left ( + ) 0) pieces in
+  Format.printf "partition sums  : %a@." (Par_array.pp Fmt.int) sums;
+  Format.printf "gather roundtrip: %b@." (gather (Partition.Block 3) pieces = a);
+
+  (* Computational skeletons. *)
+  let farmed = farm (fun env x -> env ^ string_of_int x) "job" (Par_array.of_list [ 1; 2; 3 ]) in
+  Format.printf "farm            : %a@." (Par_array.pp Fmt.string) farmed;
+  Format.printf "iter_for        : %d@." (iter_for 10 (fun i acc -> acc + i) 0);
+
+  (* The same skeletons on the multicore pool: pass a different backend. *)
+  let pool = Runtime.Pool.create ~num_domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      let exec = Exec.on_pool pool in
+      let big = Par_array.init 1_000_000 Fun.id in
+      let total = fold ~exec ( + ) (map ~exec (fun x -> x * x) big) in
+      Format.printf "pool map+fold   : %d (on %d workers)@." total (Runtime.Pool.num_workers pool))

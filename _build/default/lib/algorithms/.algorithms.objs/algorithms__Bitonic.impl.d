@@ -1,0 +1,1 @@
+lib/algorithms/bitonic.ml: Array Comm Cost_model Machine Option Scl_sim Seq_kernels Sim Topology

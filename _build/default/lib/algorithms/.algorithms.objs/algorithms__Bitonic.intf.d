@@ -1,0 +1,1 @@
+lib/algorithms/bitonic.mli: Cost_model Machine Sim Trace

@@ -1,0 +1,1 @@
+lib/algorithms/cannon.ml: Array Comm Computational Cost_model Exec Machine Option Par_array2 Runtime Scl Scl_sim Seq_kernels Sim Topology

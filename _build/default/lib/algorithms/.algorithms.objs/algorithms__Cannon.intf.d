@@ -1,0 +1,1 @@
+lib/algorithms/cannon.mli: Cost_model Machine Scl Sim Trace

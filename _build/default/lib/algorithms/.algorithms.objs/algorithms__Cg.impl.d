@@ -1,0 +1,1 @@
+lib/algorithms/cg.ml: Array Comm Cost_model Elementary Exec Float Machine Option Par_array Scl Scl_sim Sim

@@ -1,0 +1,1 @@
+lib/algorithms/cg.mli: Cost_model Machine Scl Sim Trace

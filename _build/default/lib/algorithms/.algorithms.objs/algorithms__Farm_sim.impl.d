@@ -1,0 +1,1 @@
+lib/algorithms/farm_sim.ml: Array Comm Cost_model List Machine Option Scl_sim Sim

@@ -1,0 +1,1 @@
+lib/algorithms/farm_sim.mli: Cost_model Machine Sim

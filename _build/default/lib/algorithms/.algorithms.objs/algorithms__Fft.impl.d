@@ -1,0 +1,1 @@
+lib/algorithms/fft.ml: Array Comm Communication Complex Computational Config Cost_model Elementary Exec Float Machine Par_array Runtime Scl Scl_sim Sim

@@ -1,0 +1,1 @@
+lib/algorithms/fft.mli: Complex Cost_model Machine Scl Sim Trace

@@ -1,0 +1,1 @@
+lib/algorithms/gauss.ml: Array Comm Communication Computational Config Cost_model Elementary Exec Machine Option Partition Runtime Scl Scl_sim Seq_kernels Sim

@@ -1,0 +1,1 @@
+lib/algorithms/gauss.mli: Cost_model Machine Scl Sim Trace

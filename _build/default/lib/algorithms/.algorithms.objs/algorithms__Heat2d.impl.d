@@ -1,0 +1,1 @@
+lib/algorithms/heat2d.ml: Array Comm Computational Cost_model Exec Float Fun Machine Par_array2 Partition2 Scl Scl_sim Sim

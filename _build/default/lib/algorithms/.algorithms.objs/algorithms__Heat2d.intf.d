@@ -1,0 +1,1 @@
+lib/algorithms/heat2d.mli: Cost_model Machine Scl Sim Trace

@@ -1,0 +1,1 @@
+lib/algorithms/histogram.ml: Array Comm Communication Cost_model Elementary Exec Hashtbl Machine Option Par_array Scl Scl_sim Sim

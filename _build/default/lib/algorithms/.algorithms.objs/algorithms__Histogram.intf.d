@@ -1,0 +1,1 @@
+lib/algorithms/histogram.mli: Cost_model Machine Scl Sim Trace

@@ -1,0 +1,1 @@
+lib/algorithms/hyperquicksort.ml: Array Comm Communication Computational Config Cost_model Elementary Exec Machine Option Par_array Partition Printf Scl Scl_sim Seq_kernels Sim String Topology Trace

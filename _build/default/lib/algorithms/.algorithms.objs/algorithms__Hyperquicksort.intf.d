@@ -1,0 +1,1 @@
+lib/algorithms/hyperquicksort.mli: Cost_model Machine Scl Sim Topology Trace

@@ -1,0 +1,1 @@
+lib/algorithms/jacobi.ml: Array Comm Communication Computational Config Cost_model Elementary Exec Float Fun Machine Option Partition Scl Scl_sim Sim

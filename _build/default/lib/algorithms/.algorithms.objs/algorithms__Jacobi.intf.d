@@ -1,0 +1,1 @@
+lib/algorithms/jacobi.mli: Cost_model Machine Scl Sim Trace

@@ -1,0 +1,1 @@
+lib/algorithms/kmeans.ml: Array Comm Computational Cost_model Elementary Exec Float Fun List Machine Partition Runtime Scl Scl_sim Sim

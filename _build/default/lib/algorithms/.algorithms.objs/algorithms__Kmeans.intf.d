@@ -1,0 +1,1 @@
+lib/algorithms/kmeans.mli: Cost_model Machine Scl Sim Trace

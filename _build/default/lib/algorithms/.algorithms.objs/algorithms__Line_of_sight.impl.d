@@ -1,0 +1,1 @@
+lib/algorithms/line_of_sight.ml: Array Comm Cost_model Elementary Exec Float Machine Par_array Scl Scl_sim Sim

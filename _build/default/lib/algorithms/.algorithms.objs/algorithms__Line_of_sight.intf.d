@@ -1,0 +1,1 @@
+lib/algorithms/line_of_sight.mli: Cost_model Machine Scl Sim Trace

@@ -1,0 +1,1 @@
+lib/algorithms/nbody.ml: Array Comm Computational Cost_model Exec Float Machine Par_array Runtime Scl Scl_sim Sim

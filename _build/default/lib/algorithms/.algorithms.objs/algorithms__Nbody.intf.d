@@ -1,0 +1,1 @@
+lib/algorithms/nbody.mli: Cost_model Machine Runtime Scl Sim Trace

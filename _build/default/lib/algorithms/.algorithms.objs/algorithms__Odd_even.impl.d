@@ -1,0 +1,1 @@
+lib/algorithms/odd_even.ml: Array Bitonic Comm Cost_model Machine Option Scl_sim Seq_kernels Sim Topology

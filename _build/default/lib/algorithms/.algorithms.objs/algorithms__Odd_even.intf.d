@@ -1,0 +1,1 @@
+lib/algorithms/odd_even.mli: Cost_model Machine Sim Topology Trace

@@ -1,0 +1,1 @@
+lib/algorithms/sample_sort.ml: Array Comm Cost_model Elementary Exec Fun List Machine Option Par_array Partition Scl Scl_sim Seq_kernels Sim

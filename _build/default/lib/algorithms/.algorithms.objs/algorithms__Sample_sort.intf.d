@@ -1,0 +1,1 @@
+lib/algorithms/sample_sort.mli: Cost_model Machine Scl Sim Trace

@@ -1,0 +1,1 @@
+lib/algorithms/seq_kernels.ml: Array Float

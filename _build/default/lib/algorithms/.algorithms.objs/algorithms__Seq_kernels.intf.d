@@ -1,0 +1,1 @@
+lib/algorithms/seq_kernels.mli:

@@ -1,0 +1,1 @@
+lib/algorithms/summa.ml: Array Comm Cost_model Machine Scl_sim Sim Topology

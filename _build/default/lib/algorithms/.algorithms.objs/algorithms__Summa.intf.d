@@ -1,0 +1,1 @@
+lib/algorithms/summa.mli: Cost_model Machine Sim Trace

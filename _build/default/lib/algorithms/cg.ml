@@ -1,0 +1,169 @@
+(* Conjugate gradients for the 1-D Laplacian system A x = b
+   (A = tridiag(-1, 2, -1), symmetric positive definite) — the iterative
+   solver whose skeleton mix is the complement of Jacobi's: every iteration
+   needs two global reductions (dot products = fold) plus a neighbour
+   stencil (matvec), making it the classic latency-versus-reduction
+   workload. *)
+
+open Scl
+
+type result = { solution : float array; iterations : int; residual_norm : float }
+
+(* y = A x for the 1-D Laplacian (zero Dirichlet boundary). *)
+let laplacian_matvec (x : float array) : float array =
+  let n = Array.length x in
+  Array.init n (fun i ->
+      let left = if i > 0 then x.(i - 1) else 0.0 in
+      let right = if i < n - 1 then x.(i + 1) else 0.0 in
+      (2.0 *. x.(i)) -. left -. right)
+
+let dot a b =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+(* --- sequential reference ----------------------------------------------------- *)
+
+let solve_seq ?(tol = 1e-10) ?(max_iter = 10_000) (b : float array) : result =
+  let n = Array.length b in
+  let x = Array.make n 0.0 in
+  let r = Array.copy b in
+  let p = Array.copy b in
+  let rr = ref (dot r r) in
+  let it = ref 0 in
+  while sqrt !rr >= tol && !it < max_iter do
+    let ap = laplacian_matvec p in
+    let alpha = !rr /. dot p ap in
+    for i = 0 to n - 1 do
+      x.(i) <- x.(i) +. (alpha *. p.(i));
+      r.(i) <- r.(i) -. (alpha *. ap.(i))
+    done;
+    let rr' = dot r r in
+    let beta = rr' /. !rr in
+    for i = 0 to n - 1 do
+      p.(i) <- r.(i) +. (beta *. p.(i))
+    done;
+    rr := rr';
+    incr it
+  done;
+  { solution = x; iterations = !it; residual_norm = sqrt !rr }
+
+(* --- host-SCL version ----------------------------------------------------------
+   Vectors as ParArrays of floats; dot products are zip_with + fold, axpys
+   are zip_with, the matvec is an imap that reads its neighbours. *)
+
+let solve_scl ?(exec = Exec.sequential) ?(tol = 1e-10) ?(max_iter = 10_000) (b : float array) :
+    result =
+  let n = Array.length b in
+  if n = 0 then { solution = [||]; iterations = 0; residual_norm = 0.0 }
+  else begin
+    let dot_pa a b =
+      Elementary.fold ~exec ( +. ) (Elementary.zip_with ~exec ( *. ) a b)
+    in
+    let axpy alpha p x = Elementary.zip_with ~exec (fun xi pi -> xi +. (alpha *. pi)) x p in
+    let matvec p =
+      let pa = Par_array.unsafe_to_array p in
+      Elementary.imap ~exec
+        (fun i v ->
+          let left = if i > 0 then pa.(i - 1) else 0.0 in
+          let right = if i < n - 1 then pa.(i + 1) else 0.0 in
+          (2.0 *. v) -. left -. right)
+        p
+    in
+    let b_pa = Par_array.of_array b in
+    let rec go x r p rr it =
+      if sqrt rr < tol || it >= max_iter then (x, it, sqrt rr)
+      else begin
+        let ap = matvec p in
+        let alpha = rr /. dot_pa p ap in
+        let x = axpy alpha p x in
+        let r = axpy (-.alpha) ap r in
+        let rr' = dot_pa r r in
+        let beta = rr' /. rr in
+        let p = Elementary.zip_with ~exec (fun ri pi -> ri +. (beta *. pi)) r p in
+        go x r p rr' (it + 1)
+      end
+    in
+    let x0 = Par_array.make n 0.0 in
+    let x, iterations, residual_norm = go x0 b_pa b_pa (dot_pa b_pa b_pa) 0 in
+    { solution = Par_array.to_array x; iterations; residual_norm }
+  end
+
+(* --- simulator version ---------------------------------------------------------- *)
+
+open Machine
+
+let cg_program ?(tol = 1e-10) ?(max_iter = 10_000) (b : float array option) (comm : Comm.t) :
+    result option =
+  let ctx = Comm.ctx comm in
+  let me = Comm.rank comm in
+  let bv = Scl_sim.Dvec.scatter comm ~root:0 b in
+  let n = Scl_sim.Dvec.total bv in
+  let bl = Scl_sim.Dvec.local bv in
+  let ln = Array.length bl in
+  let off = Scl_sim.Dvec.offset bv in
+  let has_left = off > 0 and has_right = off + ln < n in
+  (* local dot + allreduce: the distributed fold *)
+  let ddot a b =
+    Sim.work_flops ctx (2 * max 1 ln);
+    let s = ref 0.0 in
+    for i = 0 to ln - 1 do
+      s := !s +. (a.(i) *. b.(i))
+    done;
+    Comm.allreduce comm ( +. ) !s
+  in
+  (* distributed Laplacian matvec: halo exchange + local stencil *)
+  let matvec (p : float array) : float array =
+    let hl = ref 0.0 and hr = ref 0.0 in
+    if ln > 0 then begin
+      if has_left then Comm.send comm ~dest:(me - 1) p.(0);
+      if has_right then Comm.send comm ~dest:(me + 1) p.(ln - 1);
+      if has_left then hl := Comm.recv comm ~src:(me - 1) ();
+      if has_right then hr := Comm.recv comm ~src:(me + 1) ()
+    end;
+    Sim.work_flops ctx (Scl_sim.Kernels.stencil_flops ln);
+    Array.init ln (fun i ->
+        let left = if i > 0 then p.(i - 1) else if has_left then !hl else 0.0 in
+        let right = if i < ln - 1 then p.(i + 1) else if has_right then !hr else 0.0 in
+        (2.0 *. p.(i)) -. left -. right)
+  in
+  let x = Array.make ln 0.0 in
+  let r = Array.copy bl in
+  let p = Array.copy bl in
+  let rr = ref (ddot r r) in
+  let it = ref 0 in
+  while sqrt !rr >= tol && !it < max_iter do
+    let ap = matvec p in
+    let alpha = !rr /. ddot p ap in
+    Sim.work_flops ctx (4 * max 1 ln);
+    for i = 0 to ln - 1 do
+      x.(i) <- x.(i) +. (alpha *. p.(i));
+      r.(i) <- r.(i) -. (alpha *. ap.(i))
+    done;
+    let rr' = ddot r r in
+    let beta = rr' /. !rr in
+    Sim.work_flops ctx (2 * max 1 ln);
+    for i = 0 to ln - 1 do
+      p.(i) <- r.(i) +. (beta *. p.(i))
+    done;
+    rr := rr';
+    incr it
+  done;
+  let gathered = Scl_sim.Dvec.gather ~root:0 (Scl_sim.Dvec.of_local comm x) in
+  Option.map
+    (fun solution -> { solution; iterations = !it; residual_norm = sqrt !rr })
+    gathered
+
+let solve_sim ?(cost = Cost_model.ap1000) ?trace ?(tol = 1e-10) ?(max_iter = 10_000) ~procs
+    (b : float array) : result * Sim.stats =
+  Scl_sim.Spmd.run_collect ?trace ~cost ~procs (fun comm ->
+      cg_program ~tol ~max_iter (if Comm.rank comm = 0 then Some b else None) comm)
+
+(* The residual check used by tests. *)
+let residual_inf (x : float array) (b : float array) : float =
+  let ax = laplacian_matvec x in
+  let worst = ref 0.0 in
+  Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.(i)))) ax;
+  !worst

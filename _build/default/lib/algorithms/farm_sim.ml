@@ -1,0 +1,122 @@
+(* The farm skeleton's two implementation strategies on the simulated
+   distributed-memory machine:
+
+   - [static]: jobs are block-scattered up front (the paper's
+     "farm f env = map (f env)" reading — zero scheduling traffic, but
+     irregular job sizes leave processors idle);
+   - [dynamic]: a master deals jobs on demand (the task-queue reading the
+     farm skeleton historically carries — every job costs a round trip,
+     but load balances).
+
+   The crossover between the two under varying job-size skew is the
+   classic farm-implementation trade-off; the bench harness reports it.
+
+   Jobs are [int -> 'r] with an explicit per-job operation count, so the
+   simulator can price heterogeneous work honestly. *)
+
+open Machine
+
+type 'r job_spec = {
+  njobs : int;
+  run : int -> 'r;  (* executed on the host; deterministic *)
+  flops : int -> int;  (* simulated cost of job i *)
+}
+
+(* --- static farm: block distribution ------------------------------------- *)
+
+let static ?(cost = Cost_model.ap1000) ~procs (spec : 'r job_spec) : 'r array * Sim.stats =
+  Scl_sim.Spmd.run_collect ~cost ~procs (fun comm ->
+      let ctx = Comm.ctx comm in
+      let me = Comm.rank comm in
+      let p = Comm.size comm in
+      let bounds = Scl_sim.Dvec.block_bounds ~total:spec.njobs ~parts:p in
+      let mine =
+        Array.init (bounds.(me + 1) - bounds.(me)) (fun k ->
+            let i = bounds.(me) + k in
+            Sim.work_flops ctx (spec.flops i);
+            (i, spec.run i))
+      in
+      match Comm.gather comm ~root:0 mine with
+      | Some chunks ->
+          if spec.njobs = 0 then Some [||]
+          else begin
+            let seed =
+              let found = ref None in
+              Array.iter
+                (fun chunk ->
+                  if Array.length chunk > 0 && !found = None then found := Some (snd chunk.(0)))
+                chunks;
+              Option.get !found
+            in
+            let out = Array.make spec.njobs seed in
+            Array.iter (Array.iter (fun (i, r) -> out.(i) <- r)) chunks;
+            Some out
+          end
+      | None -> None)
+
+(* --- dynamic farm: master-worker with demand-driven dealing ---------------- *)
+
+let tag_request = 7001
+let tag_job = 7002
+let tag_result = 7003
+
+let dynamic ?(cost = Cost_model.ap1000) ~procs (spec : 'r job_spec) : 'r array * Sim.stats =
+  if procs < 2 then invalid_arg "Farm_sim.dynamic: needs a master and at least one worker";
+  Scl_sim.Spmd.run_collect ~cost ~procs (fun comm ->
+      let ctx = Comm.ctx comm in
+      let me = Comm.rank comm in
+      let p = Comm.size comm in
+      if me = 0 then begin
+        (* master: deal jobs on request, then send the poison pill (-1) *)
+        let next = ref 0 in
+        let results : (int * 'r) list ref = ref [] in
+        let active = ref (p - 1) in
+        while !active > 0 do
+          let src, (msg : [ `Request | `Result of int * 'r ]) = Sim.recv_any ctx ~tag:tag_request () in
+          (match msg with
+          | `Result (i, r) -> results := (i, r) :: !results
+          | `Request ->
+              if !next < spec.njobs then begin
+                Sim.send ctx ~dest:src ~tag:tag_job !next;
+                incr next
+              end
+              else begin
+                Sim.send ctx ~dest:src ~tag:tag_job (-1);
+                decr active
+              end);
+          ()
+        done;
+        if List.length !results <> spec.njobs then
+          failwith "Farm_sim.dynamic: lost results";
+        match !results with
+        | [] -> Some [||]
+        | (_, seed) :: _ ->
+            let out = Array.make spec.njobs seed in
+            List.iter (fun (i, r) -> out.(i) <- r) !results;
+            Some out
+      end
+      else begin
+        (* worker: request, work, return result, repeat *)
+        let continue_ = ref true in
+        while !continue_ do
+          Sim.send ctx ~dest:0 ~tag:tag_request (`Request : [ `Request | `Result of int * 'r ]);
+          let i : int = Sim.recv ctx ~src:0 ~tag:tag_job () in
+          if i < 0 then continue_ := false
+          else begin
+            Sim.work_flops ctx (spec.flops i);
+            let r = spec.run i in
+            Sim.send ctx ~dest:0 ~tag:tag_request (`Result (i, r) : [ `Request | `Result of int * 'r ])
+          end
+        done;
+        None
+      end)
+
+(* Skewed job mix used by tests and benches: the heavy jobs are clustered
+   at the front of the index range, so static block dealing dumps them all
+   on the first processors while demand-driven dealing spreads them. *)
+let skewed_spec ~njobs ~skew : int job_spec =
+  {
+    njobs;
+    run = (fun i -> i * i);
+    flops = (fun i -> if i < njobs / 8 then 1000 * skew (* heavy *) else 1000);
+  }

@@ -1,0 +1,23 @@
+(** The farm skeleton's two distributed implementation strategies: static
+    block dealing ([farm f env = map (f env)]) versus a demand-driven
+    master–worker task queue. Their crossover under job-size skew is the
+    classic farm trade-off the bench harness reports. *)
+
+open Machine
+
+type 'r job_spec = {
+  njobs : int;
+  run : int -> 'r;  (** executed on the host; deterministic *)
+  flops : int -> int;  (** simulated cost of job [i] *)
+}
+
+val static : ?cost:Cost_model.t -> procs:int -> 'r job_spec -> 'r array * Sim.stats
+(** Jobs block-scattered up front; no scheduling traffic. *)
+
+val dynamic : ?cost:Cost_model.t -> procs:int -> 'r job_spec -> 'r array * Sim.stats
+(** Master (rank 0) deals jobs on request; [procs - 1] workers.
+    @raise Invalid_argument if [procs < 2]. *)
+
+val skewed_spec : njobs:int -> skew:int -> int job_spec
+(** A job mix with a few [skew]-times-heavier jobs among light ones — the
+    distribution that defeats static dealing. *)

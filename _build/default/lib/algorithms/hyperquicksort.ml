@@ -1,0 +1,179 @@
+(* Hyperquicksort (Wagar; paper Section 3's second example) in three
+   renderings:
+
+   1. [sort_recursive] — the Section 3 divide-and-conquer SCL program:
+      nested parallelism via split/combine, pivot spread via applybrdcast,
+      exchange via fetch.
+   2. [sort_flat]      — the Section 5 flattened iterative SPMD program
+      (the output of the flattening transformation), using iterFor.
+   3. [sort_sim]       — the skeleton implementation templates instantiated
+      on the simulated distributed-memory machine; regenerates the paper's
+      Table 1 / Figure 3 experiment.
+
+   Robustness extension beyond the paper: when a group leader holds no data
+   (possible for skewed inputs), the pivot is taken from the first
+   non-empty member of the group (recursive/flat) or the first [Some] in an
+   allreduce (simulator); when the whole group is empty the exchange is
+   skipped. On the paper's workload (uniform random keys) this never
+   triggers. *)
+
+open Scl
+
+let log2_exact = Machine.Topology.log2_exact
+
+(* --- 1. recursive divide-and-conquer (paper Section 3) ------------------ *)
+
+let rec hsort ~exec d (da : int array Par_array.t) : int array Par_array.t =
+  if d = 0 then da
+  else begin
+    let p = Par_array.length da in
+    let half = p / 2 in
+    (* spreadPivot: MIDVALUE at the (first non-empty) leader, broadcast. *)
+    let root =
+      let rec find i = if i >= p then 0 else if Array.length (Par_array.get da i) > 0 then i else find (i + 1) in
+      find 0
+    in
+    let pivoted = Communication.applybrdcast ~exec Seq_kernels.midvalue root da in
+    match fst (Par_array.get pivoted 0) with
+    | None -> da (* every processor is empty: nothing to do *)
+    | Some pivot ->
+        (* exPart: SPLIT locally, exchange portions with the partner in the
+           other half of the cube (fetch across partner = i xor half). *)
+        let splitpairs =
+          Elementary.imap ~exec
+            (fun i (_, a) ->
+              let lo, hi = Seq_kernels.split_at pivot a in
+              if i < half then (lo, hi) else (hi, lo))
+            pivoted
+        in
+        let keeps, gives = Config.unalign splitpairs in
+        let received = Communication.fetch ~exec (fun i -> i lxor half) gives in
+        (* mergeAndDiv: MERGE, then divide into sub-cubes and recurse. *)
+        let merged = Elementary.zip_with ~exec Seq_kernels.merge keeps received in
+        let subcubes = Partition.split (Partition.Block 2) merged in
+        Partition.combine (Elementary.map ~exec (hsort ~exec (d - 1)) subcubes)
+  end
+
+let sort_recursive ?(exec = Exec.sequential) ~dims (a : int array) : int array =
+  if dims < 0 then invalid_arg "Hyperquicksort.sort_recursive: negative dimension";
+  let p = 1 lsl dims in
+  let da =
+    Elementary.map ~exec Seq_kernels.quicksort (Partition.apply (Partition.Block p) a)
+  in
+  let sorted = hsort ~exec dims da in
+  Array.concat (Par_array.to_list sorted)
+
+(* --- 2. flattened iterative SPMD form (paper Section 5) ----------------- *)
+
+let sort_flat ?(exec = Exec.sequential) ~dims (a : int array) : int array =
+  if dims < 0 then invalid_arg "Hyperquicksort.sort_flat: negative dimension";
+  let p = 1 lsl dims in
+  let da =
+    Elementary.map ~exec Seq_kernels.quicksort (Partition.apply (Partition.Block p) a)
+  in
+  let step it x =
+    let gsz = 1 lsl (dims - it) in
+    let half = gsz / 2 in
+    (* wpivot: every processor computes MIDVALUE locally; the group pivot is
+       fetched from the group's (first non-empty) leader — the paper's
+       [fetch (mf d)] with mf i = (i / gsz) * gsz. *)
+    let mids = Elementary.map ~exec Seq_kernels.midvalue x in
+    let leader =
+      Array.init (p / gsz) (fun g ->
+          let base = g * gsz in
+          let rec find k = if k >= gsz then base else if Par_array.get mids (base + k) <> None then base + k else find (k + 1) in
+          find 0)
+    in
+    let pivots = Communication.fetch ~exec (fun i -> leader.(i / gsz)) mids in
+    let aligned = Config.align pivots x in
+    (* exPart: SPLIT against the pivot, exchange with the partner. *)
+    let splitpairs =
+      Elementary.imap ~exec
+        (fun i (pv, a) ->
+          match pv with
+          | None -> (a, [||])
+          | Some pivot ->
+              let lo, hi = Seq_kernels.split_at pivot a in
+              if i land half = 0 then (lo, hi) else (hi, lo))
+        aligned
+    in
+    let keeps, gives = Config.unalign splitpairs in
+    let received = Communication.fetch ~exec (fun i -> i lxor half) gives in
+    Elementary.zip_with ~exec Seq_kernels.merge keeps received
+  in
+  let final = Computational.iter_for dims step da in
+  Array.concat (Par_array.to_list final)
+
+(* --- 3. simulated distributed-memory machine ----------------------------- *)
+
+open Machine
+
+(* One processor's SPMD program.  [verbose] adds trace notes used to
+   regenerate the paper's Figure 2. *)
+let hqs_program ~verbose (data : int array option) (comm : Comm.t) : int array option =
+  let ctx = Comm.ctx comm in
+  let p = Comm.size comm in
+  let d = log2_exact p in
+  let say fmt = Printf.ksprintf (fun s -> if verbose then Sim.note ctx s) fmt in
+  let show a =
+    if Array.length a <= 40 then
+      "[" ^ String.concat " " (Array.to_list (Array.map string_of_int a)) ^ "]"
+    else Printf.sprintf "[%d elements]" (Array.length a)
+  in
+  (* Distribute, then SEQ_QUICKSORT locally. *)
+  let dv = Scl_sim.Dvec.scatter comm ~root:0 data in
+  let local = ref (Seq_kernels.quicksort (Scl_sim.Dvec.local dv)) in
+  Sim.work_flops ctx (Scl_sim.Kernels.sort_flops (Array.length !local));
+  say "after local quicksort: %s" (show !local);
+  (* Iterate over cube dimensions, splitting the group communicator each
+     round — the paper's mergeAndDiv / dynamic processor grouping. *)
+  let c = ref comm in
+  for _it = 0 to d - 1 do
+    let gsz = Comm.size !c in
+    let half = gsz / 2 in
+    let me = Comm.rank !c in
+    (* pivot: first non-empty member's MIDVALUE, shared group-wide. *)
+    Sim.work_flops ctx Scl_sim.Kernels.median_flops;
+    let first_some a b = if a = None then b else a in
+    let pivot = Comm.allreduce !c first_some (Seq_kernels.midvalue !local) in
+    (match pivot with
+    | None -> () (* the whole group is empty *)
+    | Some pivot ->
+        say "group pivot %d" pivot;
+        (* SPLIT locally... *)
+        Sim.work_flops ctx (Scl_sim.Kernels.binary_search_flops (Array.length !local));
+        let lo, hi = Seq_kernels.split_at pivot !local in
+        let keep, give = if me < half then (lo, hi) else (hi, lo) in
+        (* ...exchange with the partner in the other half-cube... *)
+        let partner = me lxor half in
+        let (recvd : int array) = Comm.exchange !c ~partner give in
+        (* ...and MERGE. *)
+        Sim.work_flops ctx
+          (Scl_sim.Kernels.merge_flops (Array.length keep + Array.length recvd));
+        local := Seq_kernels.merge keep recvd;
+        say "after exchange with partner %d: %s" partner (show !local));
+    (* divide the cube *)
+    c := Comm.split !c ~color:(if me < half then 0 else 1) ~key:me
+  done;
+  (* Collect to processor 0; chunk sizes changed, so gather variable-length
+     chunks in rank order. *)
+  let result = Comm.gather comm ~root:0 !local in
+  Option.map (fun chunks -> Array.concat (Array.to_list chunks)) result
+
+let sort_sim ?(cost = Cost_model.ap1000) ?trace ?(topology = Topology.Hypercube) ~procs
+    (data : int array) : int array * Sim.stats =
+  if not (Topology.is_power_of_two procs) then
+    invalid_arg "Hyperquicksort.sort_sim: processor count must be a power of two";
+  Scl_sim.Spmd.run_collect ?trace ~cost ~topology ~procs (fun comm ->
+      hqs_program ~verbose:false (if Comm.rank comm = 0 then Some data else None) comm)
+
+(* Figure-2 style annotated run: returns the sorted array, the stats and
+   the trace notes describing each stage. *)
+let sort_sim_traced ?(cost = Cost_model.ap1000) ~procs (data : int array) :
+    int array * Sim.stats * (float * int * string) list =
+  let trace = Trace.create () in
+  let result, stats =
+    Scl_sim.Spmd.run_collect ~trace ~cost ~topology:Topology.Hypercube ~procs (fun comm ->
+        hqs_program ~verbose:true (if Comm.rank comm = 0 then Some data else None) comm)
+  in
+  (result, stats, Trace.notes trace)

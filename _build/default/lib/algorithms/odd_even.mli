@@ -1,0 +1,15 @@
+(** Odd-even transposition sort: P compare-split phases between alternating
+    neighbour pairs — strictly nearest-neighbour communication, the ring
+    network's native sort. *)
+
+open Machine
+
+val sort_sim :
+  ?cost:Cost_model.t ->
+  ?trace:Trace.t ->
+  ?topology:Topology.t ->
+  procs:int ->
+  int array ->
+  int array * Sim.stats
+(** Any processor count; default topology [Ring] (where every exchange is
+    one hop). *)

@@ -1,0 +1,25 @@
+(* SUMMA matrix multiplication on the simulated machine: the broadcast-
+   based alternative to Cannon.  Cannon's shifts are single-hop neighbour
+   messages but demand the initial skew; SUMMA replaces them with q
+   row/column broadcasts per round — the canonical comparison of
+   "communication-skeleton choice" the ablation benchmarks report. *)
+
+open Machine
+
+let multiply_sim ?(cost = Cost_model.ap1000) ?trace ~grid (a : float array array)
+    (b : float array array) : float array array * Sim.stats =
+  let n = Array.length a in
+  Array.iter (fun r -> if Array.length r <> n then invalid_arg "Summa: non-square matrix") a;
+  Array.iter (fun r -> if Array.length r <> n then invalid_arg "Summa: non-square matrix") b;
+  if Array.length b <> n then invalid_arg "Summa: dimension mismatch";
+  if grid <= 0 || n mod grid <> 0 then invalid_arg "Summa: grid must divide the dimension";
+  let q = grid in
+  Sim.run_collect ?trace
+    { Sim.procs = q * q; topology = Topology.Torus2d (q, q); cost }
+    (fun ctx ->
+      let comm = Comm.world ctx in
+      let root = Comm.rank comm = 0 in
+      let da = Scl_sim.Dmat.scatter comm ~root:0 (if root then Some a else None) ~n in
+      let db = Scl_sim.Dmat.scatter comm ~root:0 (if root then Some b else None) ~n in
+      let dc = Scl_sim.Dmat.summa da db in
+      Scl_sim.Dmat.gather ~root:0 dc)

@@ -1,0 +1,17 @@
+(** SUMMA matrix multiplication on the simulated machine: q rounds of
+    row/column block broadcasts in grid sub-communicators — the
+    processor-group (nested ParArray) counterpart to Cannon's neighbour
+    shifts. *)
+
+open Machine
+
+val multiply_sim :
+  ?cost:Cost_model.t ->
+  ?trace:Trace.t ->
+  grid:int ->
+  float array array ->
+  float array array ->
+  float array array * Sim.stats
+(** C = A·B on a grid×grid torus.
+    @raise Invalid_argument unless both matrices are n×n with [grid]
+    dividing n. *)

@@ -1,0 +1,1 @@
+lib/core/scl.ml: Communication Computational Config Elementary Exec Nested Par_array Par_array2 Partition Partition2 Stream_skel

@@ -1,0 +1,1 @@
+lib/core/communication.ml: Array Elementary Exec List Par_array Printf

@@ -1,0 +1,1 @@
+lib/core/communication.mli: Exec Par_array

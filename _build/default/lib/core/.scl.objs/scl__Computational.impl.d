@@ -1,0 +1,1 @@
+lib/core/computational.ml: Array Elementary Exec Fun List Par_array Pool Runtime

@@ -1,0 +1,1 @@
+lib/core/computational.mli: Exec Par_array Runtime

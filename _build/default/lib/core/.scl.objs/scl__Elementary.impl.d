@@ -1,0 +1,1 @@
+lib/core/elementary.ml: Array Exec Par_array

@@ -1,0 +1,1 @@
+lib/core/elementary.mli: Exec Par_array

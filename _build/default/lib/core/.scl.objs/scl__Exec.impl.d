@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Pool Runtime

@@ -1,0 +1,1 @@
+lib/core/nested.ml: Array Elementary Exec Par_array

@@ -1,0 +1,1 @@
+lib/core/par_array.ml: Array Format List Printf

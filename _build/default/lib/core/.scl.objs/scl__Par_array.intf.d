@@ -1,0 +1,1 @@
+lib/core/par_array.mli: Format

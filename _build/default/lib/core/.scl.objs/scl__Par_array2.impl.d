@@ -1,0 +1,1 @@
+lib/core/par_array2.ml: Array Exec Format Printf

@@ -1,0 +1,1 @@
+lib/core/partition2.ml: Array Par_array2 Partition Printf

@@ -1,0 +1,1 @@
+lib/core/partition2.mli: Par_array2 Partition

@@ -1,0 +1,1 @@
+lib/core/stream_skel.ml: Array Atomic Domain List Option Printexc Runtime

@@ -1,0 +1,89 @@
+(* Communication skeletons (paper Section 2.2): bulk data movement over
+   ParArrays — the data-parallel counterpart of sequential loops that
+   rearrange array elements.
+
+   Regular movements: rotate (and the 2-D rotate_row / rotate_col, which
+   live in Par_array2), brdcast, applybrdcast.
+   Irregular movements: send (destinations computed from the source index,
+   many-to-one accumulates) and fetch (sources computed from the
+   destination index, one-to-one / one-to-many). *)
+
+(* rotate k A = < A[(i+k) mod n] >: a left rotation by k (for k > 0 the
+   element that ends up at position i came from i+k). *)
+let rotate ?(exec = Exec.sequential) k pa =
+  let n = Par_array.length pa in
+  if n = 0 then pa
+  else begin
+    let wrap x = ((x mod n) + n) mod n in
+    let src = Par_array.unsafe_to_array pa in
+    Par_array.unsafe_of_array (exec.Exec.pinit n (fun i -> src.(wrap (i + k))))
+  end
+
+(* brdcast a A: pair the broadcast item with every processor's local data. *)
+let brdcast ?(exec = Exec.sequential) a pa = Elementary.map ~exec (fun x -> (a, x)) pa
+
+(* applybrdcast f i A = brdcast (f A.(i)) A: apply f to the data on element
+   i and broadcast the result. *)
+let applybrdcast ?(exec = Exec.sequential) f i pa = brdcast ~exec (f (Par_array.get pa i)) pa
+
+(* send f <x0..xn>: element k is delivered to every index in [f k]; each
+   destination accumulates the arrivals.  The paper leaves arrival order
+   unspecified (the implementation is nondeterministic); we use ascending
+   source index, a legal and deterministic refinement. *)
+let send ?(exec = Exec.sequential) (f : int -> int list) pa =
+  let n = Par_array.length pa in
+  let buckets = Array.make n [] in
+  for k = n - 1 downto 0 do
+    List.iter
+      (fun dest ->
+        if dest < 0 || dest >= n then
+          invalid_arg (Printf.sprintf "Communication.send: destination %d out of [0,%d)" dest n);
+        buckets.(dest) <- Par_array.get pa k :: buckets.(dest))
+      (List.rev (f k))
+  done;
+  ignore exec;
+  Par_array.init n (fun i -> Array.of_list buckets.(i))
+
+(* send_one: the single-destination special case used by the communication
+   algebra (send f . send g = send (f . g) holds for this form, viewing f
+   as a permutation of indices). *)
+let send_one ?(exec = Exec.sequential) (f : int -> int) pa =
+  let n = Par_array.length pa in
+  let seen = Array.make n false in
+  let dests =
+    Array.init n (fun k ->
+        let d = f k in
+        if d < 0 || d >= n then
+          invalid_arg (Printf.sprintf "Communication.send_one: destination %d out of [0,%d)" d n);
+        if seen.(d) then
+          invalid_arg "Communication.send_one: destination function is not injective (use send)";
+        seen.(d) <- true;
+        d)
+  in
+  let src = Par_array.unsafe_to_array pa in
+  ignore exec;
+  if n = 0 then pa
+  else begin
+    let out = Array.make n src.(0) in
+    Array.iteri (fun k d -> out.(d) <- src.(k)) dests;
+    Par_array.unsafe_of_array out
+  end
+
+(* fetch f <x0..xn> = < x_{f 0}, ..., x_{f n} >: each destination names its
+   source — one-to-one or one-to-many. *)
+let fetch ?(exec = Exec.sequential) (f : int -> int) pa =
+  let n = Par_array.length pa in
+  let src = Par_array.unsafe_to_array pa in
+  Par_array.unsafe_of_array
+    (exec.Exec.pinit n (fun i ->
+         let s = f i in
+         if s < 0 || s >= n then
+           invalid_arg (Printf.sprintf "Communication.fetch: source %d out of [0,%d)" s n);
+         src.(s)))
+
+(* Total exchange: every processor ends up with the whole array — the
+   library-level analogue of allgather, useful before a farm that needs a
+   global environment. *)
+let all_to_all pa =
+  let everything = Par_array.to_array pa in
+  Elementary.map (fun _ -> everything) pa

@@ -1,0 +1,32 @@
+(** Communication skeletons (paper Section 2.2): bulk data movement over
+    ParArrays. *)
+
+val rotate : ?exec:Exec.t -> int -> 'a Par_array.t -> 'a Par_array.t
+(** [rotate k A = <A\[(i+k) mod n\]>]. Laws: [rotate a (rotate b x) =
+    rotate (a+b) x]; [rotate 0 = id]. *)
+
+val brdcast : ?exec:Exec.t -> 'a -> 'b Par_array.t -> ('a * 'b) Par_array.t
+(** Broadcast one item to all sites, aligned with the local data. *)
+
+val applybrdcast : ?exec:Exec.t -> ('b -> 'a) -> int -> 'b Par_array.t -> ('a * 'b) Par_array.t
+(** [applybrdcast f i A = brdcast (f A.(i)) A]: apply [f] locally on
+    element [i] and broadcast the result. *)
+
+val send : ?exec:Exec.t -> (int -> int list) -> 'a Par_array.t -> 'a array Par_array.t
+(** Irregular send: element [k] goes to every index in [f k]; destinations
+    accumulate a vector of arrivals. The paper leaves arrival order
+    unspecified; this implementation refines it to ascending source index.
+    @raise Invalid_argument on an out-of-range destination. *)
+
+val send_one : ?exec:Exec.t -> (int -> int) -> 'a Par_array.t -> 'a Par_array.t
+(** Permutation send (single destination per element, injective). Obeys the
+    communication algebra law [send_one f ∘ send_one g = send_one (f ∘ g)].
+    @raise Invalid_argument if [f] is not an in-range permutation. *)
+
+val fetch : ?exec:Exec.t -> (int -> int) -> 'a Par_array.t -> 'a Par_array.t
+(** [fetch f <x..> = <x_(f 0), ..., x_(f n)>]: each destination names its
+    source (one-to-one or one-to-many). Law: [fetch f ∘ fetch g =
+    fetch (g ∘ f)]. *)
+
+val all_to_all : 'a Par_array.t -> 'a array Par_array.t
+(** Every processor receives the entire array (allgather). *)

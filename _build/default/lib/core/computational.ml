@@ -1,0 +1,50 @@
+(* Computational skeletons (paper Section 2.3): abstractions of parallel
+   control flow — farm, SPMD, iterUntil / iterFor. *)
+
+(* farm f env A = map (f env) A: the simplest form of data parallelism,
+   with an environment shared by all jobs. *)
+let farm ?(exec = Exec.sequential) f env pa = Elementary.map ~exec (f env) pa
+
+(* One SPMD stage: a global (communication / synchronisation) phase over
+   the whole configuration after a local phase farmed to the processors.
+   Composition of stages models barrier-separated supersteps:
+
+     SPMD []              = id
+     SPMD ((gf,lf) :: fs) = SPMD fs . gf . imap lf                        *)
+type 'a stage = {
+  global : 'a Par_array.t -> 'a Par_array.t;
+  local : int -> 'a -> 'a;
+}
+
+let stage ?(global = Fun.id) ?(local = fun _ x -> x) () = { global; local }
+
+let spmd_step ?(exec = Exec.sequential) { global; local } pa =
+  global (Elementary.imap ~exec local pa)
+
+let spmd ?(exec = Exec.sequential) stages pa =
+  List.fold_left (fun acc st -> spmd_step ~exec st acc) pa stages
+
+(* iterUntil iterSolve finalSolve con x *)
+let rec iter_until iter_solve final_solve con x =
+  if con x then final_solve x else iter_until iter_solve final_solve con (iter_solve x)
+
+(* iterFor: counted iteration, the body receives the 0-based step index. *)
+let iter_for terminator iter_solve x =
+  if terminator < 0 then invalid_arg "Computational.iter_for: negative iteration count";
+  let rec go i x = if i >= terminator then x else go (i + 1) (iter_solve i x) in
+  go 0 x
+
+(* Dynamically scheduled farm over the pool: jobs are pulled by idle
+   workers, so irregular job sizes balance — the "processor farm" in its
+   original task-queue sense, an extension beyond the paper's static map. *)
+let farm_dynamic pool f env jobs =
+  let open Runtime in
+  let n = Par_array.length jobs in
+  if n = 0 then Par_array.of_array [||]
+  else begin
+    let src = Par_array.unsafe_to_array jobs in
+    let first = f env src.(0) in
+    let out = Array.make n first in
+    Pool.parallel_for ~grain:1 pool ~lo:1 ~hi:n (fun i -> out.(i) <- f env src.(i));
+    Par_array.unsafe_of_array out
+  end

@@ -1,0 +1,36 @@
+(** Computational skeletons (paper Section 2.3): parallel control flow. *)
+
+val farm : ?exec:Exec.t -> ('env -> 'a -> 'b) -> 'env -> 'a Par_array.t -> 'b Par_array.t
+(** [farm f env A = map (f env) A]: apply a worker function with a shared
+    environment to every job. *)
+
+type 'a stage = {
+  global : 'a Par_array.t -> 'a Par_array.t;
+      (** parallel operation over the whole configuration (communication /
+          synchronisation) *)
+  local : int -> 'a -> 'a;  (** sequential per-processor computation *)
+}
+(** One SPMD superstep: [global ∘ imap local]; the composition point models
+    barrier synchronisation. *)
+
+val stage :
+  ?global:('a Par_array.t -> 'a Par_array.t) -> ?local:(int -> 'a -> 'a) -> unit -> 'a stage
+(** Stage constructor with identity defaults. *)
+
+val spmd_step : ?exec:Exec.t -> 'a stage -> 'a Par_array.t -> 'a Par_array.t
+
+val spmd : ?exec:Exec.t -> 'a stage list -> 'a Par_array.t -> 'a Par_array.t
+(** [spmd \[\] = id]; [spmd ((gf,lf)::fs) = spmd fs ∘ gf ∘ imap lf]. *)
+
+val iter_until : ('a -> 'a) -> ('a -> 'b) -> ('a -> bool) -> 'a -> 'b
+(** [iter_until iterSolve finalSolve con x]: apply [iterSolve] until [con]
+    holds, then [finalSolve]. *)
+
+val iter_for : int -> (int -> 'a -> 'a) -> 'a -> 'a
+(** Counted iteration; the body receives the 0-based step index.
+    @raise Invalid_argument on a negative count. *)
+
+val farm_dynamic :
+  Runtime.Pool.t -> ('env -> 'a -> 'b) -> 'env -> 'a Par_array.t -> 'b Par_array.t
+(** Work-stealing farm: jobs are scheduled dynamically, so irregular job
+    sizes load-balance (extension beyond the paper's static [map] farm). *)

@@ -1,0 +1,49 @@
+(* Configuration skeletons: align, distribution, redistribution, gather.
+
+   A configuration is a ParArray of tuples of co-located objects (paper
+   Fig. 1): [align] pairs corresponding components, [distribution] composes
+   bulk movement, partitioning and alignment, [redistribution] applies bulk
+   data-movement operators componentwise. *)
+
+let align a b =
+  if Par_array.length a <> Par_array.length b then
+    invalid_arg
+      (Printf.sprintf "Config.align: lengths differ (%d vs %d)" (Par_array.length a)
+         (Par_array.length b));
+  Par_array.init (Par_array.length a) (fun i -> (Par_array.get a i, Par_array.get b i))
+
+let align3 a b c =
+  if Par_array.length a <> Par_array.length b || Par_array.length b <> Par_array.length c then
+    invalid_arg "Config.align3: lengths differ";
+  Par_array.init (Par_array.length a) (fun i ->
+      (Par_array.get a i, Par_array.get b i, Par_array.get c i))
+
+let unalign ab =
+  ( Par_array.init (Par_array.length ab) (fun i -> fst (Par_array.get ab i)),
+    Par_array.init (Par_array.length ab) (fun i -> snd (Par_array.get ab i)) )
+
+(* The paper's distribution skeleton (two-array form):
+     distribution <(p,f),(q,g)> A B = align (p (partition f A)) (q (partition g B)) *)
+let distribution2 ~(move1 : 'a array Par_array.t -> 'a array Par_array.t) ~pat1
+    ~(move2 : 'b array Par_array.t -> 'b array Par_array.t) ~pat2 (a : 'a array) (b : 'b array) :
+    ('a array * 'b array) Par_array.t =
+  align (move1 (Partition.apply pat1 a)) (move2 (Partition.apply pat2 b))
+
+let distribution3 ~move1 ~pat1 ~move2 ~pat2 ~move3 ~pat3 a b c =
+  align3 (move1 (Partition.apply pat1 a)) (move2 (Partition.apply pat2 b))
+    (move3 (Partition.apply pat3 c))
+
+(* Homogeneous list form of the paper's general distribution skeleton. *)
+let distribution_list specs arrays =
+  if List.length specs <> List.length arrays then
+    invalid_arg "Config.distribution_list: spec/array count mismatch";
+  List.map2 (fun (move, pat) a -> move (Partition.apply pat a)) specs arrays
+
+(* redistribution <f1..fn> (DA1..DAn) = (f1 DA1 .. fn DAn): componentwise
+   bulk movement over a configuration. *)
+let redistribution2 (f, g) (da, db) = (f da, g db)
+let redistribution3 (f, g, h) (da, db, dc) = (f da, g db, h dc)
+let redistribution_list fs das = List.map2 (fun f da -> f da) fs das
+
+(* gather: collect a distributed array back into a sequential one. *)
+let gather pat pieces = Partition.unapply pat pieces

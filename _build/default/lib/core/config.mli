@@ -1,0 +1,50 @@
+(** Configuration skeletons (paper Section 2.1): forming and transforming
+    configurations — ParArrays of co-located tuples. *)
+
+val align : 'a Par_array.t -> 'b Par_array.t -> ('a * 'b) Par_array.t
+(** Pair corresponding elements: objects in a tuple are co-located on the
+    same processor. @raise Invalid_argument on length mismatch. *)
+
+val align3 : 'a Par_array.t -> 'b Par_array.t -> 'c Par_array.t -> ('a * 'b * 'c) Par_array.t
+
+val unalign : ('a * 'b) Par_array.t -> 'a Par_array.t * 'b Par_array.t
+(** Inverse of {!align}. *)
+
+val distribution2 :
+  move1:('a array Par_array.t -> 'a array Par_array.t) ->
+  pat1:Partition.t ->
+  move2:('b array Par_array.t -> 'b array Par_array.t) ->
+  pat2:Partition.t ->
+  'a array ->
+  'b array ->
+  ('a array * 'b array) Par_array.t
+(** The paper's [distribution <(p,f),(q,g)> A B]: partition each array,
+    apply its bulk movement, and align the results. *)
+
+val distribution3 :
+  move1:('a array Par_array.t -> 'a array Par_array.t) ->
+  pat1:Partition.t ->
+  move2:('b array Par_array.t -> 'b array Par_array.t) ->
+  pat2:Partition.t ->
+  move3:('c array Par_array.t -> 'c array Par_array.t) ->
+  pat3:Partition.t ->
+  'a array ->
+  'b array ->
+  'c array ->
+  ('a array * 'b array * 'c array) Par_array.t
+
+val distribution_list :
+  (('a array Par_array.t -> 'a array Par_array.t) * Partition.t) list ->
+  'a array list ->
+  'a array Par_array.t list
+(** Homogeneous form of the paper's list-of-arrays distribution. *)
+
+val redistribution2 : ('a -> 'c) * ('b -> 'd) -> 'a * 'b -> 'c * 'd
+(** Componentwise bulk movement over a configuration (dynamic
+    redistribution). *)
+
+val redistribution3 : ('a -> 'd) * ('b -> 'e) * ('c -> 'f) -> 'a * 'b * 'c -> 'd * 'e * 'f
+val redistribution_list : ('a -> 'b) list -> 'a list -> 'b list
+
+val gather : Partition.t -> 'a array Par_array.t -> 'a array
+(** Collect a distributed array (inverse of [Partition.apply]). *)

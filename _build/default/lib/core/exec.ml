@@ -1,0 +1,124 @@
+(* Execution backends for the SCL skeletons.
+
+   A backend supplies the primitive data-parallel loops; skeletons are
+   defined once and run sequentially (the reference semantics) or on the
+   multicore work-stealing pool, depending on the backend passed at the call
+   site.  This realises the paper's portability claim: skeleton *meaning* is
+   fixed by the sequential semantics, implementations vary per machine.
+
+   The backend is a record of rank-2 polymorphic fields rather than a
+   functor so that it can be chosen dynamically (e.g. per benchmark run)
+   without duplicating the skeleton code per instantiation. *)
+
+type t = {
+  name : string;
+  pmap : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
+  pmapi : 'a 'b. (int -> 'a -> 'b) -> 'a array -> 'b array;
+  pinit : 'a. int -> (int -> 'a) -> 'a array;
+  preduce : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a;
+      (* associative combine over a non-empty array, in index order *)
+  pscan : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a array;
+      (* inclusive prefix: [| x0; x0+x1; ... |] *)
+  piter : 'a. ('a -> unit) -> 'a array -> unit;
+}
+
+let seq_reduce op a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Exec.preduce: empty array";
+  let acc = ref a.(0) in
+  for i = 1 to n - 1 do
+    acc := op !acc a.(i)
+  done;
+  !acc
+
+let seq_scan op a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n a.(0) in
+    for i = 1 to n - 1 do
+      out.(i) <- op out.(i - 1) a.(i)
+    done;
+    out
+  end
+
+let sequential =
+  {
+    name = "sequential";
+    pmap = Array.map;
+    pmapi = Array.mapi;
+    pinit = Array.init;
+    preduce = seq_reduce;
+    pscan = seq_scan;
+    piter = Array.iter;
+  }
+
+(* Chunk boundaries for the two-phase parallel reduce/scan: [nchunks]
+   balanced contiguous ranges. *)
+let chunk_bounds n nchunks =
+  let nchunks = max 1 (min n nchunks) in
+  let q = n / nchunks and r = n mod nchunks in
+  Array.init (nchunks + 1) (fun k -> (k * q) + min k r)
+
+let on_pool pool =
+  let open Runtime in
+  let pmap : 'a 'b. ('a -> 'b) -> 'a array -> 'b array = fun f a -> Pool.map_array pool f a in
+  let pmapi : 'a 'b. (int -> 'a -> 'b) -> 'a array -> 'b array =
+   fun f a -> Pool.mapi_array pool f a
+  in
+  let pinit : 'a. int -> (int -> 'a) -> 'a array = fun n f -> Pool.init_array pool n f in
+  let preduce : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a =
+   fun op a ->
+    let n = Array.length a in
+    if n = 0 then invalid_arg "Exec.preduce: empty array";
+    let bounds = chunk_bounds n (8 * max 1 (Pool.num_workers pool)) in
+    let nchunks = Array.length bounds - 1 in
+    let partials =
+      Pool.init_array pool nchunks (fun k ->
+          let acc = ref a.(bounds.(k)) in
+          for i = bounds.(k) + 1 to bounds.(k + 1) - 1 do
+            acc := op !acc a.(i)
+          done;
+          !acc)
+    in
+    (* Combine partials in index order so non-commutative ops are safe. *)
+    seq_reduce op partials
+  in
+  let pscan : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a array =
+   fun op a ->
+    let n = Array.length a in
+    if n = 0 then [||]
+    else begin
+      let bounds = chunk_bounds n (8 * max 1 (Pool.num_workers pool)) in
+      let nchunks = Array.length bounds - 1 in
+      let out = Array.make n a.(0) in
+      (* Phase 1: local inclusive scans per chunk. *)
+      Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:nchunks (fun k ->
+          let lo = bounds.(k) and hi = bounds.(k + 1) in
+          out.(lo) <- a.(lo);
+          for i = lo + 1 to hi - 1 do
+            out.(i) <- op out.(i - 1) a.(i)
+          done);
+      (* Phase 2: exclusive prefix of chunk totals, sequential over chunks. *)
+      let offsets = Array.make nchunks None in
+      let running = ref None in
+      for k = 0 to nchunks - 1 do
+        offsets.(k) <- !running;
+        let total = out.(bounds.(k + 1) - 1) in
+        running := Some (match !running with None -> total | Some acc -> op acc total)
+      done;
+      (* Phase 3: add offsets to all chunks but the first. *)
+      Pool.parallel_for pool ~grain:1 ~lo:1 ~hi:nchunks (fun k ->
+          match offsets.(k) with
+          | None -> ()
+          | Some off ->
+              for i = bounds.(k) to bounds.(k + 1) - 1 do
+                out.(i) <- op off out.(i)
+              done);
+      out
+    end
+  in
+  let piter : 'a. ('a -> unit) -> 'a array -> unit =
+   fun f a -> Pool.parallel_for pool ~lo:0 ~hi:(Array.length a) (fun i -> f a.(i))
+  in
+  { name = "pool"; pmap; pmapi; pinit; preduce; pscan; piter }

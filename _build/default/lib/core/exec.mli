@@ -1,0 +1,31 @@
+(** Execution backends for SCL skeletons.
+
+    Skeletons are written once against this record of primitive
+    data-parallel loops; passing {!sequential} gives the reference
+    semantics, {!on_pool} runs the same skeleton on the multicore
+    work-stealing pool. *)
+
+type t = {
+  name : string;
+  pmap : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
+  pmapi : 'a 'b. (int -> 'a -> 'b) -> 'a array -> 'b array;
+  pinit : 'a. int -> (int -> 'a) -> 'a array;
+  preduce : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a;
+      (** Reduce a non-empty array with an associative operator, combining
+          in index order (safe for non-commutative operators).
+          @raise Invalid_argument on an empty array. *)
+  pscan : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a array;
+      (** Inclusive prefix: [[| x0; op x0 x1; ... |]]. *)
+  piter : 'a. ('a -> unit) -> 'a array -> unit;
+}
+
+val sequential : t
+(** Reference backend: plain [Array] operations. *)
+
+val on_pool : Runtime.Pool.t -> t
+(** Multicore backend over a work-stealing pool. Reduce and scan use
+    two-phase chunked algorithms that preserve combination order. *)
+
+val chunk_bounds : int -> int -> int array
+(** [chunk_bounds n k] are the [min n k + 1] boundaries of balanced
+    contiguous chunks of [0..n-1] (exposed for tests). *)

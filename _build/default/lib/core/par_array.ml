@@ -1,0 +1,43 @@
+(* The paper's ParArray: a distributed array whose element [i] conceptually
+   lives on (virtual) processor [i].
+
+   The representation is a host array; which machine the elements actually
+   live on is the business of the execution backend (multicore pool) or of
+   the simulator templates in [scl_sim].  Nested parallelism is direct:
+   ['a t t] is a ParArray of ParArrays, the paper's processor groups. *)
+
+type 'a t = { elems : 'a array }
+
+let of_array a = { elems = Array.copy a }
+let unsafe_of_array elems = { elems }
+let to_array t = Array.copy t.elems
+let unsafe_to_array t = t.elems
+let init n f = { elems = Array.init n f }
+let make n v = { elems = Array.make n v }
+let length t = Array.length t.elems
+
+let get t i =
+  if i < 0 || i >= length t then
+    invalid_arg (Printf.sprintf "Par_array.get: index %d out of bounds [0,%d)" i (length t));
+  t.elems.(i)
+
+let set t i v =
+  if i < 0 || i >= length t then
+    invalid_arg (Printf.sprintf "Par_array.set: index %d out of bounds [0,%d)" i (length t));
+  { elems = Array.mapi (fun j x -> if j = i then v else x) t.elems }
+
+let equal eq a b = length a = length b && Array.for_all2 eq a.elems b.elems
+
+let pp pp_elem ppf t =
+  Format.fprintf ppf "@[<hov 1><%a>@]"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_elem)
+    t.elems
+
+let to_list t = Array.to_list t.elems
+let of_list l = { elems = Array.of_list l }
+
+let concat ts = { elems = Array.concat (List.map (fun t -> t.elems) ts) }
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > length t then invalid_arg "Par_array.sub: bad range";
+  { elems = Array.sub t.elems pos len }

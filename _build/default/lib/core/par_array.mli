@@ -1,0 +1,35 @@
+(** [ParArray index α]: the paper's distributed array. Element [i]
+    conceptually resides on virtual processor [i]; nesting (['a t t])
+    expresses processor groups. Values are immutable from the skeleton
+    level: all skeletons return fresh arrays. *)
+
+type 'a t
+
+val of_array : 'a array -> 'a t
+(** Copies. *)
+
+val unsafe_of_array : 'a array -> 'a t
+(** No copy; the caller must not mutate the array afterwards. *)
+
+val to_array : 'a t -> 'a array
+(** Copies. *)
+
+val unsafe_to_array : 'a t -> 'a array
+(** No copy; the caller must not mutate the result. *)
+
+val of_list : 'a list -> 'a t
+val to_list : 'a t -> 'a list
+val init : int -> (int -> 'a) -> 'a t
+val make : int -> 'a -> 'a t
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val set : 'a t -> int -> 'a -> 'a t
+(** Functional update. *)
+
+val sub : 'a t -> pos:int -> len:int -> 'a t
+val concat : 'a t list -> 'a t
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

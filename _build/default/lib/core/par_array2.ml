@@ -1,0 +1,96 @@
+(* Two-dimensional ParArrays: [ParArray (Int, Int) α], stored row-major.
+
+   These carry the paper's two-dimensional communication skeletons
+   (rotate_row / rotate_col) and the 2-D partition patterns (row_block,
+   col_block, row_col_block, row_cyclic, col_cyclic). *)
+
+type 'a t = { rows : int; cols : int; elems : 'a array }
+
+let dims t = (t.rows, t.cols)
+let rows t = t.rows
+let cols t = t.cols
+let size t = t.rows * t.cols
+
+let check_dims rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Par_array2: negative dimension"
+
+let init ~rows ~cols f =
+  check_dims rows cols;
+  { rows; cols; elems = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let make ~rows ~cols v =
+  check_dims rows cols;
+  { rows; cols; elems = Array.make (rows * cols) v }
+
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg (Printf.sprintf "Par_array2.get: (%d,%d) out of %dx%d" i j t.rows t.cols);
+  t.elems.((i * t.cols) + j)
+
+let of_arrays rows_arr =
+  let rows = Array.length rows_arr in
+  if rows = 0 then { rows = 0; cols = 0; elems = [||] }
+  else begin
+    let cols = Array.length rows_arr.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> cols then invalid_arg "Par_array2.of_arrays: ragged rows")
+      rows_arr;
+    init ~rows ~cols (fun i j -> rows_arr.(i).(j))
+  end
+
+let to_arrays t = Array.init t.rows (fun i -> Array.init t.cols (fun j -> get t i j))
+
+let row t i = Array.init t.cols (fun j -> get t i j)
+let col t j = Array.init t.rows (fun i -> get t i j)
+
+let map ?(exec = Exec.sequential) f t = { t with elems = exec.Exec.pmap f t.elems }
+
+let imap ?(exec = Exec.sequential) f t =
+  { t with elems = exec.Exec.pmapi (fun k x -> f (k / t.cols) (k mod t.cols) x) t.elems }
+
+let fold ?(exec = Exec.sequential) op t =
+  if size t = 0 then invalid_arg "Par_array2.fold: empty";
+  exec.Exec.preduce op t.elems
+
+let equal eq a b =
+  a.rows = b.rows && a.cols = b.cols && Array.for_all2 eq a.elems b.elems
+
+let transpose t = init ~rows:t.cols ~cols:t.rows (fun i j -> get t j i)
+
+let zip a b =
+  if dims a <> dims b then invalid_arg "Par_array2.zip: dimension mismatch";
+  init ~rows:a.rows ~cols:a.cols (fun i j -> (get a i j, get b i j))
+
+(* The paper's rotate_row: row [i] rotated left by [df i] (an element at
+   column [j] moves to column [j - df i mod cols]; equivalently the value at
+   [(i, j)] becomes the old [(i, (j + df i) mod cols)]). *)
+let rotate_row ?(exec = Exec.sequential) df t =
+  let wrap m x = ((x mod m) + m) mod m in
+  if t.cols = 0 then t
+  else
+    { t with
+      elems =
+        exec.Exec.pinit (t.rows * t.cols) (fun k ->
+            let i = k / t.cols and j = k mod t.cols in
+            get t i (wrap t.cols (j + df i)))
+    }
+
+let rotate_col ?(exec = Exec.sequential) df t =
+  let wrap m x = ((x mod m) + m) mod m in
+  if t.rows = 0 then t
+  else
+    { t with
+      elems =
+        exec.Exec.pinit (t.rows * t.cols) (fun k ->
+            let i = k / t.cols and j = k mod t.cols in
+            get t (wrap t.rows (i + df j)) j)
+    }
+
+let pp pp_elem ppf t =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to t.rows - 1 do
+    Format.fprintf ppf "@[<hov 1><%a>@]@,"
+      (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_elem)
+      (row t i)
+  done;
+  Format.fprintf ppf "@]"

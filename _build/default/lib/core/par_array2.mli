@@ -1,0 +1,44 @@
+(** Two-dimensional ParArrays ([ParArray (Int,Int) α]), row-major.
+
+    Carries the 2-D elementary and communication skeletons the paper uses
+    for matrix algorithms: [imap] with (row, col) indices and the
+    [rotate_row]/[rotate_col] bulk movements. *)
+
+type 'a t
+
+val init : rows:int -> cols:int -> (int -> int -> 'a) -> 'a t
+val make : rows:int -> cols:int -> 'a -> 'a t
+val of_arrays : 'a array array -> 'a t
+(** @raise Invalid_argument on ragged input. *)
+
+val to_arrays : 'a t -> 'a array array
+val dims : 'a t -> int * int
+val rows : 'a t -> int
+val cols : 'a t -> int
+val size : 'a t -> int
+val get : 'a t -> int -> int -> 'a
+val row : 'a t -> int -> 'a array
+val col : 'a t -> int -> 'a array
+val transpose : 'a t -> 'a t
+
+val zip : 'a t -> 'b t -> ('a * 'b) t
+(** Pointwise pairing; the 2-D [align]. @raise Invalid_argument on
+    dimension mismatch. *)
+
+val map : ?exec:Exec.t -> ('a -> 'b) -> 'a t -> 'b t
+val imap : ?exec:Exec.t -> (int -> int -> 'a -> 'b) -> 'a t -> 'b t
+
+val fold : ?exec:Exec.t -> ('a -> 'a -> 'a) -> 'a t -> 'a
+(** Associative reduction in row-major order. @raise Invalid_argument if
+    empty. *)
+
+val rotate_row : ?exec:Exec.t -> (int -> int) -> 'a t -> 'a t
+(** The paper's [rotate_row]: the value at [(i,j)] becomes the old value at
+    [(i, (j + df i) mod cols)] — row [i] rotated left by [df i]. *)
+
+val rotate_col : ?exec:Exec.t -> (int -> int) -> 'a t -> 'a t
+(** Column [j] rotated up by [df j]. *)
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

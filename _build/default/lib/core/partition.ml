@@ -1,0 +1,121 @@
+(* One-dimensional partition patterns: the paper's
+   [partition : Partition_pattern -> SeqArray -> ParArray SeqArray].
+
+   A pattern maps each element index of the source array to the part
+   (virtual processor) that owns it; within a part, elements keep their
+   source order.  [unapply] is the exact inverse of [apply] for any
+   pattern, which is what the paper's [gather] relies on. *)
+
+type t =
+  | Block of int  (* balanced contiguous blocks *)
+  | Cyclic of int  (* round-robin single elements *)
+  | Block_cyclic of { parts : int; block : int }  (* round-robin blocks *)
+  | Custom of { parts : int; name : string; assign : int -> int }
+
+let parts = function
+  | Block p | Cyclic p -> p
+  | Block_cyclic { parts; _ } -> parts
+  | Custom { parts; _ } -> parts
+
+let name = function
+  | Block p -> Printf.sprintf "block(%d)" p
+  | Cyclic p -> Printf.sprintf "cyclic(%d)" p
+  | Block_cyclic { parts; block } -> Printf.sprintf "block_cyclic(%d,%d)" parts block
+  | Custom { name; _ } -> name
+
+let check t =
+  if parts t <= 0 then invalid_arg (Printf.sprintf "Partition: %s has no parts" (name t));
+  match t with
+  | Block_cyclic { block; _ } when block <= 0 -> invalid_arg "Partition: block size must be positive"
+  | Block _ | Cyclic _ | Block_cyclic _ | Custom _ -> ()
+
+(* Part of element [i] in an array of length [n]. *)
+let assign t ~n i =
+  check t;
+  if i < 0 || i >= n then invalid_arg "Partition.assign: index out of range";
+  match t with
+  | Block p ->
+      (* First [r] blocks have size [q+1], the rest [q]. *)
+      let q = n / p and r = n mod p in
+      if i < r * (q + 1) then i / (q + 1) else if q = 0 then r else r + ((i - (r * (q + 1))) / q)
+  | Cyclic p -> i mod p
+  | Block_cyclic { parts; block } -> i / block mod parts
+  | Custom { assign; parts; name } ->
+      let a = assign i in
+      if a < 0 || a >= parts then
+        invalid_arg (Printf.sprintf "Partition %s: element %d assigned to invalid part %d" name i a);
+      a
+
+let part_sizes t ~n =
+  check t;
+  let sizes = Array.make (parts t) 0 in
+  for i = 0 to n - 1 do
+    let a = assign t ~n i in
+    sizes.(a) <- sizes.(a) + 1
+  done;
+  sizes
+
+let apply t a =
+  check t;
+  let n = Array.length a in
+  (* Parts may be empty when n < parts; the n = 0 case is handled up front
+     because a.(0) does not exist to seed the piece arrays. *)
+  if n = 0 then Par_array.unsafe_of_array (Array.make (parts t) [||])
+  else begin
+    let sizes = part_sizes t ~n in
+    let pieces = Array.map (fun s -> Array.make s a.(0)) sizes in
+    let cursors = Array.make (parts t) 0 in
+    for i = 0 to n - 1 do
+      let p = assign t ~n i in
+      pieces.(p).(cursors.(p)) <- a.(i);
+      cursors.(p) <- cursors.(p) + 1
+    done;
+    Par_array.unsafe_of_array pieces
+  end
+
+let unapply t pieces =
+  check t;
+  if Par_array.length pieces <> parts t then
+    invalid_arg
+      (Printf.sprintf "Partition.unapply: %s expects %d parts, got %d" (name t) (parts t)
+         (Par_array.length pieces));
+  let pieces = Par_array.unsafe_to_array pieces in
+  let n = Array.fold_left (fun acc p -> acc + Array.length p) 0 pieces in
+  if n = 0 then [||]
+  else begin
+    (* Seed value: any element, to initialise the output array. *)
+    let seed =
+      let rec find k =
+        if k >= Array.length pieces then invalid_arg "Partition.unapply: impossible"
+        else if Array.length pieces.(k) > 0 then pieces.(k).(0)
+        else find (k + 1)
+      in
+      find 0
+    in
+    let out = Array.make n seed in
+    let cursors = Array.make (parts t) 0 in
+    for i = 0 to n - 1 do
+      let p = assign t ~n i in
+      if cursors.(p) >= Array.length pieces.(p) then
+        invalid_arg "Partition.unapply: part sizes inconsistent with pattern";
+      out.(i) <- pieces.(p).(cursors.(p));
+      cursors.(p) <- cursors.(p) + 1
+    done;
+    Array.iteri
+      (fun p c ->
+        if c <> Array.length pieces.(p) then
+          invalid_arg "Partition.unapply: part sizes inconsistent with pattern")
+      cursors;
+    out
+  end
+
+(* [split] regroups a ParArray's elements (not a SeqArray's): the paper uses
+   it to form nested configurations — processor groups. *)
+let split t pa =
+  check t;
+  let arr = Par_array.unsafe_to_array pa in
+  let grouped = apply t arr in
+  Par_array.unsafe_of_array
+    (Array.map Par_array.unsafe_of_array (Par_array.unsafe_to_array grouped))
+
+let combine nested = Par_array.concat (Par_array.to_list nested)

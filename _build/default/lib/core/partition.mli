@@ -1,0 +1,37 @@
+(** One-dimensional partition patterns (the paper's [Partition_pattern]).
+
+    [apply] divides a sequential array into a ParArray of sub-arrays;
+    [unapply] is its exact inverse (the paper's [gather]). Within each part
+    elements keep source order, so [unapply t (apply t a) = a] for every
+    pattern and array. *)
+
+type t =
+  | Block of int  (** balanced contiguous blocks over [p] parts *)
+  | Cyclic of int  (** element [i] to part [i mod p] *)
+  | Block_cyclic of { parts : int; block : int }
+      (** blocks of [block] elements dealt round-robin *)
+  | Custom of { parts : int; name : string; assign : int -> int }
+      (** arbitrary assignment; must land in [\[0, parts)] *)
+
+val parts : t -> int
+val name : t -> string
+
+val assign : t -> n:int -> int -> int
+(** Owning part of element [i] in an array of length [n]. *)
+
+val part_sizes : t -> n:int -> int array
+
+val apply : t -> 'a array -> 'a array Par_array.t
+(** The paper's [partition]. Parts may be empty when [n < parts]. *)
+
+val unapply : t -> 'a array Par_array.t -> 'a array
+(** The paper's [gather]. @raise Invalid_argument if the part sizes are
+    inconsistent with the pattern. *)
+
+val split : t -> 'a Par_array.t -> 'a Par_array.t Par_array.t
+(** The paper's [split]: regroup a ParArray into a nested ParArray —
+    dynamic processor grouping. *)
+
+val combine : 'a Par_array.t Par_array.t -> 'a Par_array.t
+(** The paper's [combine]: flatten a nested ParArray (left inverse of
+    [split] for [Block]; in general a flattening). *)

@@ -1,0 +1,72 @@
+(* Two-dimensional partition patterns, built as a pair of 1-D patterns: one
+   over row indices, one over column indices.  This uniformly covers the
+   paper's row_block, col_block, row_col_block, row_cyclic and col_cyclic
+   (and any block/cyclic mixture, like HPF's distribute directives).
+
+   [apply] cuts an r x c matrix into a gr x gc ParArray2 of sub-matrices;
+   [unapply] is its exact inverse. *)
+
+type t = { row_pat : Partition.t; col_pat : Partition.t }
+
+let make ~row_pat ~col_pat = { row_pat; col_pat }
+
+(* The paper's named patterns. *)
+let row_block p = { row_pat = Partition.Block p; col_pat = Partition.Block 1 }
+let col_block p = { row_pat = Partition.Block 1; col_pat = Partition.Block p }
+let row_col_block p q = { row_pat = Partition.Block p; col_pat = Partition.Block q }
+let row_cyclic p = { row_pat = Partition.Cyclic p; col_pat = Partition.Block 1 }
+let col_cyclic p = { row_pat = Partition.Block 1; col_pat = Partition.Cyclic p }
+
+let parts t = (Partition.parts t.row_pat, Partition.parts t.col_pat)
+
+let name t =
+  Printf.sprintf "2d(%s x %s)" (Partition.name t.row_pat) (Partition.name t.col_pat)
+
+(* Indices of the source rows/cols owned by each part, in order. *)
+let owned pat ~n =
+  let parts = Partition.parts pat in
+  let buckets = Array.make parts [] in
+  for i = n - 1 downto 0 do
+    let p = Partition.assign pat ~n i in
+    buckets.(p) <- i :: buckets.(p)
+  done;
+  Array.map Array.of_list buckets
+
+let apply t (m : 'a Par_array2.t) : 'a Par_array2.t Par_array2.t =
+  let r = Par_array2.rows m and c = Par_array2.cols m in
+  let row_owned = owned t.row_pat ~n:r and col_owned = owned t.col_pat ~n:c in
+  let gr, gc = parts t in
+  Par_array2.init ~rows:gr ~cols:gc (fun a b ->
+      let ri = row_owned.(a) and ci = col_owned.(b) in
+      Par_array2.init ~rows:(Array.length ri) ~cols:(Array.length ci) (fun i j ->
+          Par_array2.get m ri.(i) ci.(j)))
+
+let unapply t (pieces : 'a Par_array2.t Par_array2.t) : 'a Par_array2.t =
+  let gr, gc = parts t in
+  if Par_array2.rows pieces <> gr || Par_array2.cols pieces <> gc then
+    invalid_arg "Partition2.unapply: grid shape mismatch";
+  let r =
+    let sum = ref 0 in
+    for a = 0 to gr - 1 do
+      sum := !sum + Par_array2.rows (Par_array2.get pieces a 0)
+    done;
+    !sum
+  in
+  let c =
+    let sum = ref 0 in
+    for b = 0 to gc - 1 do
+      sum := !sum + Par_array2.cols (Par_array2.get pieces 0 b)
+    done;
+    !sum
+  in
+  let row_owned = owned t.row_pat ~n:r and col_owned = owned t.col_pat ~n:c in
+  (* Inverse maps: source row -> (part, offset). *)
+  let row_home = Array.make r (0, 0) and col_home = Array.make c (0, 0) in
+  Array.iteri (fun a idxs -> Array.iteri (fun off i -> row_home.(i) <- (a, off)) idxs) row_owned;
+  Array.iteri (fun b idxs -> Array.iteri (fun off j -> col_home.(j) <- (b, off)) idxs) col_owned;
+  Par_array2.init ~rows:r ~cols:c (fun i j ->
+      let a, oi = row_home.(i) and b, oj = col_home.(j) in
+      let piece = Par_array2.get pieces a b in
+      if oi >= Par_array2.rows piece || oj >= Par_array2.cols piece then
+        invalid_arg "Partition2.unapply: piece sizes inconsistent with pattern";
+      Par_array2.get piece oi oj)

@@ -1,0 +1,24 @@
+(** Two-dimensional partition patterns: a 1-D pattern over rows paired with
+    one over columns — uniformly expressing the paper's [row_block],
+    [col_block], [row_col_block], [row_cyclic], [col_cyclic]. *)
+
+type t = { row_pat : Partition.t; col_pat : Partition.t }
+
+val make : row_pat:Partition.t -> col_pat:Partition.t -> t
+val row_block : int -> t
+val col_block : int -> t
+val row_col_block : int -> int -> t
+val row_cyclic : int -> t
+val col_cyclic : int -> t
+
+val parts : t -> int * int
+(** (grid rows, grid cols). *)
+
+val name : t -> string
+
+val apply : t -> 'a Par_array2.t -> 'a Par_array2.t Par_array2.t
+(** Cut a matrix into a grid of sub-matrices. *)
+
+val unapply : t -> 'a Par_array2.t Par_array2.t -> 'a Par_array2.t
+(** Exact inverse of {!apply}. @raise Invalid_argument on inconsistent
+    pieces. *)

@@ -1,0 +1,36 @@
+(** Stream (task-parallel) skeletons: ordered pipelines of farm stages over
+    a finite job stream — the P3L-style layer the paper's related-work
+    section situates SCL against.
+
+    Law: [run (s1 >>> s2 >>> ...) xs] = [List.map (apply pipe) xs] — stages
+    run concurrently on their own domains, farms process jobs out of order,
+    and the collector restores input order. *)
+
+type ('a, 'b) t
+(** A pipeline segment from ['a] jobs to ['b] results. *)
+
+val stage : ?workers:int -> ('a -> 'b) -> ('a, 'b) t
+(** One pipeline stage; [workers] > 1 makes it a farm.
+    @raise Invalid_argument if [workers <= 0]. *)
+
+val farm : workers:int -> ('a -> 'b) -> ('a, 'b) t
+(** [farm ~workers f = stage ~workers f]. *)
+
+val ( >>> ) : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+(** Pipeline composition (left stage feeds right stage). *)
+
+val apply : ('a, 'b) t -> 'a -> 'b
+(** The sequential meaning of the pipe. *)
+
+val stages : ('a, 'b) t -> int
+
+exception Stage_failure of exn * Printexc.raw_backtrace
+(** A stage function raised; the original exception and backtrace are
+    carried. *)
+
+val run : ('a, 'b) t -> 'a list -> 'b list
+(** Execute the pipeline: spawns the stage domains, streams the jobs
+    through, and returns results in input order. Domains are joined before
+    returning. @raise Stage_failure if any stage function raised. *)
+
+val run_array : ('a, 'b) t -> 'a array -> 'b array

@@ -1,0 +1,1 @@
+lib/machine/comm.ml: Array Fun List Option Sim

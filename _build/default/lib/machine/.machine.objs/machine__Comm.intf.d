@@ -1,0 +1,1 @@
+lib/machine/comm.mli: Sim

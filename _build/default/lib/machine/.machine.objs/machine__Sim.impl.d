@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Array Buffer Bytes Cost_model Effect Float Format Hashtbl List Marshal Obj Option Printf Topology Trace

@@ -1,0 +1,1 @@
+lib/machine/sim.mli: Cost_model Format Topology Trace

@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Array Bytes Float Fmt List String

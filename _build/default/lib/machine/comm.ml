@@ -1,0 +1,267 @@
+(* MPI-style communicators and collective operations, built entirely on the
+   simulator's point-to-point sends — exactly the layering the paper relies
+   on ("skeletons can be efficiently implemented as libraries or macros
+   defined over base languages and standard communication libraries").
+
+   A communicator names an ordered subset of the machine's processors; a
+   processor's rank *within* the communicator is its index in that order.
+   Nested parallelism (paper Section 2.1: "an element of a nested array
+   corresponds to the concept of a group in MPI") is supported via [split].
+
+   Tag discipline: every collective call consumes one sequence number from
+   the communicator, and all its internal messages carry a tag derived from
+   (sequence, opcode) in a reserved tag space.  Since SPMD members execute
+   the same sequence of collectives, the sequence numbers agree across the
+   group, so overlapping traffic from adjacent collectives can never be
+   mis-matched, even when some members run ahead. *)
+
+type t = {
+  ctx : Sim.ctx;
+  ranks : int array;  (* global ranks, ordered; my position defines my rank *)
+  my_index : int;
+  mutable seq : int;
+}
+
+let tag_space = 1 lsl 28
+
+let opcode_barrier = 0
+and opcode_bcast = 1
+and opcode_reduce = 2
+and opcode_gather = 3
+and opcode_scatter = 4
+and opcode_alltoall = 5
+and opcode_scan = 6
+and opcode_split = 7
+and opcode_sendrecv = 8
+
+let world ctx =
+  let n = Sim.size ctx in
+  { ctx; ranks = Array.init n Fun.id; my_index = Sim.rank ctx; seq = 0 }
+
+let of_ranks ctx ranks =
+  let me = Sim.rank ctx in
+  let idx = ref (-1) in
+  Array.iteri (fun i r -> if r = me then idx := i) ranks;
+  if !idx < 0 then invalid_arg "Comm.of_ranks: calling processor not a member";
+  { ctx; ranks = Array.copy ranks; my_index = !idx; seq = 0 }
+
+let rank t = t.my_index
+let size t = Array.length t.ranks
+let global_rank t i = t.ranks.(i)
+let global_ranks t = Array.copy t.ranks
+let ctx t = t.ctx
+
+let fresh_tag t opcode =
+  let tag = tag_space lor ((t.seq land 0x3FFFFF) lsl 4) lor opcode in
+  t.seq <- t.seq + 1;
+  tag
+
+let sendi t ~tag dst_index v = Sim.send t.ctx ~dest:t.ranks.(dst_index) ~tag v
+let recvi : type a. t -> tag:int -> int -> a = fun t ~tag src_index -> Sim.recv t.ctx ~src:t.ranks.(src_index) ~tag ()
+
+(* --- barrier: dissemination algorithm, O(log m) rounds ------------------ *)
+
+let barrier t =
+  let m = size t in
+  if m > 1 then begin
+    let tag = fresh_tag t opcode_barrier in
+    let i = t.my_index in
+    let mask = ref 1 in
+    while !mask < m do
+      sendi t ~tag ((i + !mask) mod m) ();
+      (recvi t ~tag ((i - !mask + m) mod m) : unit);
+      mask := !mask lsl 1
+    done
+  end
+
+(* --- broadcast: binomial tree rooted at [root] -------------------------- *)
+
+let vrank t ~root = (t.my_index - root + size t) mod size t
+let unvrank t ~root v = (v + root) mod size t
+
+let bcast (type a) t ~root (v : a option) : a =
+  let m = size t in
+  if root < 0 || root >= m then invalid_arg "Comm.bcast: bad root";
+  let tag = fresh_tag t opcode_bcast in
+  let vr = vrank t ~root in
+  let value : a option ref = ref v in
+  if vr = 0 && !value = None then invalid_arg "Comm.bcast: root must supply a value";
+  let mask = ref 1 in
+  while !mask < m do
+    let mk = !mask in
+    if vr >= mk && vr < 2 * mk && !value = None then
+      value := Some (recvi t ~tag (unvrank t ~root (vr - mk)));
+    if vr < mk && vr + mk < m then
+      sendi t ~tag (unvrank t ~root (vr + mk)) (Option.get !value);
+    mask := mk lsl 1
+  done;
+  match !value with
+  | Some v -> v
+  | None -> assert false (* m = 1 and not root is impossible *)
+
+(* --- reduce: binomial tree; combination order follows virtual rank ------ *)
+
+let reduce t ~root op v =
+  let m = size t in
+  if root < 0 || root >= m then invalid_arg "Comm.reduce: bad root";
+  let tag = fresh_tag t opcode_reduce in
+  let vr = vrank t ~root in
+  let acc = ref v in
+  let rec go mask =
+    if mask < m then
+      if vr land mask <> 0 then sendi t ~tag (unvrank t ~root (vr - mask)) !acc
+      else begin
+        let partner = vr + mask in
+        if partner < m then begin
+          let w = recvi t ~tag (unvrank t ~root partner) in
+          acc := op !acc w
+        end;
+        go (mask lsl 1)
+      end
+  in
+  go 1;
+  if t.my_index = root then Some !acc else None
+
+let allreduce t op v =
+  match reduce t ~root:0 op v with
+  | Some r -> bcast t ~root:0 (Some r)
+  | None -> bcast t ~root:0 None
+
+(* --- gather: binomial combining of (index, value) segments -------------- *)
+
+let gather (type a) t ~root (v : a) : a array option =
+  let m = size t in
+  if root < 0 || root >= m then invalid_arg "Comm.gather: bad root";
+  let tag = fresh_tag t opcode_gather in
+  let vr = vrank t ~root in
+  let chunks : (int * a) list ref = ref [ (t.my_index, v) ] in
+  let rec go mask =
+    if mask < m then
+      if vr land mask <> 0 then sendi t ~tag (unvrank t ~root (vr - mask)) !chunks
+      else begin
+        let partner = vr + mask in
+        if partner < m then begin
+          let more : (int * a) list = recvi t ~tag (unvrank t ~root partner) in
+          chunks := !chunks @ more
+        end;
+        go (mask lsl 1)
+      end
+  in
+  go 1;
+  if t.my_index = root then begin
+    let out = Array.make m v in
+    List.iter (fun (i, x) -> out.(i) <- x) !chunks;
+    Some out
+  end
+  else None
+
+let allgather t v =
+  match gather t ~root:0 v with
+  | Some arr -> bcast t ~root:0 (Some arr)
+  | None -> bcast t ~root:0 None
+
+(* --- scatter: binomial tree pushing (vrank, value) segments downward ----
+   At step [mask] a holder keeps pairs with vrank ≡ mine (mod 2*mask) and
+   forwards pairs ≡ mine+mask (mod 2*mask); after the last step each member
+   holds exactly its own pair. *)
+
+let scatter (type a) t ~root (arr : a array option) : a =
+  let m = size t in
+  if root < 0 || root >= m then invalid_arg "Comm.scatter: bad root";
+  let tag = fresh_tag t opcode_scatter in
+  let vr = vrank t ~root in
+  let segment : (int * a) list ref =
+    if t.my_index = root then begin
+      match arr with
+      | Some a when Array.length a = m ->
+          ref (List.init m (fun i -> ((i - root + m) mod m, a.(i))))
+      | Some _ -> invalid_arg "Comm.scatter: array length must equal communicator size"
+      | None -> invalid_arg "Comm.scatter: root must supply the array"
+    end
+    else ref []
+  in
+  let mask = ref 1 in
+  while !mask < m do
+    let mk = !mask in
+    if vr >= mk && vr < 2 * mk && !segment = [] then
+      segment := (recvi t ~tag (unvrank t ~root (vr - mk)) : (int * a) list);
+    if vr < mk && vr + mk < m then begin
+      let keep, give =
+        List.partition (fun (u, _) -> u mod (2 * mk) <> (vr + mk) mod (2 * mk)) !segment
+      in
+      segment := keep;
+      sendi t ~tag (unvrank t ~root (vr + mk)) give
+    end;
+    mask := mk lsl 1
+  done;
+  match List.find_opt (fun (u, _) -> u = vr) !segment with
+  | Some (_, v) -> v
+  | None -> invalid_arg "Comm.scatter: internal segment routing error"
+
+(* --- all-to-all: m-1 rounds of pairwise exchange ------------------------ *)
+
+let alltoall (type a) t (a : a array) : a array =
+  let m = size t in
+  if Array.length a <> m then invalid_arg "Comm.alltoall: array length must equal communicator size";
+  let tag = fresh_tag t opcode_alltoall in
+  let i = t.my_index in
+  let out = Array.make m a.(i) in
+  for r = 1 to m - 1 do
+    let dst = (i + r) mod m and src = (i - r + m) mod m in
+    sendi t ~tag dst a.(dst);
+    out.(src) <- recvi t ~tag src
+  done;
+  out
+
+(* --- inclusive scan: Hillis–Steele, O(log m) rounds --------------------- *)
+
+let scan t op v =
+  let m = size t in
+  let tag = fresh_tag t opcode_scan in
+  let i = t.my_index in
+  let prefix = ref v in
+  let d = ref 1 in
+  while !d < m do
+    let dd = !d in
+    if i + dd < m then sendi t ~tag (i + dd) !prefix;
+    if i - dd >= 0 then begin
+      let w = recvi t ~tag (i - dd) in
+      prefix := op w !prefix
+    end;
+    d := dd lsl 1
+  done;
+  !prefix
+
+(* --- split: colors and keys, like MPI_Comm_split ------------------------ *)
+
+let split t ~color ~key =
+  let tag = fresh_tag t opcode_split in
+  ignore tag;
+  let triples = allgather t (color, key, Sim.rank t.ctx) in
+  let mine =
+    triples |> Array.to_list
+    |> List.filter (fun (c, _, _) -> c = color)
+    |> List.stable_sort (fun (_, k1, r1) (_, k2, r2) -> compare (k1, r1) (k2, r2))
+    |> List.map (fun (_, _, r) -> r)
+    |> Array.of_list
+  in
+  of_ranks t.ctx mine
+
+(* --- point-to-point within a communicator ------------------------------- *)
+
+let send t ~dest v =
+  if dest < 0 || dest >= size t then invalid_arg "Comm.send: bad destination";
+  let tag = tag_space lor opcode_sendrecv in
+  Sim.send t.ctx ~dest:t.ranks.(dest) ~tag v
+
+let recv : type a. t -> src:int -> unit -> a =
+ fun t ~src () ->
+  if src < 0 || src >= size t then invalid_arg "Comm.recv: bad source";
+  let tag = tag_space lor opcode_sendrecv in
+  Sim.recv t.ctx ~src:t.ranks.(src) ~tag ()
+
+let exchange t ~partner v =
+  (* Symmetric pairwise exchange: both sides send then receive, which is
+     deadlock-free because sends never block in the simulator. *)
+  send t ~dest:partner v;
+  recv t ~src:partner ()

@@ -1,0 +1,70 @@
+(** MPI-style communicators and collectives over the simulator.
+
+    All collectives are implemented with point-to-point messages (binomial
+    trees, dissemination, Hillis–Steele), so their simulated cost reflects
+    the topology and cost model. Every member of a communicator must call
+    each collective in the same order (SPMD discipline); internal tags make
+    adjacent collectives immune to overtaking. *)
+
+type t
+(** A communicator: an ordered group of processors. *)
+
+val world : Sim.ctx -> t
+(** All processors, ranked by global rank. *)
+
+val of_ranks : Sim.ctx -> int array -> t
+(** Communicator over the given global ranks (in the given order). The
+    caller must be a member. Every member must construct it consistently. *)
+
+val split : t -> color:int -> key:int -> t
+(** Collective: partition into sub-communicators by [color]; members are
+    ordered by [key] (ties by old rank), like [MPI_Comm_split]. *)
+
+val rank : t -> int
+(** This processor's rank within the communicator. *)
+
+val size : t -> int
+
+val global_rank : t -> int -> int
+(** Machine rank of communicator member [i]. *)
+
+val global_ranks : t -> int array
+val ctx : t -> Sim.ctx
+
+(** {1 Collectives} *)
+
+val barrier : t -> unit
+(** Dissemination barrier over the group (distinct from {!Sim.barrier},
+    which is machine-global and hardware-priced). *)
+
+val bcast : t -> root:int -> 'a option -> 'a
+(** Binomial broadcast; the root passes [Some v], others [None]. *)
+
+val reduce : t -> root:int -> ('a -> 'a -> 'a) -> 'a -> 'a option
+(** Binomial reduction; [op] must be associative. Combination order follows
+    ranks (rotated to the root), so non-commutative [op] is safe only with
+    [root = 0]. Returns [Some] at the root. *)
+
+val allreduce : t -> ('a -> 'a -> 'a) -> 'a -> 'a
+
+val gather : t -> root:int -> 'a -> 'a array option
+(** Binomial gather, result indexed by communicator rank. *)
+
+val allgather : t -> 'a -> 'a array
+
+val scatter : t -> root:int -> 'a array option -> 'a
+(** Binomial scatter of an array of length [size t] held at the root. *)
+
+val alltoall : t -> 'a array -> 'a array
+(** [out.(j)] is the element [a.(me)] of member [j]. *)
+
+val scan : t -> ('a -> 'a -> 'a) -> 'a -> 'a
+(** Inclusive prefix over ranks ([op] associative). *)
+
+(** {1 Point-to-point within the group} *)
+
+val send : t -> dest:int -> 'a -> unit
+val recv : t -> src:int -> unit -> 'a
+
+val exchange : t -> partner:int -> 'a -> 'a
+(** Symmetric send-then-receive with [partner]; deadlock-free. *)

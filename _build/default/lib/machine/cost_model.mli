@@ -1,0 +1,48 @@
+(** Alpha–beta communication and scalar compute cost parameters. *)
+
+type t = {
+  name : string;
+  flop_time : float;  (** seconds per scalar arithmetic operation *)
+  mem_time : float;  (** seconds per word for memory-bound loops *)
+  alpha : float;  (** per-message software latency (seconds) *)
+  per_hop : float;  (** extra wire latency per hop *)
+  beta : float;  (** seconds per payload byte *)
+  send_overhead : float;  (** sender CPU time per message *)
+  recv_overhead : float;  (** receiver CPU time per message *)
+  barrier_base : float;  (** per-round barrier cost *)
+}
+
+val ap1000 : t
+(** Fujitsu AP1000 calibration (25 MHz SPARC cells, 25 MB/s T-net links) —
+    the machine of the paper's Section 5 experiments. *)
+
+val paragon : t
+(** Intel Paragon (1993): fast mesh links, heavy OSF message latency. *)
+
+val cm5 : t
+(** Thinking Machines CM-5 (1992): fat tree plus a hardware control network
+    (cheap barriers/reductions). *)
+
+val t3d : t
+(** Cray T3D (1993): fast Alpha nodes on a low-latency 3-D torus. *)
+
+val modern : t
+(** A contemporary commodity cluster. *)
+
+val zero_comm : t
+(** Free communication; isolates compute in ablations. *)
+
+val unit_costs : t
+(** Every cost parameter is 1 (or 0 for overheads): makes simulated times
+    exactly predictable in unit tests. *)
+
+val transfer_time : t -> hops:int -> bytes:int -> float
+(** Wire time of one message: [alpha + hops*per_hop + bytes*beta]. *)
+
+val barrier_time : t -> procs:int -> float
+(** [barrier_base * ceil(log2 procs)]; 0 for a single processor. *)
+
+val flops : t -> int -> float
+(** Time for [n] scalar operations. *)
+
+val pp : Format.formatter -> t -> unit

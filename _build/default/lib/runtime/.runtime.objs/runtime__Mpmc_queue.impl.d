@@ -1,0 +1,1 @@
+lib/runtime/mpmc_queue.ml: Condition Mutex Queue

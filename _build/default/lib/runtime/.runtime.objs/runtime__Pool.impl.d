@@ -1,0 +1,1 @@
+lib/runtime/pool.ml: Array Atomic Backoff Condition Domain Mpmc_queue Mutex Printexc Ws_deque Xoshiro

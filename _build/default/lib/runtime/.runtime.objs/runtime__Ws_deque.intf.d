@@ -1,0 +1,1 @@
+lib/runtime/ws_deque.mli:

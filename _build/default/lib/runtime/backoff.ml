@@ -1,0 +1,17 @@
+(* Exponential backoff for spin loops.
+
+   Each [once] spins for the current number of [Domain.cpu_relax] rounds and
+   doubles the round count up to [max].  Keeping the counter per call site
+   (rather than global) avoids cache-line ping-pong between domains. *)
+
+type t = { mutable rounds : int; max_rounds : int }
+
+let create ?(max_rounds = 1 lsl 10) () = { rounds = 1; max_rounds }
+
+let reset t = t.rounds <- 1
+
+let once t =
+  for _ = 1 to t.rounds do
+    Domain.cpu_relax ()
+  done;
+  if t.rounds < t.max_rounds then t.rounds <- t.rounds * 2

@@ -1,0 +1,15 @@
+(** Exponential backoff for spin loops on multicore. *)
+
+type t
+(** Mutable backoff state; use one per waiting site, not shared between
+    domains. *)
+
+val create : ?max_rounds:int -> unit -> t
+(** [create ()] returns a fresh backoff whose spin rounds double on every
+    {!once} up to [max_rounds] (default [2{^10}]). *)
+
+val once : t -> unit
+(** Spin for the current number of rounds and escalate. *)
+
+val reset : t -> unit
+(** Return to the initial (shortest) spin. *)

@@ -1,0 +1,13 @@
+(** Reusable sense-reversing barrier for a fixed number of parties. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a barrier for [n] parties.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val await : t -> unit
+(** Block until all [n] parties have called {!await}; then all are released
+    and the barrier is ready for the next phase. *)
+
+val parties : t -> int

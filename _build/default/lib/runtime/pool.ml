@@ -1,0 +1,272 @@
+(* Work-stealing domain pool.
+
+   Architecture: one spawned domain per worker, each owning a Chase-Lev
+   deque.  Tasks submitted from inside a worker go to its own deque (LIFO,
+   depth-first, cache-friendly); tasks submitted from outside go to a shared
+   injection queue.  Idle workers steal from victims chosen by a per-worker
+   PRNG, then fall back to the injection queue, then sleep on a condition
+   variable.  [await] never blocks the thread: it *helps* by running other
+   tasks until its promise resolves, so nested fork/join cannot deadlock.
+
+   Wakeup protocol: a submitter signals the condition variable only when the
+   sleeper count is non-zero.  A worker that decides to sleep increments the
+   sleeper count and re-checks for work while holding the mutex, which
+   closes the lost-wakeup race (a concurrent submitter either sees the
+   sleeper count and blocks on the same mutex, or published its task before
+   the re-check). *)
+
+type task = unit -> unit
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a promise = 'a state Atomic.t
+
+type worker = { wid : int; deque : task Ws_deque.t; rng : Xoshiro.t }
+
+type t = {
+  pool_id : int;
+  workers : worker array;
+  mutable domains : unit Domain.t array;
+  inject : task Mpmc_queue.t;
+  alive : bool Atomic.t;
+  sleepers : int Atomic.t;
+  sleep_mutex : Mutex.t;
+  sleep_cond : Condition.t;
+}
+
+let next_pool_id = Atomic.make 0
+
+(* Which worker of which pool the current domain is, if any. *)
+let current_worker_key : (int * worker) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let num_workers t = Array.length t.workers
+
+let my_worker t =
+  match Domain.DLS.get current_worker_key with
+  | Some (pid, w) when pid = t.pool_id -> Some w
+  | Some _ | None -> None
+
+let maybe_wake t =
+  if Atomic.get t.sleepers > 0 then begin
+    Mutex.lock t.sleep_mutex;
+    Condition.broadcast t.sleep_cond;
+    Mutex.unlock t.sleep_mutex
+  end
+
+let wake_all t =
+  Mutex.lock t.sleep_mutex;
+  Condition.broadcast t.sleep_cond;
+  Mutex.unlock t.sleep_mutex
+
+let schedule t task =
+  (match my_worker t with
+  | Some w -> Ws_deque.push w.deque task
+  | None -> Mpmc_queue.push t.inject task);
+  maybe_wake t
+
+(* Try to obtain one runnable task.  [w] is the calling worker, if any. *)
+let find_task t (w : worker option) : task option =
+  let n = Array.length t.workers in
+  let try_pop_own () =
+    match w with
+    | Some w -> ( match Ws_deque.pop w.deque with t' -> Some t' | exception Ws_deque.Empty -> None)
+    | None -> None
+  in
+  let try_inject () = Mpmc_queue.try_pop t.inject in
+  let try_steal () =
+    if n = 0 then None
+    else begin
+      let self = match w with Some w -> w.wid | None -> -1 in
+      let start =
+        match w with Some w -> Xoshiro.int w.rng (max 1 n) | None -> 0
+      in
+      let rec scan i =
+        if i >= n then None
+        else begin
+          let victim = (start + i) mod n in
+          if victim = self then scan (i + 1)
+          else
+            match Ws_deque.steal t.workers.(victim).deque with
+            | task -> Some task
+            | exception Ws_deque.Empty -> scan (i + 1)
+        end
+      in
+      scan 0
+    end
+  in
+  match try_pop_own () with
+  | Some _ as r -> r
+  | None -> ( match try_inject () with Some _ as r -> r | None -> try_steal ())
+
+let has_work t =
+  (not (Mpmc_queue.is_empty t.inject))
+  || Array.exists (fun w -> not (Ws_deque.is_empty w.deque)) t.workers
+
+let run_task task =
+  (* Individual task exceptions are captured inside promise-wrapping; a bare
+     task that raises would otherwise kill its worker domain, so guard. *)
+  try task () with _ -> ()
+
+let sleep t =
+  Mutex.lock t.sleep_mutex;
+  Atomic.incr t.sleepers;
+  if Atomic.get t.alive && not (has_work t) then Condition.wait t.sleep_cond t.sleep_mutex;
+  Atomic.decr t.sleepers;
+  Mutex.unlock t.sleep_mutex
+
+let worker_loop t w () =
+  Domain.DLS.set current_worker_key (Some (t.pool_id, w));
+  let backoff = Backoff.create ~max_rounds:64 () in
+  let rec loop () =
+    if Atomic.get t.alive then begin
+      match find_task t (Some w) with
+      | Some task ->
+          Backoff.reset backoff;
+          run_task task;
+          loop ()
+      | None ->
+          (* Spin briefly before sleeping: tasks usually arrive in bursts. *)
+          Backoff.once backoff;
+          (match find_task t (Some w) with
+          | Some task ->
+              Backoff.reset backoff;
+              run_task task
+          | None -> sleep t);
+          loop ()
+    end
+  in
+  loop ()
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | Some n ->
+        if n < 0 then invalid_arg "Pool.create: num_domains must be >= 0";
+        n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool_id = Atomic.fetch_and_add next_pool_id 1 in
+  let workers =
+    Array.init n (fun wid ->
+        { wid; deque = Ws_deque.create (); rng = Xoshiro.of_seed ((pool_id * 8191) + wid) })
+  in
+  let t =
+    {
+      pool_id;
+      workers;
+      domains = [||];
+      inject = Mpmc_queue.create ();
+      alive = Atomic.make true;
+      sleepers = Atomic.make 0;
+      sleep_mutex = Mutex.create ();
+      sleep_cond = Condition.create ();
+    }
+  in
+  t.domains <- Array.map (fun w -> Domain.spawn (worker_loop t w)) workers;
+  t
+
+let teardown t =
+  if Atomic.get t.alive then begin
+    Atomic.set t.alive false;
+    wake_all t;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let async t f =
+  if not (Atomic.get t.alive) then invalid_arg "Pool.async: pool is shut down";
+  let p : 'a promise = Atomic.make Pending in
+  let task () =
+    match f () with
+    | v -> Atomic.set p (Done v)
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Atomic.set p (Failed (e, bt))
+  in
+  schedule t task;
+  p
+
+let rec await t p =
+  match Atomic.get p with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending ->
+      (match find_task t (my_worker t) with
+      | Some task -> run_task task
+      | None -> Domain.cpu_relax ());
+      await t p
+
+let run t f =
+  let p = async t f in
+  await t p
+
+let default_grain t n = max 1 (n / (8 * max 1 (num_workers t)))
+
+let parallel_for ?grain t ~lo ~hi body =
+  let grain = match grain with Some g -> max 1 g | None -> default_grain t (hi - lo) in
+  let rec go lo hi =
+    if hi - lo <= grain then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let right = async t (fun () -> go mid hi) in
+      go lo mid;
+      await t right
+    end
+  in
+  if hi > lo then go lo hi
+
+let parallel_for_reduce ?grain t ~lo ~hi ~body ~combine ~init =
+  let grain = match grain with Some g -> max 1 g | None -> default_grain t (hi - lo) in
+  let rec go lo hi =
+    if hi - lo <= grain then begin
+      let acc = ref init in
+      for i = lo to hi - 1 do
+        acc := combine !acc (body i)
+      done;
+      !acc
+    end
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let right = async t (fun () -> go mid hi) in
+      let left = go lo mid in
+      combine left (await t right)
+    end
+  in
+  if hi <= lo then init else go lo hi
+
+let map_array ?grain t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let first = f a.(0) in
+    let out = Array.make n first in
+    parallel_for ?grain t ~lo:1 ~hi:n (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+let mapi_array ?grain t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let first = f 0 a.(0) in
+    let out = Array.make n first in
+    parallel_for ?grain t ~lo:1 ~hi:n (fun i -> out.(i) <- f i a.(i));
+    out
+  end
+
+let init_array ?grain t n f =
+  if n = 0 then [||]
+  else if n < 0 then invalid_arg "Pool.init_array: negative length"
+  else begin
+    let first = f 0 in
+    let out = Array.make n first in
+    parallel_for ?grain t ~lo:1 ~hi:n (fun i -> out.(i) <- f i);
+    out
+  end

@@ -1,0 +1,50 @@
+(** Work-stealing domain pool: fork/join futures and parallel loops.
+
+    The pool spawns one domain per worker. {!async} from inside a worker
+    pushes onto that worker's own deque; from outside it goes to a shared
+    injection queue. {!await} helps (runs other tasks) instead of blocking,
+    so arbitrarily nested fork/join never deadlocks. *)
+
+type t
+
+type 'a promise
+
+val create : ?num_domains:int -> unit -> t
+(** [create ~num_domains ()] spawns [num_domains] worker domains (default:
+    [Domain.recommended_domain_count () - 1], at least 1). [num_domains = 0]
+    is allowed: all work then runs in the callers' {!await} loops. *)
+
+val teardown : t -> unit
+(** Stop and join all workers. Idempotent. Submissions after teardown raise
+    [Invalid_argument]. *)
+
+val num_workers : t -> int
+
+val async : t -> (unit -> 'a) -> 'a promise
+(** Submit a task; exceptions are captured and re-raised at {!await}. *)
+
+val await : t -> 'a promise -> 'a
+(** Wait for a promise, executing other pool tasks meanwhile. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] = [await t (async t f)]. *)
+
+val parallel_for : ?grain:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Evaluate [body i] for [lo <= i < hi] in parallel by recursive halving;
+    chunks of at most [grain] run sequentially. *)
+
+val parallel_for_reduce :
+  ?grain:int ->
+  t ->
+  lo:int ->
+  hi:int ->
+  body:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  'a
+(** Parallel map-reduce over an index range. [combine] must be associative
+    with identity [init] for a deterministic result. *)
+
+val map_array : ?grain:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+val mapi_array : ?grain:int -> t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val init_array : ?grain:int -> t -> int -> (int -> 'a) -> 'a array

@@ -1,0 +1,89 @@
+(* Chase-Lev work-stealing deque.
+
+   Single-owner [push]/[pop] at the bottom, concurrent [steal] at the top.
+   The classic algorithm (Chase & Lev, SPAA'05; Le et al., PPoPP'13) adapted
+   to OCaml 5's sequentially-consistent [Atomic] operations, following the
+   structure used by domainslib.
+
+   The element buffer is an [Obj.t array] so that the deque is polymorphic
+   without risking float-array unboxing surprises; [Obj.repr]/[Obj.obj] only
+   ever cross the module boundary in matched pairs, so this is safe. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buffer : Obj.t array Atomic.t;
+  (* The buffer is grow-only and always a power of two; [top]/[bottom] are
+     monotonically increasing virtual indices into the circular buffer. *)
+}
+
+exception Empty
+
+let min_capacity = 16
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buffer = Atomic.make (Array.make min_capacity (Obj.repr ()));
+  }
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+let is_empty t = size t = 0
+
+let grow t buf b tp =
+  let n = Array.length buf in
+  let buf' = Array.make (n * 2) (Obj.repr ()) in
+  for i = tp to b - 1 do
+    buf'.(i land (2 * n - 1)) <- buf.(i land (n - 1))
+  done;
+  Atomic.set t.buffer buf';
+  buf'
+
+(* Owner only. *)
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buffer in
+  let n = Array.length buf in
+  let buf = if b - tp >= n then grow t buf b tp else buf in
+  buf.(b land (Array.length buf - 1)) <- Obj.repr x;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner only. *)
+let pop : 'a t -> 'a =
+ fun t ->
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Deque was empty; restore the canonical empty shape. *)
+    Atomic.set t.bottom tp;
+    raise Empty
+  end
+  else begin
+    let buf = Atomic.get t.buffer in
+    let x : 'a = Obj.obj buf.(b land (Array.length buf - 1)) in
+    if b > tp then x
+    else begin
+      (* Last element: race with thieves via CAS on [top]. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then x else raise Empty
+    end
+  end
+
+(* Any domain. *)
+let steal : 'a t -> 'a =
+ fun t ->
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then raise Empty
+  else begin
+    let buf = Atomic.get t.buffer in
+    let x : 'a = Obj.obj buf.(tp land (Array.length buf - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else raise Empty
+  end

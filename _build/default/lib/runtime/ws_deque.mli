@@ -1,0 +1,27 @@
+(** Chase–Lev work-stealing deque.
+
+    The owning domain pushes and pops at the bottom (LIFO, cache-friendly);
+    other domains steal from the top (FIFO, oldest task first). All
+    operations are lock-free. *)
+
+type 'a t
+
+exception Empty
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a
+(** Owner only. Most recently pushed element. @raise Empty if none, or if a
+    thief won the race for the last element. *)
+
+val steal : 'a t -> 'a
+(** Any domain. Oldest element. @raise Empty if none or on a lost race
+    (callers should retry elsewhere rather than spin here). *)
+
+val size : 'a t -> int
+(** Snapshot estimate; exact only when quiescent. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,84 @@
+(* Splittable xoshiro256** pseudo-random generator.
+
+   Deterministic parallel workload generation needs a generator that can be
+   split into statistically independent streams: each task derives its own
+   stream from its parent, so results do not depend on scheduling order.
+   State initialisation and splitting go through splitmix64, as recommended
+   by the xoshiro authors. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let splitmix64_next state =
+  state := Int64.add !state golden_gamma;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  (* All-zero state is the one invalid state; seed 0 cannot produce it
+     because splitmix64 is a bijection chain, but guard anyway. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
+  else { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a child stream by reseeding a splitmix chain from fresh output:
+     the child state is decorrelated from the parent's subsequent outputs. *)
+  let st = ref (next_int64 t) in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
+  else { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+(* 62 non-negative bits *)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec draw () =
+    let r = bits t in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
+
+let float t bound =
+  let r = Int64.shift_right_logical (next_int64 t) 11 in
+  (* 53 bits -> [0,1) *)
+  Int64.to_float r *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let int_array t ~len ~bound = Array.init len (fun _ -> int t bound)
+
+let float_array t ~len ~bound = Array.init len (fun _ -> float t bound)

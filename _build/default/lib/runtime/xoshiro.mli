@@ -1,0 +1,35 @@
+(** Splittable xoshiro256** PRNG for deterministic parallel workloads.
+
+    Unlike [Random.State], a stream can be {!split} into a statistically
+    independent child stream, so parallel tasks can each own a generator
+    derived deterministically from the task tree rather than from the
+    scheduling order. *)
+
+type t
+(** Mutable generator state. Not thread-safe: give each domain/task its own
+    (use {!split}). *)
+
+val of_seed : int -> t
+(** Deterministic state from an integer seed (expanded via splitmix64). *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a fresh generator whose stream is
+    independent of [t]'s subsequent output. *)
+
+val copy : t -> t
+(** Snapshot of the current state. *)
+
+val next_int64 : t -> int64
+(** Raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; rejection-sampled, no modulo
+    bias. Raises [Invalid_argument] if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)] with 53 bits of precision. *)
+
+val bool : t -> bool
+
+val int_array : t -> len:int -> bound:int -> int array
+val float_array : t -> len:int -> bound:float -> float array

@@ -1,0 +1,1 @@
+lib/scl_sim/control.ml: Comm Float Machine

@@ -1,0 +1,1 @@
+lib/scl_sim/control.mli: Comm Machine

@@ -1,0 +1,1 @@
+lib/scl_sim/dmat.ml: Array Comm Float Kernels Machine Option Sim

@@ -1,0 +1,1 @@
+lib/scl_sim/dmat.mli: Comm Machine

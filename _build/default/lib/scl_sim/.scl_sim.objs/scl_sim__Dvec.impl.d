@@ -1,0 +1,1 @@
+lib/scl_sim/dvec.ml: Array Comm Hashtbl Kernels List Machine Option Scl Sim

@@ -1,0 +1,1 @@
+lib/scl_sim/dvec.mli: Comm Machine

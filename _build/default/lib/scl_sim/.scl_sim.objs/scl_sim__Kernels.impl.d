@@ -1,0 +1,1 @@
+lib/scl_sim/kernels.ml: Float

@@ -1,0 +1,1 @@
+lib/scl_sim/spmd.ml: Comm Cost_model Machine Sim Topology

@@ -1,0 +1,1 @@
+lib/scl_sim/spmd.mli: Comm Cost_model Machine Sim Topology Trace

@@ -1,0 +1,40 @@
+(* Operation-count estimates for the sequential base-language kernels.
+
+   The paper instantiates skeletons with sequential Fortran/C procedures;
+   on the simulator, running the real OCaml kernel gives the *values* while
+   these estimates give the *charged time* (operation count x the cost
+   model's scalar rate).  Constants approximate instructions per element of
+   straightforward scalar implementations on the AP1000's SPARC cells. *)
+
+let log2f n = if n <= 1 then 1.0 else Float.log2 (float_of_int n)
+
+let sort_flops n =
+  (* quicksort: ~15 instructions per comparison step, n log2 n steps *)
+  if n <= 1 then 1 else int_of_float (15.0 *. float_of_int n *. log2f n)
+
+let merge_flops n =
+  (* two-way merge producing n elements: ~8 instructions each *)
+  8 * max 1 n
+
+let binary_search_flops n = if n <= 1 then 2 else 10 * int_of_float (log2f n)
+
+let median_flops = 5
+(* middle element of an already-sorted array *)
+
+let partial_pivot_flops n =
+  (* scan a column of length n for the max absolute value *)
+  4 * max 1 n
+
+let column_update_flops n =
+  (* axpy-style elimination update of a column of length n *)
+  6 * max 1 n
+
+let matmul_flops n =
+  (* n^3 multiply-adds, 2 flops each *)
+  2 * n * n * n
+
+let stencil_flops n =
+  (* 5-point Jacobi relaxation: ~6 flops per point *)
+  6 * max 1 n
+
+let copy_flops n = max 1 n

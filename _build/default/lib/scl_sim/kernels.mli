@@ -1,0 +1,20 @@
+(** Operation-count estimates used to charge simulated time for the
+    sequential base-language kernels (values are computed by real OCaml
+    code; time is charged from these counts at the cost model's scalar
+    rate). *)
+
+val sort_flops : int -> int
+(** Comparison sort of [n] elements (~15·n·log₂ n). *)
+
+val merge_flops : int -> int
+(** Two-way merge producing [n] elements. *)
+
+val binary_search_flops : int -> int
+val median_flops : int
+val partial_pivot_flops : int -> int
+val column_update_flops : int -> int
+val matmul_flops : int -> int
+(** Dense [n×n] multiply (2n³). *)
+
+val stencil_flops : int -> int
+val copy_flops : int -> int

@@ -1,0 +1,16 @@
+(* Convenience runner for SPMD skeleton programs on the simulated machine. *)
+
+open Machine
+
+let default_topology procs =
+  if Topology.is_power_of_two procs then Topology.Hypercube else Topology.Complete
+
+let run ?trace ?(cost = Cost_model.ap1000) ?topology ~procs (program : Comm.t -> unit) :
+    Sim.stats =
+  let topology = match topology with Some t -> t | None -> default_topology procs in
+  Sim.run ?trace { Sim.procs; topology; cost } (fun ctx -> program (Comm.world ctx))
+
+let run_collect ?trace ?(cost = Cost_model.ap1000) ?topology ~procs
+    (program : Comm.t -> 'a option) : 'a * Sim.stats =
+  let topology = match topology with Some t -> t | None -> default_topology procs in
+  Sim.run_collect ?trace { Sim.procs; topology; cost } (fun ctx -> program (Comm.world ctx))

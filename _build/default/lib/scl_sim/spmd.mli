@@ -1,0 +1,26 @@
+(** Run SPMD skeleton programs on the simulated machine. *)
+
+open Machine
+
+val default_topology : int -> Topology.t
+(** Hypercube when the processor count is a power of two, else complete. *)
+
+val run :
+  ?trace:Trace.t ->
+  ?cost:Cost_model.t ->
+  ?topology:Topology.t ->
+  procs:int ->
+  (Comm.t -> unit) ->
+  Sim.stats
+(** Run the program on every processor with a world communicator; the cost
+    model defaults to the AP1000 calibration. *)
+
+val run_collect :
+  ?trace:Trace.t ->
+  ?cost:Cost_model.t ->
+  ?topology:Topology.t ->
+  procs:int ->
+  (Comm.t -> 'a option) ->
+  'a * Sim.stats
+(** Like {!run} for programs that produce a value at (at least) one
+    processor. *)

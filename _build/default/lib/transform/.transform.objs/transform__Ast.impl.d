@@ -1,0 +1,1 @@
+lib/transform/ast.ml: Array Fmt Fn List Value

@@ -1,0 +1,1 @@
+lib/transform/ast.mli: Fn Format Value

@@ -1,0 +1,1 @@
+lib/transform/codegen.ml: Ast Buffer Fn Printf String

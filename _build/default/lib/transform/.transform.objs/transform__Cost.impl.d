@@ -1,0 +1,1 @@
+lib/transform/cost.ml: Ast Cost_model Fn Machine

@@ -1,0 +1,1 @@
+lib/transform/cost.mli: Ast Machine

@@ -1,0 +1,1 @@
+lib/transform/fn.ml: Fun Printf Value

@@ -1,0 +1,1 @@
+lib/transform/fn.mli: Value

@@ -1,0 +1,1 @@
+lib/transform/optimizer.ml: Ast Cost Float Fmt Machine Rewrite Rules

@@ -1,0 +1,1 @@
+lib/transform/optimizer.mli: Ast Format Machine Rewrite Rules

@@ -1,0 +1,1 @@
+lib/transform/parser.ml: Ast Fn List Option Printf String

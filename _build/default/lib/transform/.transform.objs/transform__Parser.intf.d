@@ -1,0 +1,1 @@
+lib/transform/parser.mli: Ast

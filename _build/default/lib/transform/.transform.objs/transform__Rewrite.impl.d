@@ -1,0 +1,1 @@
+lib/transform/rewrite.ml: Ast Fmt List Rules

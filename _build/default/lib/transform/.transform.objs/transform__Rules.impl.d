@@ -1,0 +1,1 @@
+lib/transform/rules.ml: Ast Fn

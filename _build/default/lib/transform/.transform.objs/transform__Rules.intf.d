@@ -1,0 +1,1 @@
+lib/transform/rules.mli: Ast

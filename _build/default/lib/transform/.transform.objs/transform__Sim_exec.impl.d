@@ -1,0 +1,1 @@
+lib/transform/sim_exec.ml: Array Ast Comm Cost_model Fn Machine Option Scl_sim Sim Value

@@ -1,0 +1,1 @@
+lib/transform/sim_exec.mli: Ast Machine Value

@@ -1,0 +1,1 @@
+lib/transform/value.ml: Array Float Fmt Printf

@@ -1,0 +1,1 @@
+lib/transform/value.mli: Format

@@ -1,0 +1,23 @@
+(** Compile skeleton pipelines to OCaml source over the [Scl_sim.Dvec]
+    templates — the paper's "skeletons as libraries or macros over the base
+    language" implementation route.
+
+    Only parallel forms compile: [Foldr_compose] must first be rewritten by
+    map distribution, and nested parallelism must be flattened — the
+    Section 4 transformations are what make programs compilable. *)
+
+exception Not_compilable of string
+
+val generate : ?name:string -> Ast.expr -> string
+(** OCaml source of a function
+    [val name : ?cost -> procs:int -> int array -> result * Machine.Sim.stats]
+    where the result is [int array] (or [int] if the pipeline ends in a
+    fold). @raise Not_compilable with the reason and the rewrite that
+    would fix it. *)
+
+val generate_host : ?name:string -> Ast.expr -> string
+(** The same pipeline compiled against the host library
+    ([Scl.Elementary] / [Scl.Communication] over [Par_array]) — one AST,
+    two targets. *)
+
+val compilable : Ast.expr -> bool

@@ -1,0 +1,11 @@
+(** Static BSP-style cost model over the skeleton AST: estimated seconds
+    for one application of a pipeline to an n-element ParArray on p
+    processors, in the machine's cost parameters. Used to rank rewrites;
+    the simulator ({!Sim_exec}) is the ground truth. *)
+
+val estimate_pipeline :
+  ?cm:Machine.Cost_model.t -> procs:int -> n:int -> Ast.expr -> float
+(** @raise Invalid_argument if [procs <= 0]. Default cost model: AP1000. *)
+
+val log2_ceil : int -> int
+val ceil_div : int -> int -> int

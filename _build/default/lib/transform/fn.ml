@@ -1,0 +1,81 @@
+(* Named function values carried by the skeleton AST.  Names make rewrite
+   results readable; cost fields feed the cost model; the [assoc] flag
+   gates the rules whose soundness needs associativity. *)
+
+type t = {
+  name : string;
+  cost : int;  (* flops per application *)
+  apply : Value.t -> Value.t;
+}
+
+type t2 = {
+  name2 : string;
+  cost2 : int;
+  assoc : bool;
+  apply2 : Value.t -> Value.t -> Value.t;
+}
+
+(* Index functions for communication skeletons; [n] is the array length so
+   shifts and reversals can be size-aware. *)
+type ifn = {
+  iname : string;
+  iapply : n:int -> int -> int;
+}
+
+let id = { name = "id"; cost = 0; apply = Fun.id }
+
+let compose f g =
+  {
+    name = f.name ^ "." ^ g.name;
+    cost = f.cost + g.cost;
+    apply = (fun v -> f.apply (g.apply v));
+  }
+
+let is_id f = f.name = "id"
+
+(* --- a small standard library of primitives for tests and examples ------ *)
+
+let lift_int name cost f = { name; cost; apply = (fun v -> Value.Int (f (Value.as_int v))) }
+
+let incr = lift_int "incr" 1 (fun x -> x + 1)
+let double = lift_int "double" 1 (fun x -> 2 * x)
+let square = lift_int "square" 1 (fun x -> x * x)
+let negate = lift_int "negate" 1 (fun x -> -x)
+let halve = lift_int "halve" 1 (fun x -> x / 2)
+
+let lift2_int name2 cost2 ~assoc f =
+  {
+    name2;
+    cost2;
+    assoc;
+    apply2 = (fun a b -> Value.Int (f (Value.as_int a) (Value.as_int b)));
+  }
+
+let add = lift2_int "add" 1 ~assoc:true ( + )
+let mul = lift2_int "mul" 1 ~assoc:true ( * )
+let imax = lift2_int "max" 1 ~assoc:true max
+let imin = lift2_int "min" 1 ~assoc:true min
+let sub = lift2_int "sub" 1 ~assoc:false ( - )
+
+(* Index-aware unary function for imap nodes: receives (index, value). *)
+let indexed name2 cost2 f =
+  { name2; cost2; assoc = false; apply2 = (fun i v -> f (Value.as_int i) v) }
+
+let add_index = indexed "add_index" 1 (fun i v -> Value.Int (i + Value.as_int v))
+
+(* --- index functions ------------------------------------------------------ *)
+
+let i_id = { iname = "id"; iapply = (fun ~n:_ i -> i) }
+
+let i_shift k =
+  { iname = Printf.sprintf "shift(%d)" k; iapply = (fun ~n i -> (((i + k) mod n) + n) mod n) }
+
+let i_reverse = { iname = "reverse"; iapply = (fun ~n i -> n - 1 - i) }
+
+let i_compose f g =
+  {
+    iname = f.iname ^ "." ^ g.iname;
+    iapply = (fun ~n i -> f.iapply ~n (g.iapply ~n i));
+  }
+
+let i_is_id f = f.iname = "id"

@@ -1,0 +1,55 @@
+(** Named function values carried by the skeleton AST. Names make rewrite
+    output readable, [cost] feeds the cost model, and [assoc] gates the
+    rules whose soundness requires associativity. *)
+
+type t = {
+  name : string;
+  cost : int;  (** flops per application *)
+  apply : Value.t -> Value.t;
+}
+(** Unary functions (map payloads). *)
+
+type t2 = {
+  name2 : string;
+  cost2 : int;
+  assoc : bool;
+  apply2 : Value.t -> Value.t -> Value.t;
+}
+(** Binary functions (fold/scan payloads) and indexed functions (imap,
+    applied to [(Int index, value)]). *)
+
+type ifn = {
+  iname : string;
+  iapply : n:int -> int -> int;  (** index functions; [n] is the array length *)
+}
+
+val id : t
+val compose : t -> t -> t
+(** [compose f g] applies [g] first; name ["f.g"], cost summed. *)
+
+val is_id : t -> bool
+
+(** {1 Primitive library} *)
+
+val incr : t
+val double : t
+val square : t
+val negate : t
+val halve : t
+val lift_int : string -> int -> (int -> int) -> t
+
+val add : t2
+val mul : t2
+val imax : t2
+val imin : t2
+val sub : t2  (** not associative — exercises the rule guards *)
+
+val add_index : t2
+val indexed : string -> int -> (int -> Value.t -> Value.t) -> t2
+val lift2_int : string -> int -> assoc:bool -> (int -> int -> int) -> t2
+
+val i_id : ifn
+val i_shift : int -> ifn
+val i_reverse : ifn
+val i_compose : ifn -> ifn -> ifn
+val i_is_id : ifn -> bool

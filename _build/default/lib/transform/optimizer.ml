@@ -1,0 +1,25 @@
+(* Cost-guided optimisation: normalise with the rule set, but only keep the
+   final program if the static cost model agrees it is no worse — the
+   compile-time optimisation loop sketched in the paper's Section 4. *)
+
+type report = {
+  input : Ast.expr;
+  output : Ast.expr;
+  steps : Rewrite.step list;
+  cost_before : float;
+  cost_after : float;
+}
+
+let optimize ?(cm = Machine.Cost_model.ap1000) ?(procs = 16) ?(n = 1 lsl 16)
+    ?(rules = Rules.default) (e : Ast.expr) : report =
+  let cost_before = Cost.estimate_pipeline ~cm ~procs ~n e in
+  let e', steps = Rewrite.normalize ~rules e in
+  let cost_after = Cost.estimate_pipeline ~cm ~procs ~n e' in
+  if cost_after <= cost_before then { input = e; output = e'; steps; cost_before; cost_after }
+  else { input = e; output = e; steps = []; cost_before; cost_after = cost_before }
+
+let speedup r = if r.cost_after > 0.0 then r.cost_before /. r.cost_after else Float.infinity
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>input : %a@ output: %a@ est. cost %.3g s -> %.3g s (x%.2f)@ %a@]" Ast.pp
+    r.input Ast.pp r.output r.cost_before r.cost_after (speedup r) Rewrite.pp_derivation r.steps

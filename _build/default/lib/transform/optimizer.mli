@@ -1,0 +1,21 @@
+(** Cost-guided optimisation: normalise with a rule set and keep the result
+    only if the static cost model agrees it is no worse. *)
+
+type report = {
+  input : Ast.expr;
+  output : Ast.expr;
+  steps : Rewrite.step list;
+  cost_before : float;
+  cost_after : float;
+}
+
+val optimize :
+  ?cm:Machine.Cost_model.t ->
+  ?procs:int ->
+  ?n:int ->
+  ?rules:Rules.rule list ->
+  Ast.expr ->
+  report
+
+val speedup : report -> float
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,289 @@
+(* A small concrete syntax for skeleton pipelines, so transformations can
+   be driven from the command line — the miniature of the paper's planned
+   FortranS front end (SCL as the coordination layer of a textual
+   language).
+
+   Grammar (whitespace-separated tokens; composition is right-to-left, as
+   in the paper and in Ast.pp):
+
+     pipeline := stage ( '.' stage )*
+     stage    := 'id'
+               | 'map' FN | 'imap' FN2 | 'fold' FN2 | 'scan' FN2
+               | 'foldr' FN2 FN                      (the map-distribution source)
+               | 'send' IFN | 'fetch' IFN | 'rotate' INT
+               | 'split' INT | 'combine'
+               | 'mapn' '[' pipeline ']'             (nested groups)
+               | 'iter' INT '[' pipeline ']'
+     FN  := incr | double | square | negate | halve | id
+     FN2 := add | mul | max | min | sub | add_index
+     IFN := id | reverse | shift:INT
+
+   [to_source] prints an expression back in this syntax; [parse] of that
+   output reconstructs the expression (property-tested round-trip) as long
+   as every function is a named primitive (fused functions like
+   "incr.double" are only printable, not re-parseable). *)
+
+type error = { position : int; message : string }
+
+exception Parse_error of error
+
+let fail position fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { position; message })) fmt
+
+(* --- registries ------------------------------------------------------------- *)
+
+let fns1 = [ Fn.incr; Fn.double; Fn.square; Fn.negate; Fn.halve; Fn.id ]
+let fns2 = [ Fn.add; Fn.mul; Fn.imax; Fn.imin; Fn.sub; Fn.add_index ]
+
+let lookup1 name = List.find_opt (fun (f : Fn.t) -> f.name = name) fns1
+let lookup2 name = List.find_opt (fun (f : Fn.t2) -> f.name2 = name) fns2
+
+let lookup_ifn pos name =
+  match name with
+  | "id" -> Some Fn.i_id
+  | "reverse" -> Some Fn.i_reverse
+  | _ -> (
+      match String.index_opt name ':' with
+      | Some i when String.sub name 0 i = "shift" -> (
+          let arg = String.sub name (i + 1) (String.length name - i - 1) in
+          match int_of_string_opt arg with
+          | Some k -> Some (Fn.i_shift k)
+          | None -> fail pos "shift expects an integer, got %S" arg)
+      | Some _ | None -> None)
+
+(* --- lexer -------------------------------------------------------------------- *)
+
+type token = { text : string; pos : int }
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '[' || c = ']' || c = '.' then begin
+      out := { text = String.make 1 c; pos = !i } :: !out;
+      incr i
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        && not (List.mem src.[!i] [ ' '; '\t'; '\n'; '['; ']' ])
+        (* '.' only breaks a word when it is a separator; inside words it
+           never appears in this grammar, so always break *)
+        && src.[!i] <> '.'
+      do
+        incr i
+      done;
+      out := { text = String.sub src start (!i - start); pos = start } :: !out
+    end
+  done;
+  List.rev !out
+
+(* --- parser -------------------------------------------------------------------- *)
+
+let int_arg keyword = function
+  | { text; pos } :: rest -> (
+      match int_of_string_opt text with
+      | Some k -> (k, rest)
+      | None -> fail pos "%s expects an integer, got %S" keyword text)
+  | [] -> fail 0 "%s expects an integer, got end of input" keyword
+
+let name_arg keyword = function
+  | { text; pos } :: rest -> (text, pos, rest)
+  | [] -> fail 0 "%s expects a function name, got end of input" keyword
+
+let rec parse_pipeline env tokens : Ast.expr * token list =
+  (* stages in source order are in composition order (rightmost applied
+     first), i.e. the reverse of application order *)
+  let first, rest = parse_stage env tokens in
+  let rec more acc = function
+    | { text = "."; _ } :: rest ->
+        let stage, rest = parse_stage env rest in
+        more (Ast.Compose (acc, stage)) rest
+    | rest -> (acc, rest)
+  in
+  more first rest
+
+and parse_stage env tokens : Ast.expr * token list =
+  match tokens with
+  | [] -> fail 0 "expected a skeleton, got end of input"
+  | { text = "]"; pos } :: _ -> fail pos "expected a skeleton, got ']'"
+  | { text = "."; pos } :: _ -> fail pos "expected a skeleton, got '.'"
+  | { text = "["; pos } :: _ -> fail pos "expected a skeleton, got '['"
+  | { text; pos } :: rest -> (
+      match text with
+      | "id" -> (Ast.Id, rest)
+      | "combine" -> (Ast.Combine, rest)
+      | "rotate" ->
+          let k, rest = int_arg "rotate" rest in
+          (Ast.Rotate k, rest)
+      | "split" ->
+          let p, rest = int_arg "split" rest in
+          if p <= 0 then fail pos "split expects a positive part count, got %d" p;
+          (Ast.Split p, rest)
+      | "map" ->
+          let name, npos, rest = name_arg "map" rest in
+          (match lookup1 name with
+          | Some f -> (Ast.Map f, rest)
+          | None -> fail npos "unknown unary function %S" name)
+      | "imap" ->
+          let name, npos, rest = name_arg "imap" rest in
+          (match lookup2 name with
+          | Some f -> (Ast.Imap f, rest)
+          | None -> fail npos "unknown indexed function %S" name)
+      | "fold" ->
+          let name, npos, rest = name_arg "fold" rest in
+          (match lookup2 name with
+          | Some f -> (Ast.Fold f, rest)
+          | None -> fail npos "unknown binary function %S" name)
+      | "scan" ->
+          let name, npos, rest = name_arg "scan" rest in
+          (match lookup2 name with
+          | Some f -> (Ast.Scan f, rest)
+          | None -> fail npos "unknown binary function %S" name)
+      | "foldr" ->
+          let n2, p2, rest = name_arg "foldr" rest in
+          let n1, p1, rest = name_arg "foldr" rest in
+          let f =
+            match lookup2 n2 with
+            | Some f -> f
+            | None -> fail p2 "unknown binary function %S" n2
+          in
+          let g =
+            match lookup1 n1 with
+            | Some g -> g
+            | None -> fail p1 "unknown unary function %S" n1
+          in
+          (Ast.Foldr_compose (f, g), rest)
+      | "send" ->
+          let name, npos, rest = name_arg "send" rest in
+          (match lookup_ifn npos name with
+          | Some f -> (Ast.Send f, rest)
+          | None -> fail npos "unknown index function %S" name)
+      | "fetch" ->
+          let name, npos, rest = name_arg "fetch" rest in
+          (match lookup_ifn npos name with
+          | Some f -> (Ast.Fetch f, rest)
+          | None -> fail npos "unknown index function %S" name)
+      | "mapn" ->
+          let body, rest = parse_bracketed env pos rest in
+          (Ast.Map_nested body, rest)
+      | "iter" ->
+          let k, rest = int_arg "iter" rest in
+          if k < 0 then fail pos "iter expects a non-negative count, got %d" k;
+          let body, rest = parse_bracketed env pos rest in
+          (Ast.Iter_for (k, body), rest)
+      | other -> (
+          (* a reference to an earlier let-definition is inlined *)
+          match List.assoc_opt other env with
+          | Some e -> (e, rest)
+          | None -> fail pos "unknown skeleton %S" other))
+
+and parse_bracketed env pos tokens : Ast.expr * token list =
+  match tokens with
+  | { text = "["; _ } :: rest -> (
+      let body, rest = parse_pipeline env rest in
+      match rest with
+      | { text = "]"; _ } :: rest -> (body, rest)
+      | { pos; _ } :: _ -> fail pos "expected ']'"
+      | [] -> fail pos "unclosed '['")
+  | { pos; _ } :: _ -> fail pos "expected '['"
+  | [] -> fail pos "expected '[', got end of input"
+
+let parse (src : string) : (Ast.expr, error) result =
+  match tokenize src with
+  | [] -> Error { position = 0; message = "empty pipeline" }
+  | tokens -> (
+      try
+        let e, rest = parse_pipeline [] tokens in
+        match rest with
+        | [] -> Ok e
+        | { text; pos } :: _ -> Error { position = pos; message = Printf.sprintf "trailing %S" text }
+      with Parse_error e -> Error e)
+
+(* --- programs: sequences of let-definitions ----------------------------------
+
+     let stagea = map incr . rotate 2
+     let main = fold add . stagea . stagea
+
+   References resolve against *earlier* definitions only (no recursion);
+   each reference is inlined at parse time, so the result of every
+   definition is a plain pipeline. *)
+
+let parse_program (src : string) : ((string * Ast.expr) list, error) result =
+  let keywords =
+    [ "let"; "="; "id"; "combine"; "rotate"; "split"; "map"; "imap"; "fold"; "scan"; "foldr";
+      "send"; "fetch"; "mapn"; "iter"; "["; "]"; "." ]
+  in
+  try
+    let rec defs env tokens =
+      match tokens with
+      | [] -> List.rev env
+      | { text = "let"; pos } :: rest -> (
+          match rest with
+          | { text = name; pos = npos } :: { text = "="; _ } :: body ->
+              if List.mem name keywords then fail npos "%S cannot be used as a definition name" name;
+              if List.mem_assoc name env then fail npos "duplicate definition of %S" name;
+              let e, rest = parse_pipeline env body in
+              defs ((name, e) :: env) rest
+          | { text = name; pos = npos } :: _ ->
+              fail npos "expected '=' after definition name %S" name
+          | [] -> fail pos "expected a definition name after 'let'")
+      | { text; pos } :: _ -> fail pos "expected 'let', got %S" text
+    in
+    match tokenize src with
+    | [] -> Error { position = 0; message = "empty program" }
+    | tokens -> Ok (defs [] tokens)
+  with Parse_error e -> Error e
+
+let parse_program_exn src =
+  match parse_program src with
+  | Ok defs -> defs
+  | Error { position; message } ->
+      invalid_arg (Printf.sprintf "Parser.parse_program_exn: at %d: %s" position message)
+
+let parse_exn src =
+  match parse src with
+  | Ok e -> e
+  | Error { position; message } ->
+      invalid_arg (Printf.sprintf "Parser.parse_exn: at %d: %s" position message)
+
+(* --- printer (inverse of parse for registry primitives) ----------------------- *)
+
+let ifn_source (f : Fn.ifn) : string option =
+  match f.Fn.iname with
+  | "id" -> Some "id"
+  | "reverse" -> Some "reverse"
+  | name ->
+      (* shift(k) prints as shift:k *)
+      if String.length name > 6 && String.sub name 0 6 = "shift(" && name.[String.length name - 1] = ')'
+      then Some ("shift:" ^ String.sub name 6 (String.length name - 7))
+      else None
+
+let rec to_source (e : Ast.expr) : string option =
+  let opt_map f o = Option.map f o in
+  match e with
+  | Ast.Id -> Some "id"
+  | Ast.Compose (f, g) -> (
+      match (to_source f, to_source g) with
+      | Some a, Some b -> Some (a ^ " . " ^ b)
+      | _ -> None)
+  | Ast.Map f -> if lookup1 f.Fn.name <> None then Some ("map " ^ f.Fn.name) else None
+  | Ast.Imap f -> if lookup2 f.Fn.name2 <> None then Some ("imap " ^ f.Fn.name2) else None
+  | Ast.Fold f -> if lookup2 f.Fn.name2 <> None then Some ("fold " ^ f.Fn.name2) else None
+  | Ast.Scan f -> if lookup2 f.Fn.name2 <> None then Some ("scan " ^ f.Fn.name2) else None
+  | Ast.Foldr_compose (f, g) ->
+      if lookup2 f.Fn.name2 <> None && lookup1 g.Fn.name <> None then
+        Some (Printf.sprintf "foldr %s %s" f.Fn.name2 g.Fn.name)
+      else None
+  | Ast.Send f -> opt_map (fun s -> "send " ^ s) (ifn_source f)
+  | Ast.Fetch f -> opt_map (fun s -> "fetch " ^ s) (ifn_source f)
+  | Ast.Rotate k -> Some (Printf.sprintf "rotate %d" k)
+  | Ast.Split p -> Some (Printf.sprintf "split %d" p)
+  | Ast.Combine -> Some "combine"
+  | Ast.Map_nested body -> opt_map (fun s -> Printf.sprintf "mapn [ %s ]" s) (to_source body)
+  | Ast.Iter_for (k, body) ->
+      opt_map (fun s -> Printf.sprintf "iter %d [ %s ]" k s) (to_source body)

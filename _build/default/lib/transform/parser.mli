@@ -1,0 +1,35 @@
+(** Concrete syntax for skeleton pipelines — the command-line front end to
+    the transformation engine (the paper's planned FortranS front end in
+    miniature).
+
+    {v
+    pipeline := stage ( '.' stage )*          composition, rightmost first
+    stage    := id | map FN | imap FN2 | fold FN2 | scan FN2
+              | foldr FN2 FN | send IFN | fetch IFN | rotate INT
+              | split INT | combine | mapn '[' pipeline ']'
+              | iter INT '[' pipeline ']'
+    FN  := incr | double | square | negate | halve | id
+    FN2 := add | mul | max | min | sub | add_index
+    IFN := id | reverse | shift:INT
+    v} *)
+
+type error = { position : int; message : string }
+
+exception Parse_error of error
+
+val parse : string -> (Ast.expr, error) result
+val parse_exn : string -> Ast.expr
+(** @raise Invalid_argument with position information. *)
+
+val parse_program : string -> ((string * Ast.expr) list, error) result
+(** A sequence of [let name = pipeline] definitions; a bare name appearing
+    as a stage references an {e earlier} definition and is inlined.
+    Returns the definitions in source order. *)
+
+val parse_program_exn : string -> (string * Ast.expr) list
+
+val to_source : Ast.expr -> string option
+(** Print back in the concrete syntax; [None] if the expression contains
+    functions outside the primitive registry (e.g. fused names).
+    Round-trip: [parse (to_source e) = e] up to composition
+    re-association. *)

@@ -1,0 +1,15 @@
+(** The rewrite engine: drive rules to a fixpoint over the chain view,
+    recursing into nested programs, logging every step. *)
+
+type step = { rule : string; before : string; after : string }
+
+val normalize : ?max_steps:int -> ?rules:Rules.rule list -> Ast.expr -> Ast.expr * step list
+(** Leftmost-position, priority-ordered rule application to fixpoint
+    (default rules: {!Rules.default}; default step cap 1000). Semantics are
+    preserved whenever every rule in the set is sound. *)
+
+val step_once : Rules.rule list -> Ast.expr -> (string * Ast.expr) option
+(** One rewrite step, or [None] at a normal form. *)
+
+val pp_step : Format.formatter -> step -> unit
+val pp_derivation : Format.formatter -> step list -> unit

@@ -1,0 +1,154 @@
+(* The Section 4 transformation rules as executable rewrites.
+
+   Each rule is a local pattern on the chain view of a pipeline (stages in
+   application order); [Rewrite] drives them to a fixpoint.  Soundness of
+   every rule is property-tested in the test suite: evaluating the rewritten
+   program on random inputs must give the evaluation of the original. *)
+
+open Ast
+
+type rule = {
+  rname : string;
+  paper : string;  (* which law of the paper this implements *)
+  apply_at : expr list -> (expr list * int) option;
+      (* Given a chain, either rewrite returning (new chain, consumed
+         prefix length hint) or decline.  Rules only inspect the head of
+         the chain; the engine slides the window. *)
+}
+
+(* Convenience: build a rule from a function on the chain head. *)
+let head_rule rname paper f = { rname; paper; apply_at = f }
+
+(* --- map fusion: map f . map g = map (f . g) ----------------------------- *)
+
+let map_fusion =
+  head_rule "map-fusion" "map f . map g = map (f . g)" (function
+    | Map g :: Map f :: rest ->
+        (* chain order: g applied first, then f; fused fn is f . g *)
+        Some (Map (Fn.compose f g) :: rest, 1)
+    | _ -> None)
+
+(* --- map distribution: foldr (f . g) = fold f . map g (f associative) --- *)
+
+let map_distribution =
+  head_rule "map-distribution" "foldr (f . g) = fold f . map g" (function
+    | Foldr_compose (f, g) :: rest when f.Fn.assoc -> Some (Map g :: Fold f :: rest, 2)
+    | _ -> None)
+
+(* --- communication algebra ------------------------------------------------ *)
+
+let send_fusion =
+  head_rule "send-fusion" "send f . send g = send (f . g)" (function
+    | Send g :: Send f :: rest -> Some (Send (Fn.i_compose f g) :: rest, 1)
+    | _ -> None)
+
+let fetch_fusion =
+  head_rule "fetch-fusion" "fetch f . fetch g = fetch (g . f)" (function
+    | Fetch g :: Fetch f :: rest -> Some (Fetch (Fn.i_compose g f) :: rest, 1)
+    | _ -> None)
+
+let rotate_fusion =
+  head_rule "rotate-fusion" "rotate a . rotate b = rotate (a + b)" (function
+    | Rotate a :: Rotate b :: rest -> Some (Rotate (a + b) :: rest, 1)
+    | _ -> None)
+
+(* rotate k = fetch (shift k), so rotations absorb into adjacent fetches:
+     fetch f . rotate k = fetch (shift k . f)   (z_i = x_{f i + k})
+     rotate k . fetch f = fetch (f . shift k)   (z_i = x_{f (i + k)})  *)
+let rotate_fetch_fusion =
+  head_rule "rotate-fetch-fusion" "fetch f . rotate k = fetch (shift k . f)" (function
+    | Rotate k :: Fetch f :: rest when k <> 0 -> Some (Fetch (Fn.i_compose (Fn.i_shift k) f) :: rest, 1)
+    | Fetch f :: Rotate k :: rest when k <> 0 -> Some (Fetch (Fn.i_compose f (Fn.i_shift k)) :: rest, 1)
+    | _ -> None)
+
+(* --- identity elimination -------------------------------------------------- *)
+
+let identity_elim =
+  head_rule "identity-elimination" "id . f = f = f . id" (function
+    | Id :: rest -> Some (rest, 0)
+    | Map f :: rest when Fn.is_id f -> Some (rest, 0)
+    | Send f :: rest when Fn.i_is_id f -> Some (rest, 0)
+    | Fetch f :: rest when Fn.i_is_id f -> Some (rest, 0)
+    | Rotate 0 :: rest -> Some (rest, 0)
+    | Map_nested Id :: rest -> Some (rest, 0)
+    | Iter_for (0, _) :: rest -> Some (rest, 0)
+    | Iter_for (_, Id) :: rest -> Some (rest, 0)
+    | Iter_for (1, e) :: rest -> Some (to_chain e @ rest, 0)
+    | _ -> None)
+
+(* --- flattening (nested parallelism -> flat data parallelism) ------------- *)
+
+(* combine . split p = id *)
+let split_combine_elim =
+  head_rule "split-combine-elimination" "combine . split p = id" (function
+    | Split _ :: Combine :: rest -> Some (rest, 0)
+    | _ -> None)
+
+(* combine . map (map f) . split p = map f : the segmented global function
+   of a nested map is the flat map itself. *)
+let nested_map_flatten =
+  head_rule "flattening(map)" "combine . map_groups (map f) . split p = map f" (function
+    | Split _ :: Map_nested (Map f) :: Combine :: rest -> Some (Map f :: rest, 1)
+    | _ -> None)
+
+(* fold f . map (fold f) . split p = fold f (f associative): segmented
+   reduction flattens to the flat reduction. *)
+let nested_fold_flatten =
+  head_rule "flattening(fold)" "fold f . map_groups (fold f) . split p = fold f" (function
+    | Split _ :: Map_nested (Fold g) :: Fold f :: rest
+      when f.Fn.assoc && f.Fn.name2 = g.Fn.name2 ->
+        Some (Fold f :: rest, 1)
+    | _ -> None)
+
+(* --- commuting rules --------------------------------------------------------
+   An elementwise map commutes with any index-permutation movement:
+   moving data then transforming it equals transforming then moving.  The
+   engine uses the "move maps earlier" direction only, so chains like
+   [map f; rotate k; map g] normalise to [map f; map g; rotate k] and the
+   maps then fuse.  Termination: each application strictly decreases the
+   sum of map positions in the chain. *)
+
+let commute_map_rotate =
+  head_rule "commute(map,rotate)" "map f . rotate k = rotate k . map f" (function
+    | Rotate k :: Map f :: rest -> Some (Map f :: Rotate k :: rest, 1)
+    | _ -> None)
+
+let commute_map_fetch =
+  head_rule "commute(map,fetch)" "map f . fetch g = fetch g . map f" (function
+    | Fetch g :: Map f :: rest -> Some (Map f :: Fetch g :: rest, 1)
+    | _ -> None)
+
+let commute_map_send =
+  head_rule "commute(map,send)" "map f . send g = send g . map f" (function
+    | Send g :: Map f :: rest -> Some (Map f :: Send g :: rest, 1)
+    | _ -> None)
+
+(* --- iteration unrolling (enables cross-iteration fusion) ----------------- *)
+
+let iter_unroll_limit = 8
+
+let iter_unroll =
+  head_rule "iterFor-unrolling" "iterFor k e = e . ... . e (k copies)" (function
+    | Iter_for (k, body) :: rest when k >= 2 && k <= iter_unroll_limit && size body <= 3 ->
+        let chain = to_chain body in
+        let rec dup n = if n = 0 then [] else chain @ dup (n - 1) in
+        Some (dup k @ rest, 0)
+    | _ -> None)
+
+(* --- rule sets -------------------------------------------------------------- *)
+
+let fusion_rules = [ map_fusion; map_distribution ]
+let communication_rules = [ send_fusion; fetch_fusion; rotate_fusion; rotate_fetch_fusion ]
+let commuting_rules = [ commute_map_rotate; commute_map_fetch; commute_map_send ]
+let flattening_rules = [ split_combine_elim; nested_map_flatten; nested_fold_flatten ]
+let cleanup_rules = [ identity_elim ]
+
+let all =
+  cleanup_rules @ fusion_rules @ communication_rules @ flattening_rules @ commuting_rules
+  @ [ iter_unroll ]
+
+let default = cleanup_rules @ fusion_rules @ communication_rules @ flattening_rules
+
+(* default + commuting: reorders maps ahead of data movement so they fuse
+   across communication steps. *)
+let aggressive = default @ commuting_rules

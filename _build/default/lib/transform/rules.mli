@@ -1,0 +1,71 @@
+(** The paper's Section 4 transformation rules as local rewrites on the
+    chain view of a pipeline. Every rule is property-tested for semantics
+    preservation. *)
+
+type rule = {
+  rname : string;
+  paper : string;  (** the law of the paper this implements *)
+  apply_at : Ast.expr list -> (Ast.expr list * int) option;
+      (** rewrite the head of a chain, or decline *)
+}
+
+(** {1 Individual rules} *)
+
+val map_fusion : rule
+(** map f ∘ map g = map (f ∘ g). *)
+
+val map_distribution : rule
+(** foldr (f ∘ g) = fold f ∘ map g, for associative [f]. *)
+
+val send_fusion : rule
+(** send f ∘ send g = send (f ∘ g). *)
+
+val fetch_fusion : rule
+(** fetch f ∘ fetch g = fetch (g ∘ f). *)
+
+val rotate_fusion : rule
+(** rotate a ∘ rotate b = rotate (a+b). *)
+
+val rotate_fetch_fusion : rule
+(** rotate absorbs into adjacent fetches (rotate k = fetch (shift k)):
+    fetch f ∘ rotate k = fetch (shift k ∘ f);
+    rotate k ∘ fetch f = fetch (f ∘ shift k). *)
+
+val identity_elim : rule
+(** id ∘ f = f = f ∘ id, rotate 0 = id, iterFor 0 = id, etc. *)
+
+val split_combine_elim : rule
+(** combine ∘ split p = id. *)
+
+val nested_map_flatten : rule
+(** combine ∘ map_groups (map f) ∘ split p = map f. *)
+
+val nested_fold_flatten : rule
+(** fold f ∘ map_groups (fold f) ∘ split p = fold f, associative [f]. *)
+
+val commute_map_rotate : rule
+val commute_map_fetch : rule
+val commute_map_send : rule
+(** Elementwise maps commute with index-permutation movements; applied in
+    the "move maps earlier" direction only, so fusion can reach across
+    communication steps. *)
+
+val iter_unroll : rule
+(** Unroll small [iterFor] bodies so cross-iteration fusion can fire. *)
+
+(** {1 Rule sets} *)
+
+val fusion_rules : rule list
+val communication_rules : rule list
+val commuting_rules : rule list
+val flattening_rules : rule list
+val cleanup_rules : rule list
+
+val default : rule list
+(** cleanup + fusion + communication + flattening. *)
+
+val aggressive : rule list
+(** {!default} plus the commuting rules. *)
+
+val all : rule list
+(** Everything, including {!iter_unroll}. *)

@@ -1,0 +1,104 @@
+(* Execute a (flat) skeleton pipeline on the simulated distributed-memory
+   machine, using the Dvec skeleton templates.  This is the ground truth
+   behind the static cost model: the ablation benchmarks run the same
+   pipeline before and after transformation and compare simulated
+   makespans, and the test suite checks the results still agree with the
+   reference interpreter.
+
+   Nested-parallelism nodes (split / combine / map_nested) are not
+   executable here — flatten first; attempting them raises. *)
+
+open Machine
+
+exception Unsupported of string
+
+type state =
+  | V of Value.t Scl_sim.Dvec.t  (* a distributed ParArray *)
+  | S of Value.t  (* a replicated scalar (after fold / foldr) *)
+
+(* The paper's synchronous semantics: the composition point between two
+   skeletons models a barrier synchronisation, so every primitive stage
+   ends with a group barrier.  (This is exactly what map fusion saves.) *)
+let rec exec (comm : Comm.t) (e : Ast.expr) (st : state) : state =
+  match e with
+  | Ast.Id -> st
+  | Ast.Compose (f, g) -> exec comm f (exec comm g st)
+  | _ ->
+      let st' = exec_prim comm e st in
+      Comm.barrier comm;
+      st'
+
+and exec_prim (comm : Comm.t) (e : Ast.expr) (st : state) : state =
+  let ctx = Comm.ctx comm in
+  let the_vec = function
+    | V dv -> dv
+    | S _ -> Value.type_error "pipeline applies an array skeleton to a scalar"
+  in
+  match e with
+  | Ast.Id -> st
+  | Ast.Compose (f, g) -> exec comm f (exec comm g st)
+  | Ast.Map f -> V (Scl_sim.Dvec.map ~flops_per_elem:f.Fn.cost f.Fn.apply (the_vec st))
+  | Ast.Imap f ->
+      V
+        (Scl_sim.Dvec.imap ~flops_per_elem:f.Fn.cost2
+           (fun i x -> f.Fn.apply2 (Value.Int i) x)
+           (the_vec st))
+  | Ast.Fold f -> S (Scl_sim.Dvec.fold ~flops_per_elem:f.Fn.cost2 f.Fn.apply2 (the_vec st))
+  | Ast.Scan f -> V (Scl_sim.Dvec.scan ~flops_per_elem:f.Fn.cost2 f.Fn.apply2 (the_vec st))
+  | Ast.Foldr_compose (f, g) ->
+      (* Inherently sequential: collect everything at the root, compute
+         there, broadcast the result. *)
+      let dv = the_vec st in
+      let all = Scl_sim.Dvec.gather ~root:0 dv in
+      let result =
+        match all with
+        | Some a ->
+            if Array.length a = 0 then Value.type_error "foldr: empty array";
+            Sim.work_flops ctx (Array.length a * (f.Fn.cost2 + g.Fn.cost));
+            let acc = ref (g.Fn.apply a.(Array.length a - 1)) in
+            for i = Array.length a - 2 downto 0 do
+              acc := f.Fn.apply2 (g.Fn.apply a.(i)) !acc
+            done;
+            Some !acc
+        | None -> None
+      in
+      S (Comm.bcast comm ~root:0 result)
+  | Ast.Rotate k -> V (Scl_sim.Dvec.rotate k (the_vec st))
+  | Ast.Fetch f ->
+      let dv = the_vec st in
+      let n = Scl_sim.Dvec.total dv in
+      V (Scl_sim.Dvec.fetch (fun i -> f.Fn.iapply ~n i) dv)
+  | Ast.Send f ->
+      let dv = the_vec st in
+      let n = Scl_sim.Dvec.total dv in
+      let sent = Scl_sim.Dvec.send (fun i -> [ f.Fn.iapply ~n i ]) dv in
+      (* permutation: each slot received exactly one element *)
+      V
+        (Scl_sim.Dvec.map ~flops_per_elem:1
+           (fun arrivals ->
+             match Array.length arrivals with
+             | 1 -> arrivals.(0)
+             | k -> Value.type_error "send: %d arrivals at one site (not a permutation)" k)
+           sent)
+  | Ast.Iter_for (k, body) ->
+      let st = ref st in
+      for _ = 1 to max 0 k do
+        st := exec comm body !st
+      done;
+      !st
+  | Ast.Split _ | Ast.Combine | Ast.Map_nested _ ->
+      raise (Unsupported "nested-parallelism nodes are not executable on the simulator; flatten first")
+
+let run ?(cost = Cost_model.ap1000) ?topology ~procs (e : Ast.expr) (input : Value.t) :
+    Value.t * Sim.stats =
+  let elems = Value.as_arr input in
+  ignore elems;
+  Scl_sim.Spmd.run_collect ?topology ~cost ~procs (fun comm ->
+      let dv =
+        Scl_sim.Dvec.scatter comm ~root:0
+          (if Comm.rank comm = 0 then Some (Value.as_arr input) else None)
+      in
+      let final = exec comm e (V dv) in
+      match final with
+      | V dv -> Scl_sim.Dvec.gather ~root:0 dv |> Option.map (fun a -> Value.Arr a)
+      | S v -> if Comm.rank comm = 0 then Some v else None)

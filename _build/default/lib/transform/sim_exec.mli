@@ -1,0 +1,20 @@
+(** Execute flat skeleton pipelines on the simulated distributed-memory
+    machine via the Dvec templates — the ground truth behind the static
+    cost model. Each primitive stage ends with a group barrier, realising
+    the paper's synchronous composition semantics (which is exactly what
+    fusion saves). *)
+
+exception Unsupported of string
+(** Raised for nested-parallelism nodes (split / combine / map_nested);
+    flatten first. *)
+
+val run :
+  ?cost:Machine.Cost_model.t ->
+  ?topology:Machine.Topology.t ->
+  procs:int ->
+  Ast.expr ->
+  Value.t ->
+  Value.t * Machine.Sim.stats
+(** Scatter the input array, run the pipeline SPMD, gather the result (or
+    return the replicated scalar after a fold). Results equal
+    [Ast.eval e input]. *)

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Comm Cost_model Float Fmt List Machine QCheck QCheck_alcotest Sim String Topology Trace

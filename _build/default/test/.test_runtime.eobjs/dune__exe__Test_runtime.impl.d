@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Barrier Domain Fun List Mpmc_queue Pool Printf QCheck QCheck_alcotest Runtime String Unix Ws_deque Xoshiro

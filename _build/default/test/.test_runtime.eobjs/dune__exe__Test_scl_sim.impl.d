@@ -1,0 +1,1 @@
+test/test_scl_sim.ml: Alcotest Algorithms Array Comm Cost_model Float Fun List Machine Printf QCheck QCheck_alcotest Runtime Scl Scl_sim Sim

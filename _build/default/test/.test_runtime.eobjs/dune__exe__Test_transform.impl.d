@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Ast Codegen Cost Float Fn Fun List Machine Optimizer Parser QCheck QCheck_alcotest Rewrite Rules Sim_exec Sys Transform Value

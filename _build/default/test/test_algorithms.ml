@@ -1,0 +1,903 @@
+(* Tests for the paper's applications: hyperquicksort (three renderings),
+   Gauss–Jordan (host SCL, simulator, sequential baseline), plus the
+   sequential kernels they are built from. *)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+open Algorithms
+
+(* --- sequential kernels ---------------------------------------------------- *)
+
+let prop_quicksort_sorts =
+  qtest "SEQ_QUICKSORT sorts any input"
+    QCheck.(list int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      let sorted = Seq_kernels.quicksort a in
+      let expect = Array.copy a in
+      Array.sort compare expect;
+      sorted = expect)
+
+let test_quicksort_preserves_input () =
+  let a = [| 3; 1; 2 |] in
+  ignore (Seq_kernels.quicksort a);
+  Alcotest.(check (array int)) "input untouched" [| 3; 1; 2 |] a
+
+let test_midvalue () =
+  Alcotest.(check (option int)) "empty" None (Seq_kernels.midvalue [||]);
+  Alcotest.(check (option int)) "odd" (Some 2) (Seq_kernels.midvalue [| 1; 2; 3 |]);
+  Alcotest.(check (option int)) "even picks upper middle" (Some 3) (Seq_kernels.midvalue [| 1; 2; 3; 4 |])
+
+let prop_split_at =
+  qtest "SPLIT: low <= pivot < high, nothing lost"
+    QCheck.(pair (list small_int) small_int)
+    (fun (xs, pivot) ->
+      let a = Seq_kernels.quicksort (Array.of_list xs) in
+      let lo, hi = Seq_kernels.split_at pivot a in
+      Array.for_all (fun x -> x <= pivot) lo
+      && Array.for_all (fun x -> x > pivot) hi
+      && Array.append lo hi = a)
+
+let prop_merge =
+  qtest "MERGE of two sorted arrays is their sorted union"
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (xs, ys) ->
+      let a = Seq_kernels.quicksort (Array.of_list xs) in
+      let b = Seq_kernels.quicksort (Array.of_list ys) in
+      let m = Seq_kernels.merge a b in
+      Seq_kernels.is_sorted m
+      && m = Seq_kernels.quicksort (Array.append a b))
+
+let test_is_sorted () =
+  Alcotest.(check bool) "sorted" true (Seq_kernels.is_sorted [| 1; 2; 2; 5 |]);
+  Alcotest.(check bool) "unsorted" false (Seq_kernels.is_sorted [| 2; 1 |]);
+  Alcotest.(check bool) "empty" true (Seq_kernels.is_sorted [||])
+
+let test_partial_pivot () =
+  Alcotest.(check int) "largest |v| below row" 2
+    (Seq_kernels.partial_pivot ~row:1 [| 9.0; 1.0; -5.0; 4.0 |])
+
+let test_gauss_seq_small () =
+  (* 2x + y = 5; x - y = 1  =>  x = 2, y = 1 *)
+  let x = Seq_kernels.gauss_seq [| [| 2.0; 1.0 |]; [| 1.0; -1.0 |] |] [| 5.0; 1.0 |] in
+  Alcotest.(check bool) "x" true (Float.abs (x.(0) -. 2.0) < 1e-9);
+  Alcotest.(check bool) "y" true (Float.abs (x.(1) -. 1.0) < 1e-9)
+
+let test_gauss_seq_singular () =
+  Alcotest.(check bool) "singular detected" true
+    (try
+       ignore (Seq_kernels.gauss_seq [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] [| 1.0; 2.0 |]);
+       false
+     with Failure _ -> true)
+
+let test_gauss_seq_needs_pivoting () =
+  (* Zero on the diagonal: only solvable with row interchange. *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Seq_kernels.gauss_seq a [| 3.0; 7.0 |] in
+  Alcotest.(check bool) "solved via pivoting" true
+    (Float.abs (x.(0) -. 7.0) < 1e-9 && Float.abs (x.(1) -. 3.0) < 1e-9)
+
+let prop_matmul_identity =
+  qtest ~count:30 "matmul with identity"
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let rng = Runtime.Xoshiro.of_seed n in
+      let a = Array.init n (fun _ -> Array.init n (fun _ -> Runtime.Xoshiro.float rng 10.0)) in
+      let id = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+      let c = Seq_kernels.matmul a id in
+      Array.for_all2 (fun r1 r2 -> Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-12) r1 r2) c a)
+
+(* --- hyperquicksort --------------------------------------------------------- *)
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let prop_hqs_recursive_sorts =
+  qtest ~count:60 "recursive SCL hyperquicksort sorts"
+    QCheck.(pair (list int) (int_range 0 4))
+    (fun (xs, dims) ->
+      let a = Array.of_list xs in
+      Hyperquicksort.sort_recursive ~dims a = sorted_copy a)
+
+let prop_hqs_flat_sorts =
+  qtest ~count:60 "flattened SCL hyperquicksort sorts"
+    QCheck.(pair (list int) (int_range 0 4))
+    (fun (xs, dims) ->
+      let a = Array.of_list xs in
+      Hyperquicksort.sort_flat ~dims a = sorted_copy a)
+
+let prop_hqs_flat_equals_recursive =
+  qtest ~count:60 "flattened = recursive (the flattening transformation is sound)"
+    QCheck.(pair (list int) (int_range 0 4))
+    (fun (xs, dims) ->
+      let a = Array.of_list xs in
+      Hyperquicksort.sort_flat ~dims a = Hyperquicksort.sort_recursive ~dims a)
+
+let prop_hqs_sim_sorts =
+  qtest ~count:25 "simulated hyperquicksort sorts"
+    QCheck.(pair (list int) (int_range 0 3))
+    (fun (xs, dims) ->
+      let a = Array.of_list xs in
+      let sorted, _ = Hyperquicksort.sort_sim ~procs:(1 lsl dims) a in
+      sorted = sorted_copy a)
+
+let test_hqs_adversarial_inputs () =
+  (* Skewed inputs that can empty chunks / leaders. *)
+  List.iter
+    (fun a ->
+      let expect = sorted_copy a in
+      Alcotest.(check (array int)) "recursive" expect (Hyperquicksort.sort_recursive ~dims:3 a);
+      Alcotest.(check (array int)) "flat" expect (Hyperquicksort.sort_flat ~dims:3 a);
+      let s, _ = Hyperquicksort.sort_sim ~procs:8 a in
+      Alcotest.(check (array int)) "sim" expect s)
+    [
+      [||];
+      [| 5 |];
+      Array.make 100 7;
+      Array.init 100 (fun i -> -i);
+      Array.init 100 (fun i -> i);
+      Array.append (Array.make 50 0) (Array.make 50 1000);
+      [| 3; 1 |];
+    ]
+
+let test_hqs_sim_rejects_non_power_of_two () =
+  Alcotest.(check bool) "procs=6 rejected" true
+    (try
+       ignore (Hyperquicksort.sort_sim ~procs:6 [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hqs_pool_backend () =
+  let pool = Runtime.Pool.create ~num_domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      let exec = Scl.Exec.on_pool pool in
+      let rng = Runtime.Xoshiro.of_seed 99 in
+      let a = Runtime.Xoshiro.int_array rng ~len:20_000 ~bound:1_000_000 in
+      Alcotest.(check (array int)) "pool-backed recursive" (sorted_copy a)
+        (Hyperquicksort.sort_recursive ~exec ~dims:3 a);
+      Alcotest.(check (array int)) "pool-backed flat" (sorted_copy a)
+        (Hyperquicksort.sort_flat ~exec ~dims:3 a))
+
+let test_hqs_sim_speedup_shape () =
+  (* The Table 1 / Figure 3 claim: simulated time decreases with processor
+     count on the paper's workload, and the speedup is sub-linear. *)
+  let rng = Runtime.Xoshiro.of_seed 4 in
+  let a = Runtime.Xoshiro.int_array rng ~len:20_000 ~bound:1_000_000 in
+  let time p =
+    let _, stats = Hyperquicksort.sort_sim ~procs:p a in
+    stats.Machine.Sim.makespan
+  in
+  let t1 = time 1 and t4 = time 4 and t16 = time 16 in
+  Alcotest.(check bool) "monotone speedup" true (t16 < t4 && t4 < t1);
+  let s16 = t1 /. t16 in
+  Alcotest.(check bool) "sub-linear but real" true (s16 > 4.0 && s16 < 16.0)
+
+let test_hqs_sim_deterministic () =
+  let rng = Runtime.Xoshiro.of_seed 5 in
+  let a = Runtime.Xoshiro.int_array rng ~len:5_000 ~bound:100_000 in
+  let _, s1 = Hyperquicksort.sort_sim ~procs:8 a in
+  let _, s2 = Hyperquicksort.sort_sim ~procs:8 a in
+  Alcotest.(check bool) "same makespan" true (s1.Machine.Sim.makespan = s2.Machine.Sim.makespan);
+  Alcotest.(check int) "same messages" s1.Machine.Sim.total_msgs s2.Machine.Sim.total_msgs
+
+let test_hqs_traced_figure2 () =
+  (* The Figure 2 regeneration: 32 values on a 2-cube, with stage notes. *)
+  let rng = Runtime.Xoshiro.of_seed 2 in
+  let a = Runtime.Xoshiro.int_array rng ~len:32 ~bound:100 in
+  let sorted, _, notes = Hyperquicksort.sort_sim_traced ~procs:4 a in
+  Alcotest.(check (array int)) "sorted" (sorted_copy a) sorted;
+  Alcotest.(check bool) "has stage notes" true (List.length notes >= 12);
+  Alcotest.(check bool) "mentions pivots" true
+    (List.exists (fun (_, _, s) -> String.length s >= 5 && String.sub s 0 5 = "group") notes)
+
+(* --- Gauss–Jordan ------------------------------------------------------------ *)
+
+let test_gauss_scl_matches_seq () =
+  let a, b = Gauss.random_system ~seed:11 40 in
+  let x_seq = Seq_kernels.gauss_seq a b in
+  let x_scl = Gauss.solve_scl ~parts:4 a b in
+  Array.iteri
+    (fun i v -> Alcotest.(check bool) (Printf.sprintf "x[%d]" i) true (Float.abs (v -. x_seq.(i)) < 1e-9))
+    x_scl
+
+let prop_gauss_scl_residual =
+  qtest ~count:20 "host-SCL Gauss–Jordan solves random systems"
+    QCheck.(pair (int_range 1 30) (int_range 1 8))
+    (fun (n, parts) ->
+      let a, b = Gauss.random_system ~seed:(n + (100 * parts)) n in
+      let x = Gauss.solve_scl ~parts a b in
+      Seq_kernels.residual a x b < 1e-8)
+
+let prop_gauss_sim_residual =
+  qtest ~count:10 "simulated Gauss–Jordan solves random systems"
+    QCheck.(pair (int_range 1 24) (int_range 1 6))
+    (fun (n, procs) ->
+      let a, b = Gauss.random_system ~seed:(n * 31 + procs) n in
+      let x, _ = Gauss.solve_sim ~procs a b in
+      Seq_kernels.residual a x b < 1e-8)
+
+let test_gauss_sim_matches_scl () =
+  let a, b = Gauss.random_system ~seed:3 20 in
+  let x1 = Gauss.solve_scl ~parts:3 a b in
+  let x2, _ = Gauss.solve_sim ~procs:3 a b in
+  Array.iteri
+    (fun i v -> Alcotest.(check bool) (Printf.sprintf "x[%d]" i) true (Float.abs (v -. x2.(i)) < 1e-9))
+    x1
+
+let test_gauss_needs_pivoting_parallel () =
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Gauss.solve_scl ~parts:2 a [| 3.0; 7.0 |] in
+  Alcotest.(check bool) "pivoted" true (Float.abs (x.(0) -. 7.0) < 1e-9);
+  let x2, _ = Gauss.solve_sim ~procs:2 a [| 3.0; 7.0 |] in
+  Alcotest.(check bool) "pivoted (sim)" true (Float.abs (x2.(0) -. 7.0) < 1e-9)
+
+let test_gauss_singular_parallel () =
+  let a = [| [| 1.0; 1.0 |]; [| 2.0; 2.0 |] |] in
+  Alcotest.(check bool) "singular detected in SCL version" true
+    (try
+       ignore (Gauss.solve_scl ~parts:2 a [| 1.0; 2.0 |]);
+       false
+     with Failure _ -> true)
+
+let test_gauss_sim_scaling () =
+  let a, b = Gauss.random_system ~seed:8 64 in
+  let time p =
+    let _, stats = Gauss.solve_sim ~procs:p a b in
+    stats.Machine.Sim.makespan
+  in
+  let t1 = time 1 and t4 = time 4 in
+  Alcotest.(check bool) "parallel is faster" true (t4 < t1)
+
+(* --- Cannon ------------------------------------------------------------------ *)
+
+let mat_close a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun r1 r2 -> Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) r1 r2) a b
+
+let prop_cannon_scl_matches_seq =
+  qtest ~count:25 "Cannon (host SCL) = sequential matmul"
+    QCheck.(pair (int_range 1 5) (int_range 1 4))
+    (fun (q, scale) ->
+      let n = q * scale in
+      let a = Cannon.random_matrix ~seed:(n + q) n in
+      let b = Cannon.random_matrix ~seed:(n * q) n in
+      mat_close (Cannon.multiply_scl ~grid:q a b) (Seq_kernels.matmul a b))
+
+let prop_cannon_sim_matches_seq =
+  qtest ~count:12 "Cannon (simulated torus) = sequential matmul"
+    QCheck.(pair (int_range 1 4) (int_range 1 3))
+    (fun (q, scale) ->
+      let n = q * scale in
+      let a = Cannon.random_matrix ~seed:(7 * n) n in
+      let b = Cannon.random_matrix ~seed:(13 * n) n in
+      let c, _ = Cannon.multiply_sim ~grid:q a b in
+      mat_close c (Seq_kernels.matmul a b))
+
+let test_cannon_rejects_bad_grid () =
+  let a = Cannon.random_matrix ~seed:1 6 in
+  Alcotest.(check bool) "grid must divide n" true
+    (try
+       ignore (Cannon.multiply_scl ~grid:4 a a);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cannon_sim_scaling () =
+  let a = Cannon.random_matrix ~seed:2 48 and b = Cannon.random_matrix ~seed:3 48 in
+  let time q =
+    let _, s = Cannon.multiply_sim ~grid:q a b in
+    s.Machine.Sim.makespan
+  in
+  Alcotest.(check bool) "4x4 beats 1x1" true (time 4 < time 1)
+
+(* --- Jacobi ------------------------------------------------------------------- *)
+
+let vec_close a b = Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-6) a b
+
+let test_jacobi_scl_matches_seq () =
+  let f = Array.init 60 (fun j -> float_of_int (j mod 7)) in
+  let r0 = Jacobi.solve_seq ~tol:1e-9 f ~left:1.0 ~right:(-2.0) in
+  let r1 = Jacobi.solve_scl ~parts:4 ~tol:1e-9 f ~left:1.0 ~right:(-2.0) in
+  Alcotest.(check bool) "solutions agree" true (vec_close r0.solution r1.solution);
+  Alcotest.(check int) "same iteration count" r0.iterations r1.iterations
+
+let prop_jacobi_sim_matches_seq =
+  qtest ~count:8 "simulated Jacobi = sequential"
+    QCheck.(pair (int_range 2 40) (int_range 1 6))
+    (fun (n, procs) ->
+      let f = Array.init n (fun j -> float_of_int ((j * 3 mod 5) - 2)) in
+      let r0 = Jacobi.solve_seq ~tol:1e-7 ~max_iter:20_000 f ~left:0.5 ~right:0.25 in
+      let r1, _ = Jacobi.solve_sim ~procs ~tol:1e-7 ~max_iter:20_000 f ~left:0.5 ~right:0.25 in
+      vec_close r0.solution r1.solution && r0.iterations = r1.iterations)
+
+let test_jacobi_converges_to_analytic () =
+  (* -u'' = pi^2 sin(pi x), u(0)=u(1)=0  =>  u = sin(pi x) *)
+  let n = 150 in
+  let pi = Float.pi in
+  let f =
+    Array.init n (fun j ->
+        let x = float_of_int (j + 1) /. float_of_int (n + 1) in
+        pi *. pi *. sin (pi *. x))
+  in
+  let r = Jacobi.solve_scl ~parts:3 ~tol:1e-10 ~max_iter:200_000 f ~left:0.0 ~right:0.0 in
+  let err = ref 0.0 in
+  Array.iteri
+    (fun j v ->
+      let x = float_of_int (j + 1) /. float_of_int (n + 1) in
+      err := Float.max !err (Float.abs (v -. sin (pi *. x))))
+    r.solution;
+  Alcotest.(check bool) "close to sin(pi x)" true (!err < 1e-3)
+
+let test_jacobi_max_iter_respected () =
+  let f = Array.make 50 1.0 in
+  let r = Jacobi.solve_scl ~parts:2 ~tol:0.0 ~max_iter:17 f ~left:0.0 ~right:0.0 in
+  Alcotest.(check int) "stopped at cap" 17 r.iterations
+
+let test_jacobi_empty () =
+  let r = Jacobi.solve_scl ~parts:4 [||] ~left:0.0 ~right:0.0 in
+  Alcotest.(check int) "no iterations" 0 r.iterations;
+  let r2, _ = Jacobi.solve_sim ~procs:3 [||] ~left:0.0 ~right:0.0 in
+  Alcotest.(check (array (float 0.0))) "empty solution" [||] r2.solution
+
+(* --- baseline sorts ------------------------------------------------------------ *)
+
+let prop_psrs_scl_sorts =
+  qtest ~count:40 "PSRS (host SCL) sorts"
+    QCheck.(pair (list int) (int_range 1 8))
+    (fun (xs, parts) ->
+      let a = Array.of_list xs in
+      Sample_sort.sort_scl ~parts a = sorted_copy a)
+
+let prop_psrs_sim_sorts =
+  qtest ~count:20 "PSRS (simulated) sorts"
+    QCheck.(pair (list int) (int_range 1 6))
+    (fun (xs, procs) ->
+      let a = Array.of_list xs in
+      let sorted, _ = Sample_sort.sort_sim ~procs a in
+      sorted = sorted_copy a)
+
+let prop_bitonic_sim_sorts =
+  qtest ~count:20 "bitonic (simulated) sorts"
+    QCheck.(pair (list (int_bound 1_000_000)) (int_range 0 3))
+    (fun (xs, dims) ->
+      let a = Array.of_list xs in
+      let sorted, _ = Bitonic.sort_sim ~procs:(1 lsl dims) a in
+      sorted = sorted_copy a)
+
+let test_bitonic_rejects_sentinel () =
+  Alcotest.(check bool) "max_int reserved" true
+    (try
+       ignore (Bitonic.sort_sim ~procs:2 [| max_int |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bitonic_balanced_load () =
+  (* Bitonic keeps blocks equal; hyperquicksort does not — both must still
+     sort the skewed input. *)
+  let a = Array.append (Array.make 100 1) (Array.make 10 999999) in
+  let s1, _ = Bitonic.sort_sim ~procs:4 a in
+  let s2, _ = Hyperquicksort.sort_sim ~procs:4 a in
+  Alcotest.(check (array int)) "bitonic" (sorted_copy a) s1;
+  Alcotest.(check (array int)) "hqs" (sorted_copy a) s2
+
+let test_sort_comparison_shape () =
+  (* The "best available speedup" context of Figure 3: hyperquicksort should
+     not be slower than the full-volume baselines on the paper's workload. *)
+  let rng = Runtime.Xoshiro.of_seed 21 in
+  let a = Runtime.Xoshiro.int_array rng ~len:30_000 ~bound:1_000_000 in
+  let t f =
+    let _, (s : Machine.Sim.stats) = f () in
+    s.makespan
+  in
+  let h = t (fun () -> Hyperquicksort.sort_sim ~procs:16 a) in
+  let p = t (fun () -> Sample_sort.sort_sim ~procs:16 a) in
+  let b = t (fun () -> Bitonic.sort_sim ~procs:16 a) in
+  Alcotest.(check bool) "hqs <= psrs" true (h <= p);
+  Alcotest.(check bool) "hqs <= bitonic" true (h <= b)
+
+(* --- histogram ------------------------------------------------------------------ *)
+
+let random_floats ~seed n =
+  let rng = Runtime.Xoshiro.of_seed seed in
+  Array.init n (fun _ -> Runtime.Xoshiro.float rng 10.0 -. 5.0)
+
+let prop_histogram_scl_matches_seq =
+  qtest ~count:40 "host-SCL histogram = sequential"
+    QCheck.(triple (int_range 0 200) (int_range 1 16) (int_range 0 100))
+    (fun (n, buckets, seed) ->
+      let xs = random_floats ~seed n in
+      Histogram.histogram_scl ~buckets ~lo:(-5.0) ~hi:5.0 xs
+      = Histogram.histogram_seq ~buckets ~lo:(-5.0) ~hi:5.0 xs)
+
+let prop_histogram_sim_matches_seq =
+  qtest ~count:20 "simulated histogram = sequential"
+    QCheck.(triple (int_range 0 200) (int_range 1 12) (int_range 1 8))
+    (fun (n, buckets, procs) ->
+      let xs = random_floats ~seed:(n + buckets) n in
+      let got, _ = Histogram.histogram_sim ~procs ~buckets ~lo:(-5.0) ~hi:5.0 xs in
+      got = Histogram.histogram_seq ~buckets ~lo:(-5.0) ~hi:5.0 xs)
+
+let test_histogram_counts_everything () =
+  let xs = random_floats ~seed:3 1000 in
+  let h = Histogram.histogram_scl ~buckets:7 ~lo:(-5.0) ~hi:5.0 xs in
+  Alcotest.(check int) "total count preserved" 1000 (Array.fold_left ( + ) 0 h)
+
+let test_histogram_clamps_outliers () =
+  let h = Histogram.histogram_seq ~buckets:4 ~lo:0.0 ~hi:1.0 [| -3.0; 0.5; 99.0 |] in
+  Alcotest.(check (array int)) "ends absorb outliers" [| 1; 0; 1; 1 |] h
+
+let test_histogram_invalid () =
+  Alcotest.(check bool) "0 buckets" true
+    (try
+       ignore (Histogram.histogram_seq ~buckets:0 ~lo:0.0 ~hi:1.0 [||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty range" true
+    (try
+       ignore (Histogram.histogram_seq ~buckets:3 ~lo:1.0 ~hi:1.0 [||]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- nbody ---------------------------------------------------------------------- *)
+
+let test_nbody_scl_matches_seq () =
+  let bodies = Nbody.random_bodies ~seed:4 60 in
+  Alcotest.(check bool) "farm = sequential" true
+    (Nbody.accel_close (Nbody.accelerations_scl bodies) (Nbody.accelerations_seq bodies)
+       ~eps:1e-12)
+
+let prop_nbody_sim_matches_seq =
+  qtest ~count:10 "simulated n-body = sequential"
+    QCheck.(pair (int_range 1 40) (int_range 1 8))
+    (fun (n, procs) ->
+      let bodies = Nbody.random_bodies ~seed:n n in
+      let got, _ = Nbody.accelerations_sim ~procs bodies in
+      Nbody.accel_close got (Nbody.accelerations_seq bodies) ~eps:1e-9)
+
+let test_nbody_pool_matches_seq () =
+  let pool = Runtime.Pool.create ~num_domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      let bodies = Nbody.random_bodies ~seed:9 80 in
+      Alcotest.(check bool) "dynamic farm = sequential" true
+        (Nbody.accel_close (Nbody.accelerations_pool pool bodies) (Nbody.accelerations_seq bodies)
+           ~eps:1e-12))
+
+let test_nbody_sim_scaling () =
+  let bodies = Nbody.random_bodies ~seed:5 256 in
+  let time p =
+    let _, s = Nbody.accelerations_sim ~procs:p bodies in
+    s.Machine.Sim.makespan
+  in
+  Alcotest.(check bool) "compute-bound scaling" true (time 8 < time 2 && time 2 < time 1)
+
+(* --- heat2d -------------------------------------------------------------------- *)
+
+let test_heat2d_scl_matches_seq () =
+  let f = Heat2d.manufactured_f 12 in
+  let r0 = Heat2d.solve_seq ~tol:1e-8 f in
+  let r1 = Heat2d.solve_scl ~grid:3 ~tol:1e-8 f in
+  Alcotest.(check bool) "solutions agree" true (mat_close r0.solution r1.solution);
+  Alcotest.(check int) "iteration counts agree" r0.iterations r1.iterations
+
+let prop_heat2d_sim_matches_seq =
+  qtest ~count:6 "simulated 2-D heat = sequential"
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (q, scale) ->
+      let n = q * scale * 2 in
+      let f = Heat2d.manufactured_f n in
+      let r0 = Heat2d.solve_seq ~tol:1e-6 ~max_iter:5_000 f in
+      let r1, _ = Heat2d.solve_sim ~procs:(q * q) ~tol:1e-6 ~max_iter:5_000 f in
+      mat_close r0.solution r1.solution && r0.iterations = r1.iterations)
+
+let test_heat2d_analytic () =
+  let n = 20 in
+  let r = Heat2d.solve_scl ~grid:2 ~tol:1e-9 ~max_iter:100_000 (Heat2d.manufactured_f n) in
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> err := Float.max !err (Float.abs (v -. Heat2d.manufactured_u n i j))) row)
+    r.solution;
+  (* second-order discretisation error at h = 1/21 *)
+  Alcotest.(check bool) "close to sin*sin" true (!err < 5e-3)
+
+let test_heat2d_bad_grid () =
+  Alcotest.(check bool) "grid must divide n" true
+    (try
+       ignore (Heat2d.solve_scl ~grid:5 (Heat2d.manufactured_f 12));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- farm_sim ------------------------------------------------------------------- *)
+
+let test_farm_static_dynamic_agree () =
+  let spec = Farm_sim.skewed_spec ~njobs:64 ~skew:10 in
+  let r1, _ = Farm_sim.static ~procs:8 spec in
+  let r2, _ = Farm_sim.dynamic ~procs:8 spec in
+  Alcotest.(check (array int)) "same results" r1 r2;
+  Alcotest.(check (array int)) "correct results" (Array.init 64 (fun i -> i * i)) r1
+
+let test_farm_dynamic_balances_skew () =
+  let spec = Farm_sim.skewed_spec ~njobs:64 ~skew:20 in
+  let _, s_static = Farm_sim.static ~procs:8 spec in
+  let _, s_dynamic = Farm_sim.dynamic ~procs:8 spec in
+  Alcotest.(check bool) "dynamic wins under skew" true
+    (s_dynamic.Machine.Sim.makespan < s_static.Machine.Sim.makespan)
+
+let test_farm_static_wins_uniform () =
+  (* With uniform tiny jobs the demand-driven round trips dominate. *)
+  let spec = { Farm_sim.njobs = 64; run = (fun i -> i); flops = (fun _ -> 500) } in
+  let _, s_static = Farm_sim.static ~procs:8 spec in
+  let _, s_dynamic = Farm_sim.dynamic ~procs:8 spec in
+  Alcotest.(check bool) "static wins when uniform" true
+    (s_static.Machine.Sim.makespan < s_dynamic.Machine.Sim.makespan)
+
+let test_farm_dynamic_needs_two_procs () =
+  Alcotest.(check bool) "procs=1 rejected" true
+    (try
+       ignore (Farm_sim.dynamic ~procs:1 (Farm_sim.skewed_spec ~njobs:4 ~skew:2));
+       false
+     with Invalid_argument _ -> true)
+
+let test_farm_zero_jobs () =
+  let spec = { Farm_sim.njobs = 0; run = (fun i -> i); flops = (fun _ -> 1) } in
+  let r1, _ = Farm_sim.static ~procs:4 spec in
+  let r2, _ = Farm_sim.dynamic ~procs:4 spec in
+  Alcotest.(check (array int)) "static empty" [||] r1;
+  Alcotest.(check (array int)) "dynamic empty" [||] r2
+
+(* --- fft ------------------------------------------------------------------------- *)
+
+let prop_fft_matches_dft =
+  qtest ~count:30 "skeleton FFT = naive DFT"
+    QCheck.(pair (int_range 0 7) (int_range 0 100))
+    (fun (bits, seed) ->
+      let a = Fft.random_signal ~seed (1 lsl bits) in
+      Fft.complex_close (Fft.fft_scl a) (Fft.dft_naive a) ~eps:1e-7)
+
+let prop_fft_roundtrip =
+  qtest ~count:30 "ifft (fft x) = x"
+    QCheck.(pair (int_range 0 8) (int_range 0 100))
+    (fun (bits, seed) ->
+      let a = Fft.random_signal ~seed (1 lsl bits) in
+      Fft.complex_close (Fft.ifft_scl (Fft.fft_scl a)) a ~eps:1e-9)
+
+let prop_fft_sim_matches_host =
+  qtest ~count:12 "simulated FFT = host FFT"
+    QCheck.(pair (int_range 0 6) (int_range 1 8))
+    (fun (bits, procs) ->
+      let a = Fft.random_signal ~seed:(bits + procs) (1 lsl bits) in
+      let got, _ = Fft.fft_sim ~procs a in
+      Fft.complex_close got (Fft.fft_scl a) ~eps:1e-9)
+
+let test_fft_impulse () =
+  (* FFT of a unit impulse is the all-ones vector. *)
+  let n = 16 in
+  let a = Array.init n (fun i -> if i = 0 then Complex.one else Complex.zero) in
+  let f = Fft.fft_scl a in
+  Alcotest.(check bool) "flat spectrum" true
+    (Array.for_all (fun c -> Float.abs (c.Complex.re -. 1.0) < 1e-12 && Float.abs c.im < 1e-12) f)
+
+let test_fft_linearity () =
+  let a = Fft.random_signal ~seed:1 32 and b = Fft.random_signal ~seed:2 32 in
+  let sum = Array.map2 Complex.add a b in
+  let lhs = Fft.fft_scl sum in
+  let rhs = Array.map2 Complex.add (Fft.fft_scl a) (Fft.fft_scl b) in
+  Alcotest.(check bool) "linear" true (Fft.complex_close lhs rhs ~eps:1e-9)
+
+let test_fft_rejects_non_power_of_two () =
+  Alcotest.(check bool) "length 12 rejected" true
+    (try
+       ignore (Fft.fft_scl (Fft.random_signal ~seed:0 12));
+       false
+     with Invalid_argument _ -> true)
+
+let test_bit_reverse () =
+  Alcotest.(check int) "0b001 -> 0b100" 4 (Fft.bit_reverse ~bits:3 1);
+  Alcotest.(check int) "0b110 -> 0b011" 3 (Fft.bit_reverse ~bits:3 6);
+  Alcotest.(check bool) "involution" true
+    (List.for_all (fun i -> Fft.bit_reverse ~bits:5 (Fft.bit_reverse ~bits:5 i) = i)
+       (List.init 32 Fun.id))
+
+(* --- conjugate gradients ---------------------------------------------------------- *)
+
+let prop_cg_solves =
+  qtest ~count:20 "CG solves the Laplacian system"
+    QCheck.(pair (int_range 1 60) (int_range 0 50))
+    (fun (n, seed) ->
+      let rng = Runtime.Xoshiro.of_seed seed in
+      let b = Array.init n (fun _ -> Runtime.Xoshiro.float rng 2.0 -. 1.0) in
+      let r = Cg.solve_seq ~tol:1e-11 b in
+      Cg.residual_inf r.solution b < 1e-7)
+
+let test_cg_scl_matches_seq () =
+  let rng = Runtime.Xoshiro.of_seed 17 in
+  let b = Array.init 80 (fun _ -> Runtime.Xoshiro.float rng 2.0 -. 1.0) in
+  let r0 = Cg.solve_seq ~tol:1e-10 b in
+  let r1 = Cg.solve_scl ~tol:1e-10 b in
+  Alcotest.(check int) "same iterations" r0.iterations r1.iterations;
+  Alcotest.(check bool) "same solution" true
+    (Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) r0.solution r1.solution)
+
+let prop_cg_sim_matches_seq =
+  qtest ~count:8 "simulated CG = sequential"
+    QCheck.(pair (int_range 1 40) (int_range 1 6))
+    (fun (n, procs) ->
+      let rng = Runtime.Xoshiro.of_seed (n + procs) in
+      let b = Array.init n (fun _ -> Runtime.Xoshiro.float rng 2.0 -. 1.0) in
+      let r0 = Cg.solve_seq ~tol:1e-10 b in
+      let r1, _ = Cg.solve_sim ~procs ~tol:1e-10 b in
+      Cg.residual_inf r1.solution b < 1e-7 && abs (r0.iterations - r1.iterations) <= 2)
+
+let test_cg_matches_gauss () =
+  (* Cross-check against the dense Gauss–Jordan solver on the same system. *)
+  let n = 24 in
+  let rng = Runtime.Xoshiro.of_seed 9 in
+  let b = Array.init n (fun _ -> Runtime.Xoshiro.float rng 2.0 -. 1.0) in
+  let a =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 2.0 else if abs (i - j) = 1 then -1.0 else 0.0))
+  in
+  let x_dense = Seq_kernels.gauss_seq a b in
+  let x_cg = (Cg.solve_seq ~tol:1e-12 b).solution in
+  Alcotest.(check bool) "CG = Gauss on tridiagonal" true
+    (Array.for_all2 (fun u v -> Float.abs (u -. v) < 1e-7) x_dense x_cg)
+
+let test_cg_empty () =
+  let r = Cg.solve_scl [||] in
+  Alcotest.(check int) "no iterations" 0 r.iterations
+
+(* --- k-means ------------------------------------------------------------------------ *)
+
+let kmeans_setup seed =
+  let points, centres = Kmeans.blobs ~seed ~k:4 ~per_cluster:50 in
+  let init = Array.init 4 (fun i -> points.(i * 50)) in
+  (points, centres, init)
+
+let test_kmeans_seq_converges () =
+  let points, centres, init = kmeans_setup 5 in
+  let r = Kmeans.run_seq ~k:4 points ~init in
+  Alcotest.(check bool) "converged" true r.converged;
+  Alcotest.(check bool) "centroids near the true centres" true
+    (Array.for_all
+       (fun c -> Array.exists (fun t -> Kmeans.dist2 c t < 1.0) centres)
+       r.centroids)
+
+let test_kmeans_scl_matches_seq () =
+  let points, _, init = kmeans_setup 6 in
+  let r0 = Kmeans.run_seq ~k:4 points ~init in
+  let r1 = Kmeans.run_scl ~parts:4 ~k:4 points ~init in
+  Alcotest.(check (array int)) "assignments agree" r0.assignment r1.assignment
+
+let prop_kmeans_sim_matches_seq =
+  qtest ~count:8 "simulated k-means = sequential assignment"
+    QCheck.(pair (int_range 1 6) (int_range 0 30))
+    (fun (procs, seed) ->
+      let points, _, init = kmeans_setup seed in
+      let r0 = Kmeans.run_seq ~k:4 points ~init in
+      let r1, _ = Kmeans.run_sim ~procs ~k:4 points ~init in
+      r1.assignment = r0.assignment)
+
+let test_kmeans_partitions_points () =
+  let points, _, init = kmeans_setup 7 in
+  let r = Kmeans.run_seq ~k:4 points ~init in
+  Alcotest.(check int) "every point labelled" (Array.length points) (Array.length r.assignment);
+  Alcotest.(check bool) "labels in range" true
+    (Array.for_all (fun l -> l >= 0 && l < 4) r.assignment)
+
+let test_kmeans_invalid () =
+  Alcotest.(check bool) "k=0" true
+    (try
+       ignore (Kmeans.run_seq ~k:0 [||] ~init:[||]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong init size" true
+    (try
+       ignore (Kmeans.run_seq ~k:2 [||] ~init:[| { Kmeans.x = 0.0; y = 0.0 } |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- odd-even transposition ------------------------------------------------------- *)
+
+let prop_odd_even_sorts =
+  qtest ~count:30 "odd-even transposition sorts on a ring"
+    QCheck.(pair (list int) (int_range 1 9))
+    (fun (xs, procs) ->
+      let a = Array.of_list xs in
+      let sorted, _ = Odd_even.sort_sim ~procs a in
+      sorted = sorted_copy a)
+
+let test_odd_even_is_all_nearest_neighbour () =
+  (* On a ring, every exchange must be a single hop: compare against a star
+     topology where leaf-to-leaf traffic costs 2 hops. *)
+  let rng = Runtime.Xoshiro.of_seed 31 in
+  let a = Runtime.Xoshiro.int_array rng ~len:4_000 ~bound:100_000 in
+  let _, ring = Odd_even.sort_sim ~topology:Machine.Topology.Ring ~procs:8 a in
+  let _, star = Odd_even.sort_sim ~topology:Machine.Topology.Star ~procs:8 a in
+  Alcotest.(check bool) "ring at least as fast" true
+    (ring.Machine.Sim.makespan <= star.Machine.Sim.makespan)
+
+let test_odd_even_vs_hqs_on_ring () =
+  (* Hyperquicksort's cube exchanges pay long hops on a ring; odd-even's
+     neighbour traffic does not. At high latency-per-hop the ring-native
+     sort must win. *)
+  let rng = Runtime.Xoshiro.of_seed 32 in
+  let a = Runtime.Xoshiro.int_array rng ~len:8_000 ~bound:1_000_000 in
+  let hoppy = { Machine.Cost_model.ap1000 with per_hop = 1000e-6 } in
+  let _, oe = Odd_even.sort_sim ~cost:hoppy ~topology:Machine.Topology.Ring ~procs:16 a in
+  let _, hq = Hyperquicksort.sort_sim ~cost:hoppy ~topology:Machine.Topology.Ring ~procs:16 a in
+  Alcotest.(check bool) "odd-even wins on a high-latency ring" true
+    (oe.Machine.Sim.makespan < hq.Machine.Sim.makespan)
+
+(* --- line of sight ----------------------------------------------------------------- *)
+
+let random_terrain ~seed n =
+  let rng = Runtime.Xoshiro.of_seed seed in
+  Array.init n (fun _ -> Runtime.Xoshiro.float rng 100.0)
+
+let prop_los_scl_matches_seq =
+  qtest ~count:50 "scan-based line of sight = sequential"
+    QCheck.(pair (int_range 0 200) (int_range 0 50))
+    (fun (n, seed) ->
+      let t = random_terrain ~seed n in
+      Line_of_sight.visible_scl t = Line_of_sight.visible_seq t)
+
+let prop_los_sim_matches_seq =
+  qtest ~count:20 "simulated line of sight = sequential"
+    QCheck.(triple (int_range 0 120) (int_range 1 8) (int_range 0 20))
+    (fun (n, procs, seed) ->
+      let t = random_terrain ~seed n in
+      let got, _ = Line_of_sight.visible_sim ~procs t in
+      got = Line_of_sight.visible_seq t)
+
+let test_los_monotone_ridge () =
+  (* convex terrain (heights i^2): viewing angles strictly increase, so
+     everything is visible *)
+  let t = Array.init 50 (fun i -> float_of_int (i * i)) in
+  Alcotest.(check bool) "all visible" true (Array.for_all Fun.id (Line_of_sight.visible_seq t));
+  (* a wall at index 1 hides all lower flat ground behind it *)
+  let wall = Array.append [| 0.0; 100.0 |] (Array.make 40 0.0) in
+  let v = Line_of_sight.visible_scl wall in
+  Alcotest.(check bool) "observer and wall visible" true (v.(0) && v.(1));
+  Alcotest.(check bool) "plain behind the wall hidden" true
+    (not (Array.exists Fun.id (Array.sub v 2 40)))
+
+let () =
+  Alcotest.run "algorithms"
+    [
+      ( "seq_kernels",
+        [
+          prop_quicksort_sorts;
+          Alcotest.test_case "quicksort pure" `Quick test_quicksort_preserves_input;
+          Alcotest.test_case "midvalue" `Quick test_midvalue;
+          prop_split_at;
+          prop_merge;
+          Alcotest.test_case "is_sorted" `Quick test_is_sorted;
+          Alcotest.test_case "partial pivot" `Quick test_partial_pivot;
+          Alcotest.test_case "gauss_seq small" `Quick test_gauss_seq_small;
+          Alcotest.test_case "gauss_seq singular" `Quick test_gauss_seq_singular;
+          Alcotest.test_case "gauss_seq pivoting" `Quick test_gauss_seq_needs_pivoting;
+          prop_matmul_identity;
+        ] );
+      ( "hyperquicksort",
+        [
+          prop_hqs_recursive_sorts;
+          prop_hqs_flat_sorts;
+          prop_hqs_flat_equals_recursive;
+          prop_hqs_sim_sorts;
+          Alcotest.test_case "adversarial inputs" `Quick test_hqs_adversarial_inputs;
+          Alcotest.test_case "non-power-of-two rejected" `Quick test_hqs_sim_rejects_non_power_of_two;
+          Alcotest.test_case "pool backend" `Slow test_hqs_pool_backend;
+          Alcotest.test_case "speedup shape" `Slow test_hqs_sim_speedup_shape;
+          Alcotest.test_case "simulator deterministic" `Quick test_hqs_sim_deterministic;
+          Alcotest.test_case "figure-2 trace" `Quick test_hqs_traced_figure2;
+        ] );
+      ( "gauss",
+        [
+          Alcotest.test_case "SCL matches sequential" `Quick test_gauss_scl_matches_seq;
+          prop_gauss_scl_residual;
+          prop_gauss_sim_residual;
+          Alcotest.test_case "sim matches SCL" `Quick test_gauss_sim_matches_scl;
+          Alcotest.test_case "pivoting required" `Quick test_gauss_needs_pivoting_parallel;
+          Alcotest.test_case "singular detected" `Quick test_gauss_singular_parallel;
+          Alcotest.test_case "sim scaling" `Slow test_gauss_sim_scaling;
+        ] );
+      ( "cannon",
+        [
+          prop_cannon_scl_matches_seq;
+          prop_cannon_sim_matches_seq;
+          Alcotest.test_case "bad grid rejected" `Quick test_cannon_rejects_bad_grid;
+          Alcotest.test_case "sim scaling" `Slow test_cannon_sim_scaling;
+        ] );
+      ( "jacobi",
+        [
+          Alcotest.test_case "SCL matches sequential" `Quick test_jacobi_scl_matches_seq;
+          prop_jacobi_sim_matches_seq;
+          Alcotest.test_case "analytic solution" `Slow test_jacobi_converges_to_analytic;
+          Alcotest.test_case "max_iter respected" `Quick test_jacobi_max_iter_respected;
+          Alcotest.test_case "empty problem" `Quick test_jacobi_empty;
+        ] );
+      ( "baseline_sorts",
+        [
+          prop_psrs_scl_sorts;
+          prop_psrs_sim_sorts;
+          prop_bitonic_sim_sorts;
+          Alcotest.test_case "bitonic sentinel guard" `Quick test_bitonic_rejects_sentinel;
+          Alcotest.test_case "skewed load" `Quick test_bitonic_balanced_load;
+          Alcotest.test_case "comparison shape" `Slow test_sort_comparison_shape;
+        ] );
+      ( "histogram",
+        [
+          prop_histogram_scl_matches_seq;
+          prop_histogram_sim_matches_seq;
+          Alcotest.test_case "counts preserved" `Quick test_histogram_counts_everything;
+          Alcotest.test_case "outliers clamp" `Quick test_histogram_clamps_outliers;
+          Alcotest.test_case "invalid args" `Quick test_histogram_invalid;
+        ] );
+      ( "nbody",
+        [
+          Alcotest.test_case "farm = sequential" `Quick test_nbody_scl_matches_seq;
+          prop_nbody_sim_matches_seq;
+          Alcotest.test_case "pool farm" `Slow test_nbody_pool_matches_seq;
+          Alcotest.test_case "sim scaling" `Slow test_nbody_sim_scaling;
+        ] );
+      ( "heat2d",
+        [
+          Alcotest.test_case "SCL matches sequential" `Slow test_heat2d_scl_matches_seq;
+          prop_heat2d_sim_matches_seq;
+          Alcotest.test_case "analytic solution" `Slow test_heat2d_analytic;
+          Alcotest.test_case "bad grid rejected" `Quick test_heat2d_bad_grid;
+        ] );
+      ( "farm_sim",
+        [
+          Alcotest.test_case "static = dynamic results" `Quick test_farm_static_dynamic_agree;
+          Alcotest.test_case "dynamic wins under skew" `Quick test_farm_dynamic_balances_skew;
+          Alcotest.test_case "static wins when uniform" `Quick test_farm_static_wins_uniform;
+          Alcotest.test_case "dynamic needs 2 procs" `Quick test_farm_dynamic_needs_two_procs;
+          Alcotest.test_case "zero jobs" `Quick test_farm_zero_jobs;
+        ] );
+      ( "fft",
+        [
+          prop_fft_matches_dft;
+          prop_fft_roundtrip;
+          prop_fft_sim_matches_host;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "linearity" `Quick test_fft_linearity;
+          Alcotest.test_case "non-power-of-two rejected" `Quick test_fft_rejects_non_power_of_two;
+          Alcotest.test_case "bit reversal" `Quick test_bit_reverse;
+        ] );
+      ( "cg",
+        [
+          prop_cg_solves;
+          Alcotest.test_case "SCL matches sequential" `Quick test_cg_scl_matches_seq;
+          prop_cg_sim_matches_seq;
+          Alcotest.test_case "CG = Gauss cross-check" `Quick test_cg_matches_gauss;
+          Alcotest.test_case "empty system" `Quick test_cg_empty;
+        ] );
+      ( "kmeans",
+        [
+          Alcotest.test_case "converges to blobs" `Quick test_kmeans_seq_converges;
+          Alcotest.test_case "SCL matches sequential" `Quick test_kmeans_scl_matches_seq;
+          prop_kmeans_sim_matches_seq;
+          Alcotest.test_case "labels well-formed" `Quick test_kmeans_partitions_points;
+          Alcotest.test_case "invalid args" `Quick test_kmeans_invalid;
+        ] );
+      ( "line_of_sight",
+        [
+          prop_los_scl_matches_seq;
+          prop_los_sim_matches_seq;
+          Alcotest.test_case "ridge and wall" `Quick test_los_monotone_ridge;
+        ] );
+      ( "odd_even",
+        [
+          prop_odd_even_sorts;
+          Alcotest.test_case "nearest-neighbour traffic" `Quick test_odd_even_is_all_nearest_neighbour;
+          Alcotest.test_case "wins on high-latency ring" `Slow test_odd_even_vs_hqs_on_ring;
+        ] );
+    ]

@@ -1,0 +1,778 @@
+(* Tests for the simulated distributed-memory machine: topologies, cost
+   model, discrete-event simulator, collectives. *)
+
+open Machine
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let check_float msg expected actual =
+  if not (feq expected actual) then Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* --- Topology ------------------------------------------------------------ *)
+
+let test_hypercube_hops () =
+  let h = Topology.Hypercube in
+  Alcotest.(check int) "same" 0 (Topology.hops h ~procs:8 ~src:3 ~dest:3);
+  Alcotest.(check int) "one bit" 1 (Topology.hops h ~procs:8 ~src:0 ~dest:4);
+  Alcotest.(check int) "three bits" 3 (Topology.hops h ~procs:8 ~src:0 ~dest:7);
+  Alcotest.(check int) "diameter" 5 (Topology.diameter h ~procs:32)
+
+let test_hypercube_validate () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Topology.validate: hypercube needs a power-of-two size, got 6") (fun () ->
+      Topology.validate Topology.Hypercube ~procs:6)
+
+let test_hypercube_neighbors () =
+  let ns = Topology.neighbors Topology.Hypercube ~procs:8 5 in
+  Alcotest.(check (list int)) "xor neighbours" [ 4; 7; 1 ] ns
+
+let test_torus_hops () =
+  let t = Topology.Torus2d (4, 4) in
+  Alcotest.(check int) "adjacent" 1 (Topology.hops t ~procs:16 ~src:0 ~dest:1);
+  (* 0 = (0,0), 15 = (3,3): wraps to 1+1 = 2 hops *)
+  Alcotest.(check int) "wraparound" 2 (Topology.hops t ~procs:16 ~src:0 ~dest:15);
+  Alcotest.(check int) "mid" 4 (Topology.hops t ~procs:16 ~src:0 ~dest:10)
+
+let test_mesh_hops () =
+  let m = Topology.Mesh2d (4, 4) in
+  Alcotest.(check int) "corner to corner" 6 (Topology.hops m ~procs:16 ~src:0 ~dest:15);
+  Alcotest.(check int) "no wrap" 3 (Topology.hops m ~procs:16 ~src:0 ~dest:3)
+
+let test_ring_hops () =
+  Alcotest.(check int) "short way" 2 (Topology.hops Topology.Ring ~procs:8 ~src:1 ~dest:7);
+  Alcotest.(check int) "half" 4 (Topology.hops Topology.Ring ~procs:8 ~src:0 ~dest:4)
+
+let test_star_hops () =
+  Alcotest.(check int) "via centre" 2 (Topology.hops Topology.Star ~procs:5 ~src:1 ~dest:2);
+  Alcotest.(check int) "to centre" 1 (Topology.hops Topology.Star ~procs:5 ~src:3 ~dest:0)
+
+let prop_hops_symmetric =
+  qtest "hops are symmetric"
+    QCheck.(triple (int_range 0 15) (int_range 0 15) (int_range 0 3))
+    (fun (a, b, which) ->
+      let topo =
+        match which with
+        | 0 -> Topology.Hypercube
+        | 1 -> Topology.Torus2d (4, 4)
+        | 2 -> Topology.Ring
+        | _ -> Topology.Mesh2d (2, 8)
+      in
+      Topology.hops topo ~procs:16 ~src:a ~dest:b = Topology.hops topo ~procs:16 ~src:b ~dest:a)
+
+let prop_neighbors_are_one_hop =
+  qtest "neighbors are exactly one hop away"
+    QCheck.(pair (int_range 0 15) (int_range 0 3))
+    (fun (r, which) ->
+      let topo =
+        match which with
+        | 0 -> Topology.Hypercube
+        | 1 -> Topology.Torus2d (4, 4)
+        | 2 -> Topology.Ring
+        | _ -> Topology.Complete
+      in
+      List.for_all
+        (fun n -> Topology.hops topo ~procs:16 ~src:r ~dest:n = 1)
+        (Topology.neighbors topo ~procs:16 r))
+
+(* --- Cost model ----------------------------------------------------------- *)
+
+let test_transfer_time () =
+  let c = Cost_model.unit_costs in
+  (* alpha 1 + 2 hops * 1 + 10 bytes * 1 = 13 *)
+  check_float "unit" 13.0 (Cost_model.transfer_time c ~hops:2 ~bytes:10)
+
+let test_barrier_time () =
+  let c = Cost_model.unit_costs in
+  check_float "1 proc" 0.0 (Cost_model.barrier_time { c with barrier_base = 2.0 } ~procs:1);
+  check_float "8 procs = 3 rounds" 6.0 (Cost_model.barrier_time { c with barrier_base = 2.0 } ~procs:8);
+  check_float "5 procs = 3 rounds" 6.0 (Cost_model.barrier_time { c with barrier_base = 2.0 } ~procs:5)
+
+let test_presets_sane () =
+  List.iter
+    (fun (c : Cost_model.t) ->
+      Alcotest.(check bool) (c.name ^ " latencies positive") true (c.alpha >= 0.0 && c.beta >= 0.0);
+      Alcotest.(check bool) (c.name ^ " flop positive") true (c.flop_time >= 0.0))
+    [ Cost_model.ap1000; Cost_model.modern; Cost_model.zero_comm; Cost_model.unit_costs ]
+
+(* --- Simulator ------------------------------------------------------------- *)
+
+let cfg ?(procs = 4) ?(topology = Topology.Complete) ?(cost = Cost_model.unit_costs) () =
+  { Sim.procs; topology; cost }
+
+let test_sim_work_accumulates () =
+  let stats =
+    Sim.run (cfg ~procs:3 ()) (fun ctx ->
+        Sim.work ctx (float_of_int (Sim.rank ctx + 1)))
+  in
+  check_float "makespan = max work" 3.0 stats.Sim.makespan;
+  check_float "work p0" 1.0 stats.Sim.work_times.(0);
+  check_float "work p2" 3.0 stats.Sim.work_times.(2)
+
+let test_sim_negative_work_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Sim.work: negative duration") (fun () ->
+      ignore (Sim.run (cfg ~procs:1 ()) (fun ctx -> Sim.work ctx (-1.0))))
+
+let test_sim_message_roundtrip () =
+  let got = ref None in
+  let _stats =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then Sim.send ctx ~dest:1 [ 1; 2; 3 ]
+        else got := Some (Sim.recv ctx ~src:0 () : int list))
+  in
+  Alcotest.(check (option (list int))) "payload" (Some [ 1; 2; 3 ]) !got
+
+let test_sim_message_is_deep_copied () =
+  (* Default (marshalled) sends must not share mutable state. *)
+  let witness = ref 0 in
+  let _ =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          let a = [| 1; 2; 3 |] in
+          Sim.send ctx ~dest:1 a;
+          a.(0) <- 99
+        end
+        else begin
+          let a : int array = Sim.recv ctx ~src:0 () in
+          witness := a.(0)
+        end)
+  in
+  Alcotest.(check int) "receiver saw pre-mutation value" 1 !witness
+
+let test_sim_timing_exact () =
+  (* Unit costs, complete topology: send overhead 0; transfer = alpha(1) +
+     hops(1)*1 + bytes*1. Receiver waits from t=0, recv overhead 0, so its
+     finish time = 2 + bytes. *)
+  let bytes = 10 in
+  let stats =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then Sim.send ctx ~dest:1 ~bytes 0
+        else ignore (Sim.recv ctx ~src:0 () : int))
+  in
+  check_float "receiver clock" (2.0 +. float_of_int bytes) stats.Sim.finish_times.(1);
+  check_float "sender clock" 0.0 stats.Sim.finish_times.(0);
+  Alcotest.(check int) "bytes accounted" bytes stats.Sim.total_bytes
+
+let test_sim_recv_waits_for_arrival () =
+  (* Sender works 5s then sends (arrival 5 + 2 + 1 = 8); receiver is idle, so
+     it finishes at the arrival time. *)
+  let stats =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.work ctx 5.0;
+          Sim.send ctx ~dest:1 ~bytes:1 ()
+        end
+        else (Sim.recv ctx ~src:0 () : unit))
+  in
+  check_float "receiver waited" 8.0 stats.Sim.finish_times.(1)
+
+let test_sim_fifo_order () =
+  let order = ref [] in
+  let _ =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.send ctx ~dest:1 "first";
+          Sim.send ctx ~dest:1 "second";
+          Sim.send ctx ~dest:1 "third"
+        end
+        else
+          for _ = 1 to 3 do
+            let s : string = Sim.recv ctx ~src:0 () in
+            order := s :: !order
+          done)
+  in
+  Alcotest.(check (list string)) "fifo per sender" [ "third"; "second"; "first" ] !order
+
+let test_sim_tags_select () =
+  let got = ref [] in
+  let _ =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.send ctx ~dest:1 ~tag:7 "seven";
+          Sim.send ctx ~dest:1 ~tag:9 "nine"
+        end
+        else begin
+          (* Receive tag 9 first even though tag 7 was sent first. *)
+          let a : string = Sim.recv ctx ~src:0 ~tag:9 () in
+          let b : string = Sim.recv ctx ~src:0 ~tag:7 () in
+          got := [ a; b ]
+        end)
+  in
+  Alcotest.(check (list string)) "tag matching" [ "nine"; "seven" ] !got
+
+let test_sim_recv_any () =
+  let srcs = ref [] in
+  let _ =
+    Sim.run (cfg ~procs:4 ()) (fun ctx ->
+        if Sim.rank ctx > 0 then begin
+          Sim.work ctx (float_of_int (Sim.rank ctx));
+          Sim.send ctx ~dest:0 (Sim.rank ctx)
+        end
+        else
+          for _ = 1 to 3 do
+            let src, v = (Sim.recv_any ctx () : int * int) in
+            if src <> v then failwith "payload mismatch";
+            srcs := src :: !srcs
+          done)
+  in
+  (* Earliest arrival first: senders finish work at t=1,2,3. *)
+  Alcotest.(check (list int)) "arrival order" [ 3; 2; 1 ] !srcs
+
+let test_sim_barrier_aligns_clocks () =
+  let stats =
+    Sim.run (cfg ~procs:4 ~cost:{ Cost_model.unit_costs with barrier_base = 2.0 } ()) (fun ctx ->
+        Sim.work ctx (float_of_int (Sim.rank ctx));
+        Sim.barrier ctx)
+  in
+  (* max work 3 + barrier 2 rounds (4 procs = 2 rounds) * 2.0 = 7 *)
+  Array.iter (fun t -> check_float "aligned" 7.0 t) stats.Sim.finish_times;
+  Alcotest.(check int) "one barrier" 1 stats.Sim.barriers
+
+let test_sim_deadlock_detected () =
+  Alcotest.(check bool) "deadlock raised" true
+    (try
+       ignore (Sim.run (cfg ~procs:2 ()) (fun ctx -> ignore (Sim.recv ctx ~src:(1 - Sim.rank ctx) () : int)));
+       false
+     with Sim.Deadlock _ -> true)
+
+let test_sim_barrier_mismatch_detected () =
+  Alcotest.(check bool) "barrier with finished proc is deadlock" true
+    (try
+       ignore (Sim.run (cfg ~procs:2 ()) (fun ctx -> if Sim.rank ctx = 0 then Sim.barrier ctx));
+       false
+     with Sim.Deadlock _ -> true)
+
+let test_sim_undelivered_detected () =
+  Alcotest.(check bool) "leftover message is an error" true
+    (try
+       ignore (Sim.run (cfg ~procs:2 ()) (fun ctx -> if Sim.rank ctx = 0 then Sim.send ctx ~dest:1 42));
+       false
+     with Sim.Deadlock _ -> true)
+
+let test_sim_self_send_rejected () =
+  Alcotest.(check bool) "self send" true
+    (try
+       ignore (Sim.run (cfg ~procs:2 ()) (fun ctx -> Sim.send ctx ~dest:(Sim.rank ctx) 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_sim_deterministic () =
+  let go () =
+    Sim.run (cfg ~procs:8 ~topology:Topology.Hypercube ~cost:Cost_model.ap1000 ()) (fun ctx ->
+        let me = Sim.rank ctx in
+        Sim.work ctx (0.001 *. float_of_int ((me * 7) mod 5));
+        if me > 0 then Sim.send ctx ~dest:0 me
+        else
+          for _ = 1 to 7 do
+            ignore (Sim.recv_any ctx () : int * int)
+          done;
+        Sim.barrier ctx)
+  in
+  let s1 = go () and s2 = go () in
+  check_float "same makespan" s1.Sim.makespan s2.Sim.makespan;
+  Alcotest.(check int) "same msgs" s1.Sim.total_msgs s2.Sim.total_msgs
+
+let test_sim_trace_records () =
+  let trace = Trace.create () in
+  let _ =
+    Sim.run ~trace (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.note ctx "hello";
+          Sim.send ctx ~dest:1 ()
+        end
+        else (Sim.recv ctx ~src:0 () : unit))
+  in
+  let evs = Trace.events trace in
+  Alcotest.(check bool) "has events" true (List.length evs >= 4);
+  let notes = Trace.notes trace in
+  Alcotest.(check int) "one note" 1 (List.length notes);
+  let has_send = List.exists (fun e -> match e.Trace.kind with Trace.Send _ -> true | _ -> false) evs in
+  let has_recv = List.exists (fun e -> match e.Trace.kind with Trace.Recv _ -> true | _ -> false) evs in
+  Alcotest.(check bool) "send+recv traced" true (has_send && has_recv)
+
+let test_sim_run_collect () =
+  let v, _ =
+    Sim.run_collect (cfg ~procs:4 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then Some "root" else None)
+  in
+  Alcotest.(check string) "collected" "root" v
+
+let test_sim_hypercube_transfer_hops_priced () =
+  (* 0 -> 7 on a 3-cube is 3 hops: transfer = 1 + 3 + bytes. *)
+  let stats =
+    Sim.run (cfg ~procs:8 ~topology:Topology.Hypercube ()) (fun ctx ->
+        if Sim.rank ctx = 0 then Sim.send ctx ~dest:7 ~bytes:5 ()
+        else if Sim.rank ctx = 7 then (Sim.recv ctx ~src:0 () : unit))
+  in
+  check_float "3 hops priced" 9.0 stats.Sim.finish_times.(7)
+
+(* --- Collectives ------------------------------------------------------------ *)
+
+let run_world ?procs ?topology ?cost f =
+  Sim.run (cfg ?procs ?topology ?cost ()) (fun ctx -> f (Comm.world ctx))
+
+let test_comm_bcast () =
+  let seen = Array.make 8 (-1) in
+  let _ =
+    run_world ~procs:8 ~topology:Topology.Hypercube (fun c ->
+        let v = Comm.bcast c ~root:3 (if Comm.rank c = 3 then Some 42 else None) in
+        seen.(Comm.rank c) <- v)
+  in
+  Array.iter (fun v -> Alcotest.(check int) "everyone got it" 42 v) seen
+
+let test_comm_bcast_root_must_supply () =
+  Alcotest.(check bool) "root None rejected" true
+    (try
+       ignore (run_world ~procs:2 (fun c -> ignore (Comm.bcast c ~root:0 (None : int option))));
+       false
+     with Invalid_argument _ -> true)
+
+let test_comm_reduce () =
+  let result = ref 0 in
+  let _ =
+    run_world ~procs:7 (fun c ->
+        match Comm.reduce c ~root:0 ( + ) (Comm.rank c + 1) with
+        | Some v -> result := v
+        | None -> ())
+  in
+  Alcotest.(check int) "sum 1..7" 28 !result
+
+let test_comm_reduce_order_preserved () =
+  (* String concatenation is associative but not commutative: binomial
+     reduction at root 0 must still produce rank order. *)
+  let result = ref "" in
+  let _ =
+    run_world ~procs:5 (fun c ->
+        match Comm.reduce c ~root:0 ( ^ ) (string_of_int (Comm.rank c)) with
+        | Some v -> result := v
+        | None -> ())
+  in
+  Alcotest.(check string) "rank order" "01234" !result
+
+let test_comm_allreduce () =
+  let ok = ref true in
+  let _ =
+    run_world ~procs:6 (fun c ->
+        let v = Comm.allreduce c max (Comm.rank c * 10) in
+        if v <> 50 then ok := false)
+  in
+  Alcotest.(check bool) "all got max" true !ok
+
+let test_comm_gather () =
+  let result = ref [||] in
+  let _ =
+    run_world ~procs:6 (fun c ->
+        match Comm.gather c ~root:2 (Comm.rank c * Comm.rank c) with
+        | Some arr -> result := arr
+        | None -> ())
+  in
+  Alcotest.(check (array int)) "squares by rank" [| 0; 1; 4; 9; 16; 25 |] !result
+
+let test_comm_allgather () =
+  let ok = ref true in
+  let _ =
+    run_world ~procs:5 (fun c ->
+        let arr = Comm.allgather c (Comm.rank c + 100) in
+        if arr <> [| 100; 101; 102; 103; 104 |] then ok := false)
+  in
+  Alcotest.(check bool) "same everywhere" true !ok
+
+let test_comm_scatter () =
+  let got = Array.make 6 (-1) in
+  let _ =
+    run_world ~procs:6 (fun c ->
+        let arr = if Comm.rank c = 1 then Some (Array.init 6 (fun i -> i * 7)) else None in
+        got.(Comm.rank c) <- Comm.scatter c ~root:1 arr)
+  in
+  Alcotest.(check (array int)) "each rank its element" [| 0; 7; 14; 21; 28; 35 |] got
+
+let test_comm_alltoall () =
+  let ok = ref true in
+  let _ =
+    run_world ~procs:4 (fun c ->
+        let me = Comm.rank c in
+        let out = Comm.alltoall c (Array.init 4 (fun j -> (me, j))) in
+        (* out.(j) is what j addressed to me: (j, me) *)
+        Array.iteri (fun j (a, b) -> if a <> j || b <> me then ok := false) out)
+  in
+  Alcotest.(check bool) "transposed" true !ok
+
+let test_comm_scan () =
+  let got = Array.make 6 (-1) in
+  let _ =
+    run_world ~procs:6 (fun c ->
+        got.(Comm.rank c) <- Comm.scan c ( + ) (Comm.rank c + 1))
+  in
+  Alcotest.(check (array int)) "prefix sums" [| 1; 3; 6; 10; 15; 21 |] got
+
+let test_comm_scan_non_commutative () =
+  let got = Array.make 4 "" in
+  let _ =
+    run_world ~procs:4 (fun c -> got.(Comm.rank c) <- Comm.scan c ( ^ ) (string_of_int (Comm.rank c)))
+  in
+  Alcotest.(check (array string)) "ordered prefixes" [| "0"; "01"; "012"; "0123" |] got
+
+let test_comm_split () =
+  let sizes = Array.make 8 0 in
+  let subrank_sum = Array.make 8 0 in
+  let _ =
+    run_world ~procs:8 (fun c ->
+        let me = Comm.rank c in
+        let sub = Comm.split c ~color:(me mod 2) ~key:me in
+        sizes.(me) <- Comm.size sub;
+        (* Sum of ranks within the even group, computed in the subgroup. *)
+        subrank_sum.(me) <- Comm.allreduce sub ( + ) (Comm.rank sub))
+  in
+  Array.iter (fun s -> Alcotest.(check int) "split halves" 4 s) sizes;
+  Array.iter (fun s -> Alcotest.(check int) "subgroup ranks 0..3" 6 s) subrank_sum
+
+let test_comm_split_groups_isolated () =
+  (* Each subgroup reduces only its own members' values. *)
+  let results = Array.make 8 0 in
+  let _ =
+    run_world ~procs:8 (fun c ->
+        let me = Comm.rank c in
+        let sub = Comm.split c ~color:(me / 4) ~key:me in
+        results.(me) <- Comm.allreduce sub ( + ) me)
+  in
+  for i = 0 to 3 do
+    Alcotest.(check int) "low group" 6 results.(i)
+  done;
+  for i = 4 to 7 do
+    Alcotest.(check int) "high group" 22 results.(i)
+  done
+
+let test_comm_barrier () =
+  (* Group barrier must synchronise clocks at least to the slowest member. *)
+  let stats =
+    Sim.run (cfg ~procs:4 ()) (fun ctx ->
+        let c = Comm.world ctx in
+        Sim.work ctx (float_of_int (Sim.rank ctx) *. 10.0);
+        Comm.barrier c)
+  in
+  Array.iter
+    (fun t -> Alcotest.(check bool) "nobody leaves early" true (t >= 30.0))
+    stats.Sim.finish_times
+
+let test_comm_exchange () =
+  let ok = ref true in
+  let _ =
+    run_world ~procs:4 (fun c ->
+        let me = Comm.rank c in
+        let partner = me lxor 1 in
+        let v = Comm.exchange c ~partner (me * 11) in
+        if v <> partner * 11 then ok := false)
+  in
+  Alcotest.(check bool) "pairwise swap" true !ok
+
+let test_comm_pipelined_collectives () =
+  (* Back-to-back collectives must not cross-talk even when members race
+     ahead: interleave reduce and bcast many times. *)
+  let ok = ref true in
+  let _ =
+    run_world ~procs:5 (fun c ->
+        for round = 1 to 20 do
+          let s = Comm.allreduce c ( + ) round in
+          if s <> 5 * round then ok := false;
+          let b = Comm.bcast c ~root:(round mod 5) (if Comm.rank c = round mod 5 then Some round else None) in
+          if b <> round then ok := false
+        done)
+  in
+  Alcotest.(check bool) "no cross-talk over 40 collectives" true !ok
+
+let prop_collectives_arbitrary_sizes =
+  qtest ~count:30 "reduce/gather/scan agree with references at any size"
+    QCheck.(int_range 1 12)
+    (fun procs ->
+      let sum = ref (-1) and arr = ref [||] in
+      let scans = Array.make procs (-1) in
+      let _ =
+        Sim.run (cfg ~procs ()) (fun ctx ->
+            let c = Comm.world ctx in
+            (match Comm.reduce c ~root:0 ( + ) (Comm.rank c) with
+            | Some v -> sum := v
+            | None -> ());
+            (match Comm.gather c ~root:0 (Comm.rank c * 2) with
+            | Some a -> arr := a
+            | None -> ());
+            scans.(Comm.rank c) <- Comm.scan c ( + ) 1)
+      in
+      !sum = procs * (procs - 1) / 2
+      && !arr = Array.init procs (fun i -> i * 2)
+      && scans = Array.init procs (fun i -> i + 1))
+
+(* --- additional simulator coverage ------------------------------------------ *)
+
+let test_sim_single_processor () =
+  (* barriers and local work degenerate correctly at P = 1 *)
+  let stats =
+    Sim.run (cfg ~procs:1 ()) (fun ctx ->
+        Sim.work ctx 2.0;
+        Sim.barrier ctx;
+        Sim.work ctx 3.0)
+  in
+  check_float "P=1 runs" 5.0 stats.Sim.makespan;
+  Alcotest.(check int) "no messages" 0 stats.Sim.total_msgs
+
+let test_sim_topology_changes_cost () =
+  (* The same program priced on different topologies: star (2 hops between
+     leaves) must cost more than complete (1 hop). *)
+  let program ctx =
+    if Sim.rank ctx = 1 then Sim.send ctx ~dest:2 ~bytes:1000 ()
+    else if Sim.rank ctx = 2 then (Sim.recv ctx ~src:1 () : unit)
+  in
+  let t topo = (Sim.run { Sim.procs = 4; topology = topo; cost = Cost_model.ap1000 } program).Sim.makespan in
+  Alcotest.(check bool) "star is slower between leaves" true (t Topology.Star > t Topology.Complete);
+  Alcotest.(check bool) "ring 1->2 neighbours = complete" true
+    (Float.abs (t Topology.Ring -. t Topology.Complete) < 1e-12)
+
+let test_sim_bigger_messages_cost_more () =
+  let t bytes =
+    (Sim.run (cfg ~procs:2 ~cost:Cost_model.ap1000 ()) (fun ctx ->
+         if Sim.rank ctx = 0 then Sim.send ctx ~dest:1 ~bytes ()
+         else (Sim.recv ctx ~src:0 () : unit))).Sim.makespan
+  in
+  Alcotest.(check bool) "10x bytes > 1x bytes" true (t 100_000 > t 10_000)
+
+let test_sim_marshalled_size_scales () =
+  (* Default sends marshal: a bigger array must register more bytes. *)
+  let bytes n =
+    (Sim.run (cfg ~procs:2 ()) (fun ctx ->
+         if Sim.rank ctx = 0 then Sim.send ctx ~dest:1 (Array.make n 7)
+         else ignore (Sim.recv ctx ~src:0 () : int array))).Sim.total_bytes
+  in
+  Alcotest.(check bool) "1000 ints > 10 ints" true (bytes 1000 > bytes 10 + 500)
+
+let test_sim_work_while_messages_fly () =
+  (* Overlap: receiver computes while the message is in flight; completion
+     time is max(compute, arrival), not the sum. *)
+  let c = { Cost_model.unit_costs with alpha = 10.0 } in
+  let stats =
+    Sim.run (cfg ~procs:2 ~cost:c ()) (fun ctx ->
+        if Sim.rank ctx = 0 then Sim.send ctx ~dest:1 ~bytes:0 ()
+        else begin
+          Sim.work ctx 6.0;
+          (Sim.recv ctx ~src:0 () : unit)
+        end)
+  in
+  (* arrival = alpha 10 + hop 1 = 11 > work 6 -> finish at 11 *)
+  check_float "overlap" 11.0 stats.Sim.finish_times.(1)
+
+let test_gantt_renders () =
+  let trace = Trace.create () in
+  let _ =
+    Sim.run ~trace (cfg ~procs:2 ()) (fun ctx ->
+        Sim.work ctx 1.0;
+        if Sim.rank ctx = 0 then Sim.send ctx ~dest:1 () else (Sim.recv ctx ~src:0 () : unit))
+  in
+  let s = Fmt.str "%a" (Trace.pp_gantt ~width:40) trace in
+  Alcotest.(check bool) "rows for both procs" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 2 && l.[0] = 'p'))
+
+let test_comm_of_ranks_requires_membership () =
+  Alcotest.(check bool) "non-member rejected" true
+    (try
+       ignore
+         (Sim.run (cfg ~procs:4 ()) (fun ctx ->
+              if Sim.rank ctx = 3 then ignore (Comm.of_ranks ctx [| 0; 1 |])));
+       false
+     with Invalid_argument _ -> true)
+
+let test_comm_singleton () =
+  (* All collectives must degenerate correctly on a singleton group. *)
+  let ok = ref false in
+  let _ =
+    Sim.run (cfg ~procs:3 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          let c = Comm.of_ranks ctx [| 0 |] in
+          Comm.barrier c;
+          let v = Comm.bcast c ~root:0 (Some 9) in
+          let r = Comm.allreduce c ( + ) 5 in
+          let g = Comm.allgather c 7 in
+          let s = Comm.scan c ( + ) 3 in
+          ok := v = 9 && r = 5 && g = [| 7 |] && s = 3
+        end)
+  in
+  Alcotest.(check bool) "singleton collectives" true !ok
+
+let test_comm_nested_split_hierarchy () =
+  (* Split twice: quarters of an 8-group; each quarter reduces its own. *)
+  let results = Array.make 8 0 in
+  let _ =
+    Sim.run (cfg ~procs:8 ()) (fun ctx ->
+        let w = Comm.world ctx in
+        let half = Comm.split w ~color:(Comm.rank w / 4) ~key:(Comm.rank w) in
+        let quarter = Comm.split half ~color:(Comm.rank half / 2) ~key:(Comm.rank half) in
+        results.(Comm.rank w) <- Comm.allreduce quarter ( + ) (Comm.rank w))
+  in
+  Alcotest.(check (array int)) "pairwise sums" [| 1; 1; 5; 5; 9; 9; 13; 13 |] results
+
+let test_sim_many_small_messages () =
+  (* Stress the scheduler: a token ring with 200 laps terminates and the
+     clock is exactly laps * procs * (unit transfer). *)
+  let procs = 5 in
+  let laps = 200 in
+  let stats =
+    Sim.run (cfg ~procs ()) (fun ctx ->
+        let me = Sim.rank ctx in
+        let next = (me + 1) mod procs and prev = (me + procs - 1) mod procs in
+        if me = 0 then begin
+          Sim.send ctx ~dest:next ~bytes:0 0;
+          for _ = 1 to laps - 1 do
+            let (k : int) = Sim.recv ctx ~src:prev () in
+            Sim.send ctx ~dest:next ~bytes:0 (k + 1)
+          done;
+          ignore (Sim.recv ctx ~src:prev () : int)
+        end
+        else
+          for _ = 1 to laps do
+            let (k : int) = Sim.recv ctx ~src:prev () in
+            Sim.send ctx ~dest:next ~bytes:0 (k + 1)
+          done)
+  in
+  Alcotest.(check int) "all messages" (laps * procs) stats.Sim.total_msgs;
+  (* unit cost: alpha 1 + hop 1 per message *)
+  check_float "ring time" (float_of_int (laps * procs) *. 2.0) stats.Sim.makespan
+
+let prop_bcast_any_root_any_size =
+  qtest ~count:40 "bcast reaches everyone for any root and size"
+    QCheck.(pair (int_range 1 12) (int_range 0 11))
+    (fun (procs, root) ->
+      let root = root mod procs in
+      let seen = Array.make procs (-1) in
+      let _ =
+        Sim.run (cfg ~procs ()) (fun ctx ->
+            let c = Comm.world ctx in
+            seen.(Comm.rank c) <-
+              Comm.bcast c ~root (if Comm.rank c = root then Some (root * 31) else None))
+      in
+      Array.for_all (fun v -> v = root * 31) seen)
+
+let prop_alltoall_transpose =
+  qtest ~count:30 "alltoall is a transpose for any size"
+    QCheck.(int_range 1 10)
+    (fun procs ->
+      let ok = ref true in
+      let _ =
+        Sim.run (cfg ~procs ()) (fun ctx ->
+            let c = Comm.world ctx in
+            let me = Comm.rank c in
+            let out = Comm.alltoall c (Array.init procs (fun j -> (me * 100) + j)) in
+            Array.iteri (fun j v -> if v <> (j * 100) + me then ok := false) out)
+      in
+      !ok)
+
+let test_run_each_per_rank_programs () =
+  (* run_each: distinct program per rank. *)
+  let stats =
+    Sim.run_each (cfg ~procs:3 ()) (fun rank ctx ->
+        match rank with
+        | 0 -> Sim.work ctx 1.0
+        | 1 -> Sim.work ctx 2.0
+        | _ -> Sim.work ctx 3.0)
+  in
+  check_float "per-rank work" 3.0 stats.Sim.makespan
+
+let test_imbalance_metric () =
+  let balanced = Sim.run (cfg ~procs:4 ()) (fun ctx -> Sim.work ctx 2.0) in
+  check_float "balanced = 1" 1.0 (Sim.imbalance balanced);
+  let skewed =
+    Sim.run (cfg ~procs:4 ()) (fun ctx ->
+        Sim.work ctx (if Sim.rank ctx = 0 then 4.0 else 0.0))
+  in
+  check_float "one hot processor" 4.0 (Sim.imbalance skewed);
+  let s = Fmt.str "%a" Sim.pp_stats skewed in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp mentions imbalance" true (contains s "imbalance")
+
+let suite =
+  [
+    ( "topology",
+      [
+        Alcotest.test_case "hypercube hops" `Quick test_hypercube_hops;
+        Alcotest.test_case "hypercube validate" `Quick test_hypercube_validate;
+        Alcotest.test_case "hypercube neighbors" `Quick test_hypercube_neighbors;
+        Alcotest.test_case "torus hops" `Quick test_torus_hops;
+        Alcotest.test_case "mesh hops" `Quick test_mesh_hops;
+        Alcotest.test_case "ring hops" `Quick test_ring_hops;
+        Alcotest.test_case "star hops" `Quick test_star_hops;
+        prop_hops_symmetric;
+        prop_neighbors_are_one_hop;
+      ] );
+    ( "cost_model",
+      [
+        Alcotest.test_case "transfer time" `Quick test_transfer_time;
+        Alcotest.test_case "barrier time" `Quick test_barrier_time;
+        Alcotest.test_case "presets sane" `Quick test_presets_sane;
+      ] );
+    ( "sim",
+      [
+        Alcotest.test_case "work accumulates" `Quick test_sim_work_accumulates;
+        Alcotest.test_case "negative work rejected" `Quick test_sim_negative_work_rejected;
+        Alcotest.test_case "message roundtrip" `Quick test_sim_message_roundtrip;
+        Alcotest.test_case "messages deep-copied" `Quick test_sim_message_is_deep_copied;
+        Alcotest.test_case "timing exact" `Quick test_sim_timing_exact;
+        Alcotest.test_case "recv waits for arrival" `Quick test_sim_recv_waits_for_arrival;
+        Alcotest.test_case "fifo per sender" `Quick test_sim_fifo_order;
+        Alcotest.test_case "tag matching" `Quick test_sim_tags_select;
+        Alcotest.test_case "recv_any arrival order" `Quick test_sim_recv_any;
+        Alcotest.test_case "barrier aligns clocks" `Quick test_sim_barrier_aligns_clocks;
+        Alcotest.test_case "deadlock detected" `Quick test_sim_deadlock_detected;
+        Alcotest.test_case "barrier mismatch detected" `Quick test_sim_barrier_mismatch_detected;
+        Alcotest.test_case "undelivered detected" `Quick test_sim_undelivered_detected;
+        Alcotest.test_case "self-send rejected" `Quick test_sim_self_send_rejected;
+        Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+        Alcotest.test_case "trace records" `Quick test_sim_trace_records;
+        Alcotest.test_case "run_collect" `Quick test_sim_run_collect;
+        Alcotest.test_case "hop pricing" `Quick test_sim_hypercube_transfer_hops_priced;
+      ] );
+    ( "comm",
+      [
+        Alcotest.test_case "bcast" `Quick test_comm_bcast;
+        Alcotest.test_case "bcast requires root value" `Quick test_comm_bcast_root_must_supply;
+        Alcotest.test_case "reduce" `Quick test_comm_reduce;
+        Alcotest.test_case "reduce order" `Quick test_comm_reduce_order_preserved;
+        Alcotest.test_case "allreduce" `Quick test_comm_allreduce;
+        Alcotest.test_case "gather" `Quick test_comm_gather;
+        Alcotest.test_case "allgather" `Quick test_comm_allgather;
+        Alcotest.test_case "scatter" `Quick test_comm_scatter;
+        Alcotest.test_case "alltoall" `Quick test_comm_alltoall;
+        Alcotest.test_case "scan" `Quick test_comm_scan;
+        Alcotest.test_case "scan non-commutative" `Quick test_comm_scan_non_commutative;
+        Alcotest.test_case "split" `Quick test_comm_split;
+        Alcotest.test_case "split isolation" `Quick test_comm_split_groups_isolated;
+        Alcotest.test_case "group barrier" `Quick test_comm_barrier;
+        Alcotest.test_case "exchange" `Quick test_comm_exchange;
+        Alcotest.test_case "pipelined collectives" `Quick test_comm_pipelined_collectives;
+        prop_collectives_arbitrary_sizes;
+      ] );
+    ( "sim_extra",
+      [
+        Alcotest.test_case "single processor" `Quick test_sim_single_processor;
+        Alcotest.test_case "topology pricing" `Quick test_sim_topology_changes_cost;
+        Alcotest.test_case "message size pricing" `Quick test_sim_bigger_messages_cost_more;
+        Alcotest.test_case "marshalled sizes" `Quick test_sim_marshalled_size_scales;
+        Alcotest.test_case "compute/transfer overlap" `Quick test_sim_work_while_messages_fly;
+        Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
+        Alcotest.test_case "token ring stress" `Quick test_sim_many_small_messages;
+        Alcotest.test_case "run_each" `Quick test_run_each_per_rank_programs;
+        Alcotest.test_case "imbalance metric" `Quick test_imbalance_metric;
+      ] );
+    ( "comm_extra",
+      [
+        Alcotest.test_case "of_ranks membership" `Quick test_comm_of_ranks_requires_membership;
+        Alcotest.test_case "singleton group" `Quick test_comm_singleton;
+        Alcotest.test_case "nested splits" `Quick test_comm_nested_split_hierarchy;
+        prop_bcast_any_root_any_size;
+        prop_alltoall_transpose;
+      ] );
+  ]
+
+let () = Alcotest.run "machine" suite

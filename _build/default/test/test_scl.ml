@@ -1,0 +1,804 @@
+(* Tests for the SCL core library: ParArrays, partitions, configurations,
+   elementary / communication / computational skeletons, on both the
+   sequential and the pool backends. *)
+
+open Scl
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let int_par = Alcotest.testable (Par_array.pp Fmt.int) (Par_array.equal ( = ))
+
+(* A pool shared by the whole suite (spawning domains per test is slow). *)
+let pool = lazy (Runtime.Pool.create ~num_domains:3 ())
+let pexec = lazy (Exec.on_pool (Lazy.force pool))
+
+let both_execs f () =
+  f Exec.sequential;
+  f (Lazy.force pexec)
+
+(* --- Par_array ------------------------------------------------------------ *)
+
+let test_par_array_basics () =
+  let pa = Par_array.init 5 (fun i -> i * i) in
+  Alcotest.(check int) "length" 5 (Par_array.length pa);
+  Alcotest.(check int) "get" 9 (Par_array.get pa 3);
+  let pa' = Par_array.set pa 0 42 in
+  Alcotest.(check int) "set is functional" 0 (Par_array.get pa 0);
+  Alcotest.(check int) "set" 42 (Par_array.get pa' 0)
+
+let test_par_array_bounds () =
+  let pa = Par_array.init 3 Fun.id in
+  Alcotest.(check bool) "get oob raises" true
+    (try
+       ignore (Par_array.get pa 3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_par_array_of_array_copies () =
+  let a = [| 1; 2; 3 |] in
+  let pa = Par_array.of_array a in
+  a.(0) <- 99;
+  Alcotest.(check int) "insulated from mutation" 1 (Par_array.get pa 0)
+
+let test_par_array_concat_sub () =
+  let a = Par_array.of_list [ 1; 2 ] and b = Par_array.of_list [ 3 ] in
+  let c = Par_array.concat [ a; b ] in
+  Alcotest.(check (list int)) "concat" [ 1; 2; 3 ] (Par_array.to_list c);
+  Alcotest.(check (list int)) "sub" [ 2; 3 ] (Par_array.to_list (Par_array.sub c ~pos:1 ~len:2))
+
+(* --- Partition -------------------------------------------------------------- *)
+
+let patterns_for n =
+  [
+    Partition.Block 1;
+    Partition.Block 3;
+    Partition.Block 7;
+    Partition.Cyclic 3;
+    Partition.Cyclic 5;
+    Partition.Block_cyclic { parts = 3; block = 2 };
+    Partition.Custom { parts = 4; name = "mod-ish"; assign = (fun i -> i * i mod 4) };
+  ]
+  |> List.filter (fun p -> Partition.parts p <= max 1 n || true)
+
+let prop_partition_roundtrip =
+  qtest "unapply (apply pat a) = a for every pattern"
+    QCheck.(list small_int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      List.for_all
+        (fun pat -> Partition.unapply pat (Partition.apply pat a) = a)
+        (patterns_for (Array.length a)))
+
+let test_partition_block_sizes () =
+  let sizes = Partition.part_sizes (Partition.Block 4) ~n:10 in
+  Alcotest.(check (array int)) "balanced" [| 3; 3; 2; 2 |] sizes
+
+let test_partition_block_contents () =
+  let pieces = Partition.apply (Partition.Block 3) [| 0; 1; 2; 3; 4; 5; 6 |] in
+  Alcotest.(check (array int)) "part 0" [| 0; 1; 2 |] (Par_array.get pieces 0);
+  Alcotest.(check (array int)) "part 1" [| 3; 4 |] (Par_array.get pieces 1);
+  Alcotest.(check (array int)) "part 2" [| 5; 6 |] (Par_array.get pieces 2)
+
+let test_partition_cyclic_contents () =
+  let pieces = Partition.apply (Partition.Cyclic 3) [| 0; 1; 2; 3; 4; 5; 6 |] in
+  Alcotest.(check (array int)) "part 0" [| 0; 3; 6 |] (Par_array.get pieces 0);
+  Alcotest.(check (array int)) "part 1" [| 1; 4 |] (Par_array.get pieces 1)
+
+let test_partition_block_cyclic () =
+  let pat = Partition.Block_cyclic { parts = 2; block = 2 } in
+  let pieces = Partition.apply pat [| 0; 1; 2; 3; 4; 5; 6; 7 |] in
+  Alcotest.(check (array int)) "part 0" [| 0; 1; 4; 5 |] (Par_array.get pieces 0);
+  Alcotest.(check (array int)) "part 1" [| 2; 3; 6; 7 |] (Par_array.get pieces 1)
+
+let test_partition_more_parts_than_elements () =
+  let pieces = Partition.apply (Partition.Block 5) [| 1; 2 |] in
+  Alcotest.(check int) "five parts" 5 (Par_array.length pieces);
+  Alcotest.(check (array int)) "roundtrip" [| 1; 2 |]
+    (Partition.unapply (Partition.Block 5) pieces)
+
+let test_partition_invalid () =
+  Alcotest.(check bool) "0 parts rejected" true
+    (try
+       ignore (Partition.apply (Partition.Block 0) [| 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad custom assign rejected" true
+    (try
+       ignore
+         (Partition.apply (Partition.Custom { parts = 2; name = "bad"; assign = (fun _ -> 7) }) [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_partition_unapply_inconsistent () =
+  let pieces = Par_array.of_list [ [| 1 |]; [| 2; 3; 4 |] ] in
+  Alcotest.(check bool) "inconsistent sizes rejected" true
+    (try
+       ignore (Partition.unapply (Partition.Cyclic 2) pieces);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_split_combine =
+  qtest "combine (split p x) = x (block patterns)"
+    QCheck.(pair (list small_int) (int_range 1 6))
+    (fun (xs, p) ->
+      let pa = Par_array.of_list xs in
+      Par_array.equal ( = ) (Partition.combine (Partition.split (Partition.Block p) pa)) pa)
+
+(* --- Partition2 -------------------------------------------------------------- *)
+
+let mk_matrix r c = Par_array2.init ~rows:r ~cols:c (fun i j -> (i * 100) + j)
+
+let prop_partition2_roundtrip =
+  qtest ~count:100 "2-D unapply (apply pat m) = m"
+    QCheck.(triple (int_range 0 9) (int_range 0 9) (int_range 0 4))
+    (fun (r, c, which) ->
+      let pat =
+        match which with
+        | 0 -> Partition2.row_block 3
+        | 1 -> Partition2.col_block 2
+        | 2 -> Partition2.row_col_block 2 3
+        | 3 -> Partition2.row_cyclic 2
+        | _ -> Partition2.col_cyclic 3
+      in
+      let m = mk_matrix r c in
+      Par_array2.equal ( = ) (Partition2.unapply pat (Partition2.apply pat m)) m)
+
+let test_partition2_row_block_shape () =
+  let m = mk_matrix 4 6 in
+  let grid = Partition2.apply (Partition2.row_block 2) m in
+  Alcotest.(check (pair int int)) "grid" (2, 1) (Par_array2.dims grid);
+  let piece = Par_array2.get grid 0 0 in
+  Alcotest.(check (pair int int)) "piece" (2, 6) (Par_array2.dims piece)
+
+let test_partition2_row_col_block_shape () =
+  let m = mk_matrix 4 4 in
+  let grid = Partition2.apply (Partition2.row_col_block 2 2) m in
+  Alcotest.(check (pair int int)) "grid" (2, 2) (Par_array2.dims grid);
+  Alcotest.(check int) "corner element" 202 (Par_array2.get (Par_array2.get grid 1 1) 0 0)
+
+(* --- Par_array2 skeletons ------------------------------------------------- *)
+
+let test_par_array2_imap_fold () =
+  let m = Par_array2.init ~rows:3 ~cols:4 (fun i j -> i + j) in
+  let m2 = Par_array2.imap (fun i j v -> v + (i * 10) + j) m in
+  Alcotest.(check int) "imap" (2 + 3 + 20 + 3) (Par_array2.get m2 2 3);
+  Alcotest.(check int) "fold sum" 30 (Par_array2.fold ( + ) m)
+
+let test_par_array2_transpose () =
+  let m = mk_matrix 2 3 in
+  let t = Par_array2.transpose m in
+  Alcotest.(check (pair int int)) "dims" (3, 2) (Par_array2.dims t);
+  Alcotest.(check int) "value" 102 (Par_array2.get t 2 1)
+
+let test_rotate_row () =
+  let m = mk_matrix 2 4 in
+  (* row i rotated left by i *)
+  let r = Par_array2.rotate_row (fun i -> i) m in
+  Alcotest.(check (array int)) "row 0 unchanged" [| 0; 1; 2; 3 |] (Par_array2.row r 0);
+  Alcotest.(check (array int)) "row 1 left by 1" [| 101; 102; 103; 100 |] (Par_array2.row r 1)
+
+let test_rotate_col () =
+  let m = mk_matrix 4 2 in
+  let r = Par_array2.rotate_col (fun j -> j) m in
+  Alcotest.(check (array int)) "col 0 unchanged" [| 0; 100; 200; 300 |] (Par_array2.col r 0);
+  Alcotest.(check (array int)) "col 1 up by 1" [| 101; 201; 301; 1 |] (Par_array2.col r 1)
+
+let prop_rotate_row_inverse =
+  qtest ~count:100 "rotate_row df then -df = id"
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range (-5) 5))
+    (fun (r, c, k) ->
+      let m = mk_matrix r c in
+      let df i = (i * k) mod 7 in
+      Par_array2.equal ( = )
+        (Par_array2.rotate_row (fun i -> -df i) (Par_array2.rotate_row df m))
+        m)
+
+(* --- Config ------------------------------------------------------------------ *)
+
+let test_align_unalign () =
+  let a = Par_array.of_list [ 1; 2; 3 ] and b = Par_array.of_list [ "x"; "y"; "z" ] in
+  let ab = Config.align a b in
+  Alcotest.(check (pair int string)) "pairing" (2, "y") (Par_array.get ab 1);
+  let a', b' = Config.unalign ab in
+  Alcotest.check int_par "left back" a a';
+  Alcotest.(check (list string)) "right back" [ "x"; "y"; "z" ] (Par_array.to_list b')
+
+let test_align_mismatch () =
+  Alcotest.(check bool) "length mismatch" true
+    (try
+       ignore (Config.align (Par_array.of_list [ 1 ]) (Par_array.of_list [ 1; 2 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_distribution2 () =
+  let conf =
+    Config.distribution2 ~move1:Fun.id ~pat1:(Partition.Block 2) ~move2:Fun.id
+      ~pat2:(Partition.Cyclic 2) [| 1; 2; 3; 4 |] [| 10; 20; 30; 40 |]
+  in
+  Alcotest.(check int) "two tuples" 2 (Par_array.length conf);
+  let a0, b0 = Par_array.get conf 0 in
+  Alcotest.(check (array int)) "block part" [| 1; 2 |] a0;
+  Alcotest.(check (array int)) "cyclic part" [| 10; 30 |] b0
+
+let test_distribution2_with_movement () =
+  (* A bulk movement (rotate) applied as part of the distribution. *)
+  let conf =
+    Config.distribution2
+      ~move1:(fun da -> Communication.rotate 1 da)
+      ~pat1:(Partition.Block 2) ~move2:Fun.id ~pat2:(Partition.Block 2) [| 1; 2; 3; 4 |]
+      [| 10; 20; 30; 40 |]
+  in
+  let a0, _ = Par_array.get conf 0 in
+  Alcotest.(check (array int)) "rotated pieces" [| 3; 4 |] a0
+
+let test_redistribution () =
+  let da = Par_array.of_list [ 1; 2 ] and db = Par_array.of_list [ 3; 4 ] in
+  let da', db' =
+    Config.redistribution2 (Communication.rotate 1, Communication.rotate (-1)) (da, db)
+  in
+  Alcotest.(check (list int)) "left rotated" [ 2; 1 ] (Par_array.to_list da');
+  Alcotest.(check (list int)) "right rotated" [ 4; 3 ] (Par_array.to_list db')
+
+let test_gather_is_partition_inverse () =
+  let a = Array.init 13 Fun.id in
+  let pat = Partition.Cyclic 4 in
+  Alcotest.(check (array int)) "gather" a (Config.gather pat (Partition.apply pat a))
+
+(* --- Elementary --------------------------------------------------------------- *)
+
+let test_map_both = both_execs (fun exec ->
+    let pa = Par_array.init 100 Fun.id in
+    let r = Elementary.map ~exec (fun x -> x * 2) pa in
+    Alcotest.(check bool) (exec.Exec.name ^ " map") true
+      (Par_array.equal ( = ) r (Par_array.init 100 (fun i -> 2 * i))))
+
+let test_imap_both = both_execs (fun exec ->
+    let pa = Par_array.make 10 5 in
+    let r = Elementary.imap ~exec (fun i x -> i * x) pa in
+    Alcotest.(check bool) (exec.Exec.name ^ " imap") true
+      (Par_array.equal ( = ) r (Par_array.init 10 (fun i -> 5 * i))))
+
+let test_fold_both = both_execs (fun exec ->
+    let pa = Par_array.init 1000 (fun i -> i + 1) in
+    Alcotest.(check int) (exec.Exec.name ^ " fold") 500500 (Elementary.fold ~exec ( + ) pa))
+
+let test_fold_non_commutative = both_execs (fun exec ->
+    (* String concatenation: checks combination order. *)
+    let pa = Par_array.init 50 string_of_int in
+    let expect = String.concat "" (List.init 50 string_of_int) in
+    Alcotest.(check string) (exec.Exec.name ^ " ordered fold") expect
+      (Elementary.fold ~exec ( ^ ) pa))
+
+let test_fold_empty () =
+  Alcotest.(check bool) "empty fold raises" true
+    (try
+       ignore (Elementary.fold ( + ) (Par_array.of_array [||]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_scan_both = both_execs (fun exec ->
+    let pa = Par_array.init 100 (fun i -> i + 1) in
+    let r = Elementary.scan ~exec ( + ) pa in
+    let expect = Par_array.init 100 (fun i -> (i + 1) * (i + 2) / 2) in
+    Alcotest.(check bool) (exec.Exec.name ^ " scan") true (Par_array.equal ( = ) r expect))
+
+let prop_scan_matches_seq =
+  qtest "pool scan = sequential scan (non-commutative op)"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 500) small_string)
+    (fun xs ->
+      let pa = Par_array.of_list xs in
+      let s1 = Elementary.scan ( ^ ) pa in
+      let s2 = Elementary.scan ~exec:(Lazy.force pexec) ( ^ ) pa in
+      Par_array.equal ( = ) s1 s2)
+
+let test_scan_exclusive () =
+  let pa = Par_array.of_list [ 1; 2; 3 ] in
+  let r = Elementary.scan_exclusive ( + ) 0 pa in
+  Alcotest.(check (list int)) "exclusive" [ 0; 1; 3 ] (Par_array.to_list r)
+
+let test_zip_with () =
+  let a = Par_array.of_list [ 1; 2; 3 ] and b = Par_array.of_list [ 10; 20; 30 ] in
+  Alcotest.(check (list int)) "zip" [ 11; 22; 33 ]
+    (Par_array.to_list (Elementary.zip_with ( + ) a b))
+
+(* --- Communication ------------------------------------------------------------- *)
+
+let test_rotate () =
+  let pa = Par_array.of_list [ 0; 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "left by 2" [ 2; 3; 4; 0; 1 ]
+    (Par_array.to_list (Communication.rotate 2 pa));
+  Alcotest.(check (list int)) "right by 1" [ 4; 0; 1; 2; 3 ]
+    (Par_array.to_list (Communication.rotate (-1) pa))
+
+let prop_rotate_compose =
+  qtest "rotate a . rotate b = rotate (a+b)"
+    QCheck.(triple (list small_int) (int_range (-10) 10) (int_range (-10) 10))
+    (fun (xs, a, b) ->
+      let pa = Par_array.of_list xs in
+      Par_array.equal ( = )
+        (Communication.rotate a (Communication.rotate b pa))
+        (Communication.rotate (a + b) pa))
+
+let prop_rotate_identity =
+  qtest "rotate 0 = id and rotate n = id"
+    QCheck.(list small_int)
+    (fun xs ->
+      let pa = Par_array.of_list xs in
+      Par_array.equal ( = ) (Communication.rotate 0 pa) pa
+      && Par_array.equal ( = ) (Communication.rotate (List.length xs) pa) pa)
+
+let test_brdcast () =
+  let pa = Par_array.of_list [ 10; 20 ] in
+  let r = Communication.brdcast 7 pa in
+  Alcotest.(check (list (pair int int))) "paired" [ (7, 10); (7, 20) ] (Par_array.to_list r)
+
+let test_applybrdcast () =
+  let pa = Par_array.of_list [ 10; 20; 30 ] in
+  let r = Communication.applybrdcast (fun x -> x + 1) 2 pa in
+  Alcotest.(check (list (pair int int))) "applied and broadcast"
+    [ (31, 10); (31, 20); (31, 30) ]
+    (Par_array.to_list r)
+
+let test_fetch () =
+  let pa = Par_array.of_list [ 0; 10; 20; 30 ] in
+  let r = Communication.fetch (fun i -> (i + 1) mod 4) pa in
+  Alcotest.(check (list int)) "fetched" [ 10; 20; 30; 0 ] (Par_array.to_list r)
+
+let test_fetch_one_to_many () =
+  let pa = Par_array.of_list [ 5; 6; 7 ] in
+  let r = Communication.fetch (fun _ -> 0) pa in
+  Alcotest.(check (list int)) "all from source 0" [ 5; 5; 5 ] (Par_array.to_list r)
+
+let prop_fetch_compose =
+  qtest "fetch f . fetch g = fetch (g . f)"
+    QCheck.(pair (int_range 1 20) (pair (int_range 0 100) (int_range 0 100)))
+    (fun (n, (ka, kb)) ->
+      let pa = Par_array.init n (fun i -> i * 3) in
+      let f i = (i + ka) mod n and g i = (i * (1 + (kb mod 3))) mod n in
+      let lhs = Communication.fetch f (Communication.fetch g pa) in
+      let rhs = Communication.fetch (fun i -> g (f i)) pa in
+      Par_array.equal ( = ) lhs rhs)
+
+let test_send_many_to_one () =
+  let pa = Par_array.of_list [ 1; 2; 3; 4 ] in
+  let r = Communication.send (fun k -> [ k / 2 ]) pa in
+  Alcotest.(check (array int)) "site 0" [| 1; 2 |] (Par_array.get r 0);
+  Alcotest.(check (array int)) "site 1" [| 3; 4 |] (Par_array.get r 1);
+  Alcotest.(check (array int)) "site 2 empty" [||] (Par_array.get r 2)
+
+let test_send_one_to_many () =
+  let pa = Par_array.of_list [ 1; 2 ] in
+  let r = Communication.send (fun k -> if k = 0 then [ 0; 1 ] else []) pa in
+  Alcotest.(check (array int)) "duplicated" [| 1 |] (Par_array.get r 0);
+  Alcotest.(check (array int)) "second copy" [| 1 |] (Par_array.get r 1)
+
+let prop_send_one_compose =
+  qtest "send_one f . send_one g = send_one (f . g) (permutations)"
+    QCheck.(pair (int_range 1 20) (pair (int_range 0 19) (int_range 0 19)))
+    (fun (n, (ka, kb)) ->
+      let pa = Par_array.init n (fun i -> i) in
+      let f i = (i + ka) mod n and g i = (i + kb) mod n in
+      let lhs = Communication.send_one f (Communication.send_one g pa) in
+      let rhs = Communication.send_one (fun k -> f (g k)) pa in
+      Par_array.equal ( = ) lhs rhs)
+
+let test_send_one_rejects_collision () =
+  Alcotest.(check bool) "non-injective rejected" true
+    (try
+       ignore (Communication.send_one (fun _ -> 0) (Par_array.of_list [ 1; 2 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_all_to_all () =
+  let pa = Par_array.of_list [ 1; 2; 3 ] in
+  let r = Communication.all_to_all pa in
+  Alcotest.(check (array int)) "everyone has everything" [| 1; 2; 3 |] (Par_array.get r 1)
+
+(* --- Computational ---------------------------------------------------------------- *)
+
+let test_farm = both_execs (fun exec ->
+    let jobs = Par_array.init 20 Fun.id in
+    let r = Computational.farm ~exec (fun env x -> (env * x) + 1) 10 jobs in
+    Alcotest.(check bool) (exec.Exec.name ^ " farm") true
+      (Par_array.equal ( = ) r (Par_array.init 20 (fun i -> (10 * i) + 1))))
+
+let test_farm_is_map () =
+  let jobs = Par_array.init 9 Fun.id in
+  let f env x = env + (x * x) in
+  Alcotest.(check bool) "farm f env = map (f env)" true
+    (Par_array.equal ( = )
+       (Computational.farm f 3 jobs)
+       (Elementary.map (f 3) jobs))
+
+let test_farm_dynamic () =
+  let jobs = Par_array.init 50 Fun.id in
+  let r = Computational.farm_dynamic (Lazy.force pool) (fun env x -> env - x) 100 jobs in
+  Alcotest.(check bool) "dynamic farm" true
+    (Par_array.equal ( = ) r (Par_array.init 50 (fun i -> 100 - i)))
+
+let test_iter_until () =
+  let r = Computational.iter_until (fun x -> x * 2) (fun x -> x + 1) (fun x -> x > 100) 3 in
+  (* 3 -> 6 -> ... -> 192; final solve adds 1 *)
+  Alcotest.(check int) "iterate then finalise" 193 r
+
+let test_iter_until_immediate () =
+  let r = Computational.iter_until (fun x -> x + 1) string_of_int (fun _ -> true) 7 in
+  Alcotest.(check string) "condition already true" "7" r
+
+let test_iter_for () =
+  let r = Computational.iter_for 5 (fun i x -> x + i) 0 in
+  Alcotest.(check int) "sum of indices" 10 r;
+  Alcotest.(check int) "zero iterations" 42 (Computational.iter_for 0 (fun _ x -> x + 1) 42)
+
+let test_iter_for_negative () =
+  Alcotest.(check bool) "negative count rejected" true
+    (try
+       ignore (Computational.iter_for (-1) (fun _ x -> x) 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_spmd_stages () =
+  (* Two supersteps: local increment, then a global rotation. *)
+  let st =
+    Computational.stage
+      ~global:(Communication.rotate 1)
+      ~local:(fun _ x -> x + 1)
+      ()
+  in
+  let pa = Par_array.of_list [ 10; 20; 30 ] in
+  let r = Computational.spmd [ st; st ] pa in
+  (* step: +1 then rotate: <21,31,11> ; again: <32,12,22> *)
+  Alcotest.(check (list int)) "two supersteps" [ 32; 12; 22 ] (Par_array.to_list r)
+
+let test_spmd_empty_is_id () =
+  let pa = Par_array.of_list [ 1; 2 ] in
+  Alcotest.(check bool) "SPMD [] = id" true (Par_array.equal ( = ) (Computational.spmd [] pa) pa)
+
+(* --- Config extras --------------------------------------------------------------- *)
+
+let test_align3 () =
+  let a = Par_array.of_list [ 1; 2 ]
+  and b = Par_array.of_list [ "x"; "y" ]
+  and c = Par_array.of_list [ 1.5; 2.5 ] in
+  let abc = Config.align3 a b c in
+  Alcotest.(check bool) "triple" true (Par_array.get abc 1 = (2, "y", 2.5));
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Config.align3 a b (Par_array.of_list [ 1.0 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_distribution3 () =
+  let conf =
+    Config.distribution3 ~move1:Fun.id ~pat1:(Partition.Block 2) ~move2:Fun.id
+      ~pat2:(Partition.Cyclic 2) ~move3:Fun.id ~pat3:(Partition.Block 2) [| 1; 2; 3; 4 |]
+      [| 5; 6; 7; 8 |] [| 9; 10; 11; 12 |]
+  in
+  let a0, b0, c0 = Par_array.get conf 0 in
+  Alcotest.(check (array int)) "block" [| 1; 2 |] a0;
+  Alcotest.(check (array int)) "cyclic" [| 5; 7 |] b0;
+  Alcotest.(check (array int)) "block again" [| 9; 10 |] c0
+
+let test_distribution_list () =
+  let confs =
+    Config.distribution_list
+      [ (Fun.id, Partition.Block 2); (Fun.id, Partition.Cyclic 2) ]
+      [ [| 1; 2; 3 |]; [| 4; 5; 6 |] ]
+  in
+  Alcotest.(check int) "two configurations" 2 (List.length confs);
+  Alcotest.(check bool) "count mismatch raises" true
+    (try
+       ignore (Config.distribution_list [ (Fun.id, Partition.Block 2) ] []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_redistribution_list () =
+  let rs =
+    Config.redistribution_list
+      [ Communication.rotate 1; Communication.rotate (-1) ]
+      [ Par_array.of_list [ 1; 2; 3 ]; Par_array.of_list [ 4; 5; 6 ] ]
+  in
+  Alcotest.(check (list (list int))) "componentwise movement"
+    [ [ 2; 3; 1 ]; [ 6; 4; 5 ] ]
+    (List.map Par_array.to_list rs)
+
+let prop_scan_exclusive_shifts_inclusive =
+  qtest "scan_exclusive = unit :: init of scan"
+    QCheck.(list small_int)
+    (fun xs ->
+      let pa = Par_array.of_list xs in
+      let inc = Elementary.scan ( + ) pa in
+      let exc = Elementary.scan_exclusive ( + ) 0 pa in
+      let n = List.length xs in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let expect = if i = 0 then 0 else Par_array.get inc (i - 1) in
+        if Par_array.get exc i <> expect then ok := false
+      done;
+      !ok)
+
+let test_fold_with_unit () =
+  Alcotest.(check int) "empty gives unit" 42
+    (Elementary.fold_with_unit ( + ) 42 (Par_array.of_array [||]));
+  Alcotest.(check int) "non-empty folds" 6
+    (Elementary.fold_with_unit ( + ) 0 (Par_array.of_list [ 1; 2; 3 ]))
+
+let prop_block_cyclic_balanced =
+  qtest "block-cyclic part sizes differ by at most one block"
+    QCheck.(triple (int_range 0 100) (int_range 1 6) (int_range 1 5))
+    (fun (n, parts, block) ->
+      let sizes = Partition.part_sizes (Partition.Block_cyclic { parts; block }) ~n in
+      let mx = Array.fold_left max 0 sizes and mn = Array.fold_left min max_int sizes in
+      mx - mn <= block)
+
+let test_par_array2_zip_mismatch () =
+  let a = Par_array2.init ~rows:2 ~cols:2 (fun _ _ -> 0) in
+  let b = Par_array2.init ~rows:2 ~cols:3 (fun _ _ -> 0) in
+  Alcotest.(check bool) "shape mismatch raises" true
+    (try
+       ignore (Par_array2.zip a b);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_rotate_col_inverse =
+  qtest ~count:100 "rotate_col df then -df = id"
+    QCheck.(triple (int_range 1 6) (int_range 1 6) (int_range (-5) 5))
+    (fun (r, c, k) ->
+      let m = mk_matrix r c in
+      let df j = (j * k) mod 5 in
+      Par_array2.equal ( = )
+        (Par_array2.rotate_col (fun j -> -df j) (Par_array2.rotate_col df m))
+        m)
+
+(* --- Nested (segmented) operations ------------------------------------------------- *)
+
+let gen_nested =
+  QCheck.Gen.(
+    map
+      (fun segs -> Par_array.of_list (List.map Array.of_list segs))
+      (list_size (int_range 0 8) (list_size (int_range 0 10) small_int)))
+
+let arb_nested =
+  QCheck.make
+    ~print:(fun nested ->
+      Fmt.str "%a" (Par_array.pp (fun ppf a -> Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") int) a)) nested)
+    gen_nested
+
+let prop_segmented_scan_matches_reference =
+  qtest "segmented scan (flat machinery) = per-segment scan"
+    arb_nested
+    (fun nested ->
+      let got = Nested.segmented_scan ( + ) nested in
+      let expect = Nested.segmented_scan_reference ( + ) nested in
+      Par_array.equal ( = ) got expect)
+
+let prop_segmented_scan_pool_backend =
+  qtest ~count:60 "segmented scan on the pool backend"
+    arb_nested
+    (fun nested ->
+      let got = Nested.segmented_scan ~exec:(Lazy.force pexec) ( ^ )
+          (Elementary.map (Array.map string_of_int) nested)
+      in
+      let expect =
+        Nested.segmented_scan_reference ( ^ ) (Elementary.map (Array.map string_of_int) nested)
+      in
+      Par_array.equal ( = ) got expect)
+
+let prop_segmented_fold =
+  qtest "segmented fold = per-segment sum"
+    arb_nested
+    (fun nested ->
+      let got = Nested.segmented_fold ( + ) 0 nested in
+      let expect = Elementary.map (Array.fold_left ( + ) 0) nested in
+      Par_array.equal ( = ) got expect)
+
+let prop_segmented_op_associative =
+  qtest "flag-reset lift preserves associativity"
+    QCheck.(triple (pair bool small_int) (pair bool small_int) (pair bool small_int))
+    (fun (a, b, c) ->
+      let op = Nested.segmented_op ( + ) in
+      op (op a b) c = op a (op b c))
+
+let test_flatten_roundtrip () =
+  let nested = Par_array.of_list [ [| 1; 2 |]; [||]; [| 3 |] ] in
+  let lengths = Nested.segment_lengths nested in
+  let flat = Array.map snd (Nested.flatten_with_flags nested) in
+  Alcotest.(check bool) "unflatten inverts" true
+    (Par_array.equal ( = ) (Nested.unflatten lengths flat) nested)
+
+(* --- Stream skeletons --------------------------------------------------------------- *)
+
+let test_stream_single_stage () =
+  let pipe = Stream_skel.stage (fun x -> x * 3) in
+  Alcotest.(check (list int)) "map law" [ 3; 6; 9 ] (Stream_skel.run pipe [ 1; 2; 3 ])
+
+let test_stream_composition () =
+  let open Stream_skel in
+  let pipe = stage (fun x -> x + 1) >>> stage (fun x -> x * 2) >>> stage string_of_int in
+  Alcotest.(check (list string)) "pipeline" [ "4"; "6"; "8" ] (run pipe [ 1; 2; 3 ])
+
+let test_stream_farm_preserves_order () =
+  let open Stream_skel in
+  (* Jobs with inversely proportional cost: later jobs finish first inside
+     the farm; the collector must still restore input order. *)
+  let slow_for x =
+    let spin = (50 - x) * 2000 in
+    let acc = ref 0 in
+    for i = 1 to spin do
+      acc := !acc + i
+    done;
+    ignore !acc;
+    x * x
+  in
+  let pipe = farm ~workers:4 slow_for in
+  let inputs = List.init 50 Fun.id in
+  Alcotest.(check (list int)) "ordered" (List.map (fun x -> x * x) inputs) (run pipe inputs)
+
+let test_stream_law_matches_apply () =
+  let open Stream_skel in
+  let pipe = stage (fun x -> x - 7) >>> farm ~workers:3 (fun x -> x * x) >>> stage (fun x -> x mod 97) in
+  let inputs = List.init 200 (fun i -> i * 13) in
+  Alcotest.(check (list int)) "run = map apply" (List.map (apply pipe) inputs) (run pipe inputs)
+
+let test_stream_empty_input () =
+  let pipe = Stream_skel.stage (fun x -> x + 1) in
+  Alcotest.(check (list int)) "empty" [] (Stream_skel.run pipe [])
+
+let test_stream_failure_propagates () =
+  let open Stream_skel in
+  let pipe = stage (fun x -> if x = 5 then failwith "boom" else x) >>> stage (fun x -> x * 2) in
+  Alcotest.(check bool) "Stage_failure raised" true
+    (try
+       ignore (run pipe [ 1; 2; 3; 4; 5; 6 ]);
+       false
+     with Stage_failure (Failure msg, _) -> msg = "boom")
+
+let test_stream_invalid_workers () =
+  Alcotest.(check bool) "0 workers rejected" true
+    (try
+       ignore (Stream_skel.stage ~workers:0 Fun.id);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stream_stage_count () =
+  let open Stream_skel in
+  Alcotest.(check int) "three stages" 3
+    (stages (stage Fun.id >>> stage Fun.id >>> stage Fun.id))
+
+let prop_stream_matches_list_map =
+  qtest ~count:25 "stream run = List.map (sequential meaning)"
+    QCheck.(pair (list small_int) (int_range 1 4))
+    (fun (xs, workers) ->
+      let open Stream_skel in
+      let pipe = farm ~workers (fun x -> (x * 31) mod 101) in
+      run pipe xs = List.map (apply pipe) xs)
+
+(* --- Exec internals --------------------------------------------------------------- *)
+
+let test_chunk_bounds () =
+  Alcotest.(check (array int)) "10 into 3" [| 0; 4; 7; 10 |] (Exec.chunk_bounds 10 3);
+  Alcotest.(check (array int)) "fewer elements than chunks" [| 0; 1; 2 |] (Exec.chunk_bounds 2 5)
+
+let () =
+  let suite =
+    [
+      ( "par_array",
+        [
+          Alcotest.test_case "basics" `Quick test_par_array_basics;
+          Alcotest.test_case "bounds" `Quick test_par_array_bounds;
+          Alcotest.test_case "of_array copies" `Quick test_par_array_of_array_copies;
+          Alcotest.test_case "concat/sub" `Quick test_par_array_concat_sub;
+        ] );
+      ( "partition",
+        [
+          prop_partition_roundtrip;
+          Alcotest.test_case "block sizes" `Quick test_partition_block_sizes;
+          Alcotest.test_case "block contents" `Quick test_partition_block_contents;
+          Alcotest.test_case "cyclic contents" `Quick test_partition_cyclic_contents;
+          Alcotest.test_case "block-cyclic" `Quick test_partition_block_cyclic;
+          Alcotest.test_case "parts > elements" `Quick test_partition_more_parts_than_elements;
+          Alcotest.test_case "invalid patterns" `Quick test_partition_invalid;
+          Alcotest.test_case "unapply consistency" `Quick test_partition_unapply_inconsistent;
+          prop_split_combine;
+        ] );
+      ( "partition2",
+        [
+          prop_partition2_roundtrip;
+          Alcotest.test_case "row_block shape" `Quick test_partition2_row_block_shape;
+          Alcotest.test_case "row_col_block shape" `Quick test_partition2_row_col_block_shape;
+        ] );
+      ( "par_array2",
+        [
+          Alcotest.test_case "imap/fold" `Quick test_par_array2_imap_fold;
+          Alcotest.test_case "transpose" `Quick test_par_array2_transpose;
+          Alcotest.test_case "rotate_row" `Quick test_rotate_row;
+          Alcotest.test_case "rotate_col" `Quick test_rotate_col;
+          prop_rotate_row_inverse;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "align/unalign" `Quick test_align_unalign;
+          Alcotest.test_case "align mismatch" `Quick test_align_mismatch;
+          Alcotest.test_case "distribution2" `Quick test_distribution2;
+          Alcotest.test_case "distribution with movement" `Quick test_distribution2_with_movement;
+          Alcotest.test_case "redistribution" `Quick test_redistribution;
+          Alcotest.test_case "gather inverse" `Quick test_gather_is_partition_inverse;
+        ] );
+      ( "elementary",
+        [
+          Alcotest.test_case "map (both backends)" `Quick test_map_both;
+          Alcotest.test_case "imap (both backends)" `Quick test_imap_both;
+          Alcotest.test_case "fold (both backends)" `Quick test_fold_both;
+          Alcotest.test_case "fold order" `Quick test_fold_non_commutative;
+          Alcotest.test_case "fold empty" `Quick test_fold_empty;
+          Alcotest.test_case "scan (both backends)" `Quick test_scan_both;
+          prop_scan_matches_seq;
+          Alcotest.test_case "scan_exclusive" `Quick test_scan_exclusive;
+          Alcotest.test_case "zip_with" `Quick test_zip_with;
+        ] );
+      ( "communication",
+        [
+          Alcotest.test_case "rotate" `Quick test_rotate;
+          prop_rotate_compose;
+          prop_rotate_identity;
+          Alcotest.test_case "brdcast" `Quick test_brdcast;
+          Alcotest.test_case "applybrdcast" `Quick test_applybrdcast;
+          Alcotest.test_case "fetch" `Quick test_fetch;
+          Alcotest.test_case "fetch one-to-many" `Quick test_fetch_one_to_many;
+          prop_fetch_compose;
+          Alcotest.test_case "send many-to-one" `Quick test_send_many_to_one;
+          Alcotest.test_case "send one-to-many" `Quick test_send_one_to_many;
+          prop_send_one_compose;
+          Alcotest.test_case "send_one collision" `Quick test_send_one_rejects_collision;
+          Alcotest.test_case "all_to_all" `Quick test_all_to_all;
+        ] );
+      ( "computational",
+        [
+          Alcotest.test_case "farm (both backends)" `Quick test_farm;
+          Alcotest.test_case "farm = map" `Quick test_farm_is_map;
+          Alcotest.test_case "dynamic farm" `Quick test_farm_dynamic;
+          Alcotest.test_case "iter_until" `Quick test_iter_until;
+          Alcotest.test_case "iter_until immediate" `Quick test_iter_until_immediate;
+          Alcotest.test_case "iter_for" `Quick test_iter_for;
+          Alcotest.test_case "iter_for negative" `Quick test_iter_for_negative;
+          Alcotest.test_case "spmd stages" `Quick test_spmd_stages;
+          Alcotest.test_case "spmd empty" `Quick test_spmd_empty_is_id;
+        ] );
+      ( "config_extra",
+        [
+          Alcotest.test_case "align3" `Quick test_align3;
+          Alcotest.test_case "distribution3" `Quick test_distribution3;
+          Alcotest.test_case "distribution_list" `Quick test_distribution_list;
+          Alcotest.test_case "redistribution_list" `Quick test_redistribution_list;
+          prop_scan_exclusive_shifts_inclusive;
+          Alcotest.test_case "fold_with_unit" `Quick test_fold_with_unit;
+          prop_block_cyclic_balanced;
+          Alcotest.test_case "zip mismatch" `Quick test_par_array2_zip_mismatch;
+          prop_rotate_col_inverse;
+        ] );
+      ( "nested",
+        [
+          prop_segmented_scan_matches_reference;
+          prop_segmented_scan_pool_backend;
+          prop_segmented_fold;
+          prop_segmented_op_associative;
+          Alcotest.test_case "flatten roundtrip" `Quick test_flatten_roundtrip;
+        ] );
+      ( "stream_skel",
+        [
+          Alcotest.test_case "single stage" `Quick test_stream_single_stage;
+          Alcotest.test_case "composition" `Quick test_stream_composition;
+          Alcotest.test_case "farm preserves order" `Slow test_stream_farm_preserves_order;
+          Alcotest.test_case "run = map apply" `Slow test_stream_law_matches_apply;
+          Alcotest.test_case "empty input" `Quick test_stream_empty_input;
+          Alcotest.test_case "failure propagates" `Quick test_stream_failure_propagates;
+          Alcotest.test_case "invalid workers" `Quick test_stream_invalid_workers;
+          Alcotest.test_case "stage count" `Quick test_stream_stage_count;
+          prop_stream_matches_list_map;
+        ] );
+      ("exec", [ Alcotest.test_case "chunk bounds" `Quick test_chunk_bounds ]);
+    ]
+  in
+  let finally () = if Lazy.is_val pool then Runtime.Pool.teardown (Lazy.force pool) in
+  Fun.protect ~finally (fun () -> Alcotest.run "scl" suite)

@@ -1,0 +1,15 @@
+(* Regenerates the checked-in Codegen outputs; the test suite asserts the
+   files match. *)
+let pipeline_src = "fold add . map square . rotate 3 . iter 2 [ map incr ] . fetch reverse"
+
+let write path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let () =
+  let e = Transform.Parser.parse_exn pipeline_src in
+  write "examples/generated/generated_pipeline.ml" (Transform.Codegen.generate ~name:"run_pipeline" e);
+  write "examples/generated/generated_pipeline_host.ml"
+    (Transform.Codegen.generate_host ~name:"run_pipeline" e)
