@@ -2,7 +2,17 @@
    paper's Figure 2 (32 values sorted on 4 processors, showing the local
    quicksort, the pivot broadcasts, and the exchange-merge rounds).
 
-   Run with:  dune exec examples/hypersort_demo.exe *)
+   Run with:  dune exec examples/hypersort_demo.exe
+   Pass [--chrome FILE] to also export the trace as Chrome trace_event JSON
+   (open in chrome://tracing or https://ui.perfetto.dev). *)
+
+let chrome_out =
+  let rec find = function
+    | "--chrome" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
 
 let () =
   let rng = Runtime.Xoshiro.of_seed 1995 in
@@ -27,6 +37,11 @@ let () =
   Format.printf "messages: %d (%d bytes), barrier-free (pairwise exchanges only)@."
     stats.Machine.Sim.total_msgs stats.Machine.Sim.total_bytes;
   Format.printf "@.timeline:@.%a@.@." (Machine.Trace.pp_gantt ~width:72) trace;
+  (match chrome_out with
+  | Some path ->
+      Machine.Trace.write_chrome path trace;
+      Format.printf "chrome trace written to %s (load in chrome://tracing or Perfetto)@.@." path
+  | None -> ());
   let check = Array.copy data in
   Array.sort compare check;
   assert (sorted = check);

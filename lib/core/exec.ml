@@ -42,16 +42,64 @@ let seq_scan op a =
     out
   end
 
+(* Observability: wrap every primitive of a backend in an aggregated span
+   ("exec.<backend>.<prim>", durations in ns) plus a per-backend call
+   counter.  With the obs switch off (the default) each call costs a single
+   atomic load and branch; spans and counters are created once here, never
+   per call.  Skeleton calls are whole-array operations, so even enabled
+   overhead is amortised over n elements. *)
+let instrument e =
+  let span prim = Obs.Span.make (Printf.sprintf "exec.%s.%s" e.name prim) in
+  let s_pmap = span "pmap"
+  and s_pmapi = span "pmapi"
+  and s_pinit = span "pinit"
+  and s_preduce = span "preduce"
+  and s_pscan = span "pscan"
+  and s_piter = span "piter" in
+  let calls = Obs.Counter.make (Printf.sprintf "exec.%s.calls" e.name) in
+  let pmap : 'a 'b. ('a -> 'b) -> 'a array -> 'b array =
+   fun f a ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_pmap (fun () -> e.pmap f a)
+  in
+  let pmapi : 'a 'b. (int -> 'a -> 'b) -> 'a array -> 'b array =
+   fun f a ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_pmapi (fun () -> e.pmapi f a)
+  in
+  let pinit : 'a. int -> (int -> 'a) -> 'a array =
+   fun n f ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_pinit (fun () -> e.pinit n f)
+  in
+  let preduce : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a =
+   fun op a ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_preduce (fun () -> e.preduce op a)
+  in
+  let pscan : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a array =
+   fun op a ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_pscan (fun () -> e.pscan op a)
+  in
+  let piter : 'a. ('a -> unit) -> 'a array -> unit =
+   fun f a ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_piter (fun () -> e.piter f a)
+  in
+  { name = e.name; pmap; pmapi; pinit; preduce; pscan; piter }
+
 let sequential =
-  {
-    name = "sequential";
-    pmap = Array.map;
-    pmapi = Array.mapi;
-    pinit = Array.init;
-    preduce = seq_reduce;
-    pscan = seq_scan;
-    piter = Array.iter;
-  }
+  instrument
+    {
+      name = "sequential";
+      pmap = Array.map;
+      pmapi = Array.mapi;
+      pinit = Array.init;
+      preduce = seq_reduce;
+      pscan = seq_scan;
+      piter = Array.iter;
+    }
 
 (* Chunk boundaries for the two-phase parallel reduce/scan: [nchunks]
    balanced contiguous ranges. *)
@@ -121,4 +169,4 @@ let on_pool pool =
   let piter : 'a. ('a -> unit) -> 'a array -> unit =
    fun f a -> Pool.parallel_for pool ~lo:0 ~hi:(Array.length a) (fun i -> f a.(i))
   in
-  { name = "pool"; pmap; pmapi; pinit; preduce; pscan; piter }
+  instrument { name = "pool"; pmap; pmapi; pinit; preduce; pscan; piter }

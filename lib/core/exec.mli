@@ -26,6 +26,13 @@ val on_pool : Runtime.Pool.t -> t
 (** Multicore backend over a work-stealing pool. Reduce and scan use
     two-phase chunked algorithms that preserve combination order. *)
 
+val instrument : t -> t
+(** Wrap each primitive in an aggregated [Obs] span
+    (["exec.<backend>.<prim>"], ns) and a per-backend call counter
+    (["exec.<backend>.calls"]). {!sequential} and {!on_pool} are already
+    instrumented; with observability disabled (the default) the wrapper
+    costs one atomic load and branch per whole-array call. *)
+
 val chunk_bounds : int -> int -> int array
 (** [chunk_bounds n k] are the [min n k + 1] boundaries of balanced
     contiguous chunks of [0..n-1] (exposed for tests). *)

@@ -331,28 +331,52 @@ let collect_stats sim =
     barriers = Array.fold_left (fun acc p -> max acc p.barrier_count) 0 sim.procs;
   }
 
+(* Observability: one span around each whole simulation plus counters fed
+   from the already-collected stats.  Nothing per-event — the simulator's
+   inner loop stays untouched, and with obs disabled the only cost is one
+   branch per run. *)
+let obs_runs = Obs.Counter.make "sim.runs"
+let obs_msgs = Obs.Counter.make "sim.msgs"
+let obs_bytes = Obs.Counter.make "sim.bytes"
+let obs_barriers = Obs.Counter.make "sim.barriers"
+let obs_makespan = Obs.Histogram.make ~unit_:"us" "sim.makespan_us"
+let obs_run_span = Obs.Span.make "sim.run_wall"
+
+let publish_obs stats =
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_runs;
+    Obs.Counter.add obs_msgs stats.total_msgs;
+    Obs.Counter.add obs_bytes stats.total_bytes;
+    Obs.Counter.add obs_barriers stats.barriers;
+    Obs.Histogram.record obs_makespan (int_of_float (stats.makespan *. 1e6))
+  end
+
 let run_each ?trace cfg program =
-  Topology.validate cfg.topology ~procs:cfg.procs;
-  let trace = match trace with Some t -> t | None -> Trace.disabled () in
-  let sim = { cfg; procs = Array.init cfg.procs fresh_proc; trace; seq = 0 } in
-  Array.iter
-    (fun p ->
-      let ctx = { sim; me = p } in
-      p.thunk <- Some (fun () -> Effect.Deep.match_with (program p.rank) ctx (make_handler sim p)))
-    sim.procs;
-  schedule sim;
-  (* Undelivered messages indicate a protocol bug worth surfacing. *)
-  Array.iter
-    (fun p ->
-      match p.inbox with
-      | [] -> ()
-      | pkt :: _ ->
-          raise
-            (Deadlock
-               (Printf.sprintf "processor %d finished with %d undelivered message(s); first from p%d tag %d"
-                  p.rank (List.length p.inbox) pkt.pkt_src pkt.pkt_tag)))
-    sim.procs;
-  collect_stats sim
+  Obs.Span.timed obs_run_span (fun () ->
+      Topology.validate cfg.topology ~procs:cfg.procs;
+      let trace = match trace with Some t -> t | None -> Trace.disabled () in
+      let sim = { cfg; procs = Array.init cfg.procs fresh_proc; trace; seq = 0 } in
+      Array.iter
+        (fun p ->
+          let ctx = { sim; me = p } in
+          p.thunk <- Some (fun () -> Effect.Deep.match_with (program p.rank) ctx (make_handler sim p)))
+        sim.procs;
+      schedule sim;
+      (* Undelivered messages indicate a protocol bug worth surfacing. *)
+      Array.iter
+        (fun p ->
+          match p.inbox with
+          | [] -> ()
+          | pkt :: _ ->
+              raise
+                (Deadlock
+                   (Printf.sprintf
+                      "processor %d finished with %d undelivered message(s); first from p%d tag %d"
+                      p.rank (List.length p.inbox) pkt.pkt_src pkt.pkt_tag)))
+        sim.procs;
+      let stats = collect_stats sim in
+      publish_obs stats;
+      stats)
 
 let run ?trace cfg program = run_each ?trace cfg (fun _rank -> program)
 

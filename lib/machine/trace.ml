@@ -45,6 +45,60 @@ let filter_proc t proc = List.filter (fun e -> e.proc = proc) (events t)
 let notes t =
   List.filter_map (fun e -> match e.kind with Note s -> Some (e.time, e.proc, s) | _ -> None) (events t)
 
+(* Chrome trace_event export: load the result into chrome://tracing or
+   https://ui.perfetto.dev to see the simulated timeline.  We emit the
+   JSON *array* format (valid input for both viewers).  Simulated seconds
+   map to microsecond timestamps; each virtual processor becomes a thread
+   of one process.  Work intervals are complete events ("ph":"X", stamped
+   at interval start with a duration); sends/receives/notes are thread-
+   scoped instants; barriers are begin/end pairs. *)
+let to_chrome ?(pid = 0) t : Obs.Json.t =
+  let open Obs.Json in
+  let us x = x *. 1e6 in
+  let ev ?(args = []) ?dur ~name ~ph ~ts ~tid () =
+    Obj
+      ([ ("name", String name); ("ph", String ph); ("ts", Float (us ts)) ]
+      @ (match dur with Some d -> [ ("dur", Float (us d)) ] | None -> [])
+      @ [ ("pid", Int pid); ("tid", Int tid) ]
+      @ (match ph with "i" -> [ ("s", String "t") ] | _ -> [])
+      @ match args with [] -> [] | args -> [ ("args", Obj args) ])
+  in
+  let evs = events t in
+  let nprocs = List.fold_left (fun acc e -> max acc (e.proc + 1)) 0 evs in
+  let thread_names =
+    List.init nprocs (fun p ->
+        Obj
+          [
+            ("name", String "thread_name");
+            ("ph", String "M");
+            ("pid", Int pid);
+            ("tid", Int p);
+            ("args", Obj [ ("name", String (Printf.sprintf "p%d" p)) ]);
+          ])
+  in
+  let body =
+    List.map
+      (fun e ->
+        match e.kind with
+        | Work d -> ev ~name:"work" ~ph:"X" ~ts:(e.time -. d) ~dur:d ~tid:e.proc ()
+        | Send { dest; tag; bytes } ->
+            ev ~name:"send" ~ph:"i" ~ts:e.time ~tid:e.proc
+              ~args:[ ("dest", Int dest); ("tag", Int tag); ("bytes", Int bytes) ]
+              ()
+        | Recv { src; tag; bytes } ->
+            ev ~name:"recv" ~ph:"i" ~ts:e.time ~tid:e.proc
+              ~args:[ ("src", Int src); ("tag", Int tag); ("bytes", Int bytes) ]
+              ()
+        | Barrier_enter -> ev ~name:"barrier" ~ph:"B" ~ts:e.time ~tid:e.proc ()
+        | Barrier_leave -> ev ~name:"barrier" ~ph:"E" ~ts:e.time ~tid:e.proc ()
+        | Note s -> ev ~name:s ~ph:"i" ~ts:e.time ~tid:e.proc ()
+        | Finish -> ev ~name:"finish" ~ph:"i" ~ts:e.time ~tid:e.proc ())
+      evs
+  in
+  List (thread_names @ body)
+
+let write_chrome ?pid path t = Obs.Json.to_file ~pretty:false path (to_chrome ?pid t)
+
 (* ASCII Gantt chart: one row per processor, time left to right.  Work
    intervals are drawn as '=', sends as '>', receives as '<', barriers as
    '|'; '.' is idle.  Intended for small traces (demos, debugging). *)

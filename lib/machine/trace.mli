@@ -31,6 +31,16 @@ val filter_proc : t -> int -> event list
 val notes : t -> (float * int * string) list
 (** Just the [Note] events — what examples print for Figure-2 style output. *)
 
+val to_chrome : ?pid:int -> t -> Obs.Json.t
+(** Chrome [trace_event] JSON-array export, loadable in [chrome://tracing]
+    and Perfetto. One thread per virtual processor; simulated seconds
+    become microsecond timestamps. Work intervals are complete events
+    (["ph":"X"] with a [dur]); sends, receives and notes are instants;
+    barriers are B/E pairs. *)
+
+val write_chrome : ?pid:int -> string -> t -> unit
+(** [write_chrome path t] writes {!to_chrome} to [path] (compact JSON). *)
+
 val pp : Format.formatter -> t -> unit
 val pp_event : Format.formatter -> event -> unit
 

@@ -1,0 +1,169 @@
+(* Machine-readable benchmark artifacts (the `BENCH_results.json` schema)
+   and the comparison logic behind tools/bench_diff.
+
+   The schema is versioned ("scl-bench/1"); bench_diff refuses to compare
+   files with mismatched schemas so a schema change forces a baseline
+   refresh instead of producing nonsense deltas. *)
+
+let schema_version = "scl-bench/1"
+
+type result = {
+  name : string;  (* unique key, e.g. "hyperquicksort/sim" *)
+  n : int;  (* problem size *)
+  procs : int;  (* processors / workers *)
+  backend : string;  (* "sim-ap1000", "pool", "sequential", ... *)
+  runs : int;  (* measurement repetitions *)
+  median_s : float;  (* median wall (or simulated) seconds *)
+  min_s : float;
+  counters : (string * float) list;  (* obs counters attached to this run *)
+}
+
+type file = {
+  schema : string;
+  created_unix : float;  (* seconds since epoch; 0.0 = unknown *)
+  smoke : bool;
+  host : (string * string) list;  (* free-form provenance: cores, ocaml, os *)
+  results : result list;
+  obs : Json.t;  (* full Metrics.to_json snapshot *)
+}
+
+let make ?(created_unix = 0.0) ~smoke ~host results =
+  { schema = schema_version; created_unix; smoke; host; results; obs = Metrics.to_json () }
+
+(* ------------------------------------------------------------------ JSON *)
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("name", Json.String r.name);
+      ("n", Json.Int r.n);
+      ("procs", Json.Int r.procs);
+      ("backend", Json.String r.backend);
+      ("runs", Json.Int r.runs);
+      ("median_s", Json.Float r.median_s);
+      ("min_s", Json.Float r.min_s);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.counters));
+    ]
+
+let to_json f =
+  Json.Obj
+    [
+      ("schema", Json.String f.schema);
+      ("created_unix", Json.Float f.created_unix);
+      ("smoke", Json.Bool f.smoke);
+      ("host", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) f.host));
+      ("benchmarks", Json.List (List.map result_to_json f.results));
+      ("obs", f.obs);
+    ]
+
+let ( let* ) = Option.bind
+
+let result_of_json j =
+  let* name = Json.mem_string "name" j in
+  let* n = Json.mem_int "n" j in
+  let* procs = Json.mem_int "procs" j in
+  let* backend = Json.mem_string "backend" j in
+  let* runs = Json.mem_int "runs" j in
+  let* median_s = Json.mem_float "median_s" j in
+  let* min_s = Json.mem_float "min_s" j in
+  let counters =
+    match Json.member "counters" j with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> match Json.to_float_opt v with Some f -> Some (k, f) | None -> None)
+          fields
+    | _ -> []
+  in
+  Some { name; n; procs; backend; runs; median_s; min_s; counters }
+
+let of_json j =
+  match Json.mem_string "schema" j with
+  | None -> Error "missing \"schema\" field"
+  | Some schema when schema <> schema_version ->
+      Error (Printf.sprintf "schema mismatch: file is %S, this tool reads %S" schema schema_version)
+  | Some schema -> (
+      match Json.member "benchmarks" j with
+      | Some (Json.List items) ->
+          let results = List.filter_map result_of_json items in
+          if List.length results <> List.length items then
+            Error "malformed benchmark entry (missing required field)"
+          else
+            Ok
+              {
+                schema;
+                created_unix = Option.value ~default:0.0 (Json.mem_float "created_unix" j);
+                smoke = Option.value ~default:false (Option.bind (Json.member "smoke" j) Json.to_bool_opt);
+                host =
+                  (match Json.member "host" j with
+                  | Some (Json.Obj fields) ->
+                      List.filter_map
+                        (fun (k, v) ->
+                          match Json.to_string_opt v with Some s -> Some (k, s) | None -> None)
+                        fields
+                  | _ -> []);
+                results;
+                obs = Option.value ~default:Json.Null (Json.member "obs" j);
+              }
+      | _ -> Error "missing or malformed \"benchmarks\" array")
+
+let save path f = Json.to_file path (to_json f)
+
+let load path =
+  match Json.of_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok j -> ( match of_json j with Error e -> Error (Printf.sprintf "%s: %s" path e) | Ok f -> Ok f)
+
+(* ------------------------------------------------------------- statistics *)
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Artifact.median: empty";
+  let s = Array.copy a in
+  Array.sort compare s;
+  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let min_of a = Array.fold_left Float.min a.(0) a
+
+(* ------------------------------------------------------------- comparison *)
+
+type verdict = Regression | Improvement | Unchanged
+
+type comparison = {
+  bench : string;
+  old_s : float;
+  new_s : float;
+  ratio : float;  (* new / old; > 1 is slower *)
+  verdict : verdict;
+}
+
+(* Compare matched benchmarks by median time.  [threshold] is the relative
+   slowdown tolerated before a Regression verdict (0.25 = 25% slower);
+   speedups beyond the same margin are flagged Improvement so baseline
+   staleness is visible too. *)
+let compare_files ?(threshold = 0.25) ~(baseline : file) ~(candidate : file) () =
+  let comparisons =
+    List.filter_map
+      (fun (r_new : result) ->
+        match List.find_opt (fun (r : result) -> r.name = r_new.name) baseline.results with
+        | None -> None
+        | Some r_old ->
+            let ratio = if r_old.median_s > 0.0 then r_new.median_s /. r_old.median_s else 1.0 in
+            let verdict =
+              if ratio > 1.0 +. threshold then Regression
+              else if ratio < 1.0 -. threshold then Improvement
+              else Unchanged
+            in
+            Some { bench = r_new.name; old_s = r_old.median_s; new_s = r_new.median_s; ratio; verdict })
+      candidate.results
+  in
+  let only_in a b =
+    List.filter_map
+      (fun (r : result) ->
+        if List.exists (fun (r' : result) -> r'.name = r.name) b then None else Some r.name)
+      a
+  in
+  let missing = only_in baseline.results candidate.results in
+  let added = only_in candidate.results baseline.results in
+  (comparisons, missing, added)
+
+let any_regression comparisons = List.exists (fun c -> c.verdict = Regression) comparisons

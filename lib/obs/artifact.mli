@@ -1,0 +1,62 @@
+(** Machine-readable benchmark artifacts ([BENCH_results.json]) and the
+    baseline-comparison logic behind [tools/bench_diff]. *)
+
+val schema_version : string
+(** ["scl-bench/1"]. Bumped on any breaking schema change; {!load} refuses
+    mismatched files so stale baselines fail loudly. *)
+
+type result = {
+  name : string;  (** unique key, e.g. ["hyperquicksort/sim"] *)
+  n : int;  (** problem size *)
+  procs : int;  (** processors / workers *)
+  backend : string;  (** ["sim-ap1000"], ["pool"], ["sequential"], ... *)
+  runs : int;  (** measurement repetitions *)
+  median_s : float;  (** median wall (or simulated) seconds over [runs] *)
+  min_s : float;
+  counters : (string * float) list;  (** obs counters attached to this run *)
+}
+
+type file = {
+  schema : string;
+  created_unix : float;  (** seconds since epoch; [0.0] = unknown *)
+  smoke : bool;
+  host : (string * string) list;
+  results : result list;
+  obs : Json.t;  (** full {!Metrics.to_json} snapshot at emission time *)
+}
+
+val make : ?created_unix:float -> smoke:bool -> host:(string * string) list -> result list -> file
+(** Assemble a file, snapshotting the current obs metrics. *)
+
+val to_json : file -> Json.t
+val of_json : Json.t -> (file, string) Stdlib.result
+val save : string -> file -> unit
+val load : string -> (file, string) Stdlib.result
+
+val median : float array -> float
+val min_of : float array -> float
+
+(** {1 Comparison} *)
+
+type verdict = Regression | Improvement | Unchanged
+
+type comparison = {
+  bench : string;
+  old_s : float;
+  new_s : float;
+  ratio : float;  (** new / old; > 1 is slower *)
+  verdict : verdict;
+}
+
+val compare_files :
+  ?threshold:float ->
+  baseline:file ->
+  candidate:file ->
+  unit ->
+  comparison list * string list * string list
+(** [(comparisons, missing, added)]: per matched benchmark a verdict
+    ([threshold] is the tolerated relative slowdown, default 0.25), plus
+    names only in the baseline ([missing]) and only in the candidate
+    ([added]). *)
+
+val any_regression : comparison list -> bool

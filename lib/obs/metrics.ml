@@ -1,0 +1,283 @@
+(* Structured runtime metrics: named counters, log2-bucketed histograms and
+   aggregated span timers, behind one global enable switch.
+
+   Design constraints, in priority order:
+
+   1. Disabled mode must cost nothing measurable on hot paths.  Every
+      recording operation is gated on a single atomic load + branch; no
+      allocation, no clock read, no hash lookup happens when disabled.
+      Metric handles are created once (at module init of the instrumented
+      code), so the registry hashtable is never touched per event.
+   2. Enabled mode must be safe under domains.  Counters shard their cells
+      by domain id to keep increments mostly contention-free; histograms
+      use plain atomics (they record coarse events — whole-array skeleton
+      calls, simulator runs — not per-element work).
+   3. Everything is exportable: {!snapshot} and {!to_json} give a stable
+      machine-readable view consumed by the bench harness. *)
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+
+let n_shards = 16 (* power of two *)
+
+type counter = { c_name : string; cells : int Atomic.t array }
+
+let n_buckets = 63
+
+type histogram = {
+  h_name : string;
+  h_unit : string;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  min_v : int Atomic.t;
+  max_v : int Atomic.t;
+}
+
+type item = C of counter | H of histogram
+
+(* ------------------------------------------------------------- registry *)
+
+let registry : (string, item) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let fresh_counter name = { c_name = name; cells = Array.init n_shards (fun _ -> Atomic.make 0) }
+
+let fresh_histogram ~unit_ name =
+  {
+    h_name = name;
+    h_unit = unit_;
+    buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0;
+    min_v = Atomic.make max_int;
+    max_v = Atomic.make min_int;
+  }
+
+(* Creation is idempotent by name so that module-initialisation order never
+   matters and tests can re-make handles freely. *)
+let make_counter name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (C c) -> c
+      | Some (H _) -> invalid_arg (Printf.sprintf "Obs: %S is a histogram, not a counter" name)
+      | None ->
+          let c = fresh_counter name in
+          Hashtbl.replace registry name (C c);
+          c)
+
+let make_histogram ?(unit_ = "") name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (H h) -> h
+      | Some (C _) -> invalid_arg (Printf.sprintf "Obs: %S is a counter, not a histogram" name)
+      | None ->
+          let h = fresh_histogram ~unit_ name in
+          Hashtbl.replace registry name (H h);
+          h)
+
+(* ------------------------------------------------------------- counters *)
+
+module Counter = struct
+  type t = counter
+
+  let make = make_counter
+
+  let shard c =
+    (* Domain ids are small consecutive ints; land keeps it in range. *)
+    c.cells.((Domain.self () :> int) land (n_shards - 1))
+
+  let add c n = if enabled () then ignore (Atomic.fetch_and_add (shard c) n)
+  let incr c = add c 1
+
+  let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.cells
+  let name c = c.c_name
+  let reset c = Array.iter (fun cell -> Atomic.set cell 0) c.cells
+end
+
+(* ----------------------------------------------------------- histograms *)
+
+module Histogram = struct
+  type t = histogram
+
+  let make = make_histogram
+
+  (* Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1]. *)
+  let bucket_of v =
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (bits 0 v) (n_buckets - 1)
+
+  let bucket_bounds i = if i = 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+
+  let rec atomic_min a v =
+    let cur = Atomic.get a in
+    if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+  let rec atomic_max a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+  let record c v =
+    if enabled () then begin
+      let v = if v < 0 then 0 else v in
+      Atomic.incr c.buckets.(bucket_of v);
+      Atomic.incr c.count;
+      ignore (Atomic.fetch_and_add c.sum v);
+      atomic_min c.min_v v;
+      atomic_max c.max_v v
+    end
+
+  let name h = h.h_name
+  let unit_ h = h.h_unit
+  let count h = Atomic.get h.count
+  let sum h = Atomic.get h.sum
+  let min_value h = if count h = 0 then 0 else Atomic.get h.min_v
+  let max_value h = if count h = 0 then 0 else Atomic.get h.max_v
+  let mean h = if count h = 0 then 0.0 else float_of_int (sum h) /. float_of_int (count h)
+
+  let nonzero_buckets h =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      let n = Atomic.get h.buckets.(i) in
+      if n > 0 then
+        let lo, hi = bucket_bounds i in
+        acc := (lo, hi, n) :: !acc
+    done;
+    !acc
+
+  let reset h =
+    Array.iter (fun b -> Atomic.set b 0) h.buckets;
+    Atomic.set h.count 0;
+    Atomic.set h.sum 0;
+    Atomic.set h.min_v max_int;
+    Atomic.set h.max_v min_int
+end
+
+(* ---------------------------------------------------------------- spans *)
+
+module Span = struct
+  type t = { hist : histogram }
+
+  type token = int64
+  (* Start timestamp in ns; [disabled_token] means "span was entered while
+     observability was off", so the matching exit is a no-op even if the
+     switch flipped in between. *)
+
+  let disabled_token = Int64.min_int
+
+  let make name = { hist = make_histogram ~unit_:"ns" name }
+
+  let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+  let depth () = !(Domain.DLS.get depth_key)
+
+  let enter _t =
+    if enabled () then begin
+      Stdlib.incr (Domain.DLS.get depth_key);
+      Clock.now_ns ()
+    end
+    else disabled_token
+
+  let exit t token =
+    if token <> disabled_token then begin
+      Stdlib.decr (Domain.DLS.get depth_key);
+      Histogram.record t.hist (Clock.ns_since token)
+    end
+
+  let timed t f =
+    if not (enabled ()) then f ()
+    else begin
+      let token = enter t in
+      Fun.protect ~finally:(fun () -> exit t token) f
+    end
+
+  let name t = Histogram.name t.hist
+  let count t = Histogram.count t.hist
+  let total_ns t = Histogram.sum t.hist
+end
+
+(* ------------------------------------------------------------ snapshots *)
+
+type histogram_snapshot = {
+  hs_unit : string;
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_mean : float;
+  hs_buckets : (int * int * int) list;  (** (lo, hi, count), nonzero only *)
+}
+
+type value = Counter_v of int | Histogram_v of histogram_snapshot
+
+let snapshot_histogram h =
+  {
+    hs_unit = Histogram.unit_ h;
+    hs_count = Histogram.count h;
+    hs_sum = Histogram.sum h;
+    hs_min = Histogram.min_value h;
+    hs_max = Histogram.max_value h;
+    hs_mean = Histogram.mean h;
+    hs_buckets = Histogram.nonzero_buckets h;
+  }
+
+let snapshot () =
+  let items =
+    with_registry (fun () -> Hashtbl.fold (fun name item acc -> (name, item) :: acc) registry [])
+  in
+  items
+  |> List.map (fun (name, item) ->
+         match item with
+         | C c -> (name, Counter_v (Counter.value c))
+         | H h -> (name, Histogram_v (snapshot_histogram h)))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counter_value name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with Some (C c) -> Some (Counter.value c) | _ -> None)
+
+let histogram_snapshot name =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (H h) -> Some (snapshot_histogram h)
+      | _ -> None)
+
+let reset () =
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ item -> match item with C c -> Counter.reset c | H h -> Histogram.reset h)
+        registry)
+
+let to_json () =
+  let counters, histograms =
+    List.partition_map
+      (fun (name, v) ->
+        match v with
+        | Counter_v n -> Either.Left (name, Json.Int n)
+        | Histogram_v hs ->
+            Either.Right
+              ( name,
+                Json.Obj
+                  [
+                    ("unit", Json.String hs.hs_unit);
+                    ("count", Json.Int hs.hs_count);
+                    ("sum", Json.Int hs.hs_sum);
+                    ("min", Json.Int hs.hs_min);
+                    ("max", Json.Int hs.hs_max);
+                    ("mean", Json.Float hs.hs_mean);
+                    ( "buckets",
+                      Json.List
+                        (List.map
+                           (fun (lo, hi, n) -> Json.List [ Json.Int lo; Json.Int hi; Json.Int n ])
+                           hs.hs_buckets) );
+                  ] ))
+      (snapshot ())
+  in
+  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ]

@@ -1,0 +1,108 @@
+(** Structured runtime metrics: counters, histograms, span timers.
+
+    All recording is gated on one global switch, {b off by default}: with
+    observability disabled every record operation is a single atomic load
+    plus branch — no allocation, no clock read. Handles are created once at
+    module initialisation of the instrumented code; the registry is never
+    touched on hot paths. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create or look up the counter registered under this name
+      (idempotent). @raise Invalid_argument if the name is registered as a
+      histogram. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Sum over all domain shards. Reads are not linearisable with respect
+      to concurrent increments; quiesce before reading exact values. *)
+
+  val name : t -> string
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?unit_:string -> string -> t
+  (** [unit_] is a label exported with snapshots (e.g. ["ns"], ["bytes"]). *)
+
+  val record : t -> int -> unit
+  (** Record a non-negative sample (negatives clamp to 0). Bucket 0 holds
+      the value 0; bucket [i >= 1] holds [2^(i-1) .. 2^i - 1]. *)
+
+  val count : t -> int
+  val sum : t -> int
+  val min_value : t -> int
+  val max_value : t -> int
+  val mean : t -> float
+
+  val nonzero_buckets : t -> (int * int * int) list
+  (** [(lo, hi, count)] per populated bucket, ascending. *)
+
+  val bucket_of : int -> int
+  (** Exposed for tests. *)
+
+  val name : t -> string
+  val unit_ : t -> string
+  val reset : t -> unit
+end
+
+module Span : sig
+  (** Aggregated monotonic timers. A span's samples (durations in ns) feed
+      the histogram registered under the span's name. *)
+
+  type t
+  type token
+
+  val make : string -> t
+
+  val enter : t -> token
+  val exit : t -> token -> unit
+  (** A token from a disabled-mode {!enter} makes {!exit} a no-op, even if
+      the global switch flipped in between. *)
+
+  val timed : t -> (unit -> 'a) -> 'a
+  (** Run a thunk inside the span (exception-safe). *)
+
+  val depth : unit -> int
+  (** Current span-nesting depth in this domain (0 outside any span). *)
+
+  val name : t -> string
+  val count : t -> int
+  val total_ns : t -> int
+end
+
+(** {1 Snapshots and export} *)
+
+type histogram_snapshot = {
+  hs_unit : string;
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_mean : float;
+  hs_buckets : (int * int * int) list;
+}
+
+type value = Counter_v of int | Histogram_v of histogram_snapshot
+
+val snapshot : unit -> (string * value) list
+(** All registered metrics, sorted by name. *)
+
+val counter_value : string -> int option
+val histogram_snapshot : string -> histogram_snapshot option
+
+val reset : unit -> unit
+(** Zero all metrics, keeping registrations. *)
+
+val to_json : unit -> Json.t
+(** [{"counters": {...}, "histograms": {...}}]. *)

@@ -1,0 +1,27 @@
+(** Observability layer: structured metrics (counters, histograms, span
+    timers), a self-contained JSON codec, and the machine-readable bench
+    artifact schema.
+
+    Everything is off by default — instrumented code pays one atomic load
+    per event until {!enable} is called. The bench harness enables metrics,
+    runs, then exports {!Metrics.to_json} into a [BENCH_results.json]
+    artifact ({!Artifact}). *)
+
+module Json = Json
+module Clock = Clock
+module Metrics = Metrics
+module Artifact = Artifact
+
+(* Flat aliases so instrumented code reads [Obs.Counter.incr c] and the
+   global switch is [Obs.enable ()]. *)
+
+module Counter = Metrics.Counter
+module Histogram = Metrics.Histogram
+module Span = Metrics.Span
+
+let enabled = Metrics.enabled
+let enable = Metrics.enable
+let disable = Metrics.disable
+let snapshot = Metrics.snapshot
+let reset = Metrics.reset
+let to_json = Metrics.to_json

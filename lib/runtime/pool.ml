@@ -24,7 +24,18 @@ type 'a state =
 
 type 'a promise = 'a state Atomic.t
 
-type worker = { wid : int; deque : task Ws_deque.t; rng : Xoshiro.t }
+(* Scheduling statistics are plain (non-atomic) fields: each is written
+   only by the one domain that owns the worker, so increments are free and
+   stay on even when the obs layer is disabled.  Reads (Pool.stats) are
+   racy by a few events while the pool is busy; quiesce for exact values. *)
+type worker = {
+  wid : int;
+  deque : task Ws_deque.t;
+  rng : Xoshiro.t;
+  mutable n_pops : int;  (* tasks taken from the own deque *)
+  mutable n_steals : int;  (* tasks stolen from a victim *)
+  mutable n_inject : int;  (* tasks taken from the injection queue *)
+}
 
 type t = {
   pool_id : int;
@@ -35,6 +46,11 @@ type t = {
   sleepers : int Atomic.t;
   sleep_mutex : Mutex.t;
   sleep_cond : Condition.t;
+  (* Tasks found by non-worker domains (callers helping inside [await]);
+     atomics because several external domains may help concurrently. *)
+  ext_steals : int Atomic.t;
+  ext_inject : int Atomic.t;
+  submitted : int Atomic.t;  (* total tasks ever scheduled *)
 }
 
 let next_pool_id = Atomic.make 0
@@ -63,6 +79,7 @@ let wake_all t =
   Mutex.unlock t.sleep_mutex
 
 let schedule t task =
+  Atomic.incr t.submitted;
   (match my_worker t with
   | Some w -> Ws_deque.push w.deque task
   | None -> Mpmc_queue.push t.inject task);
@@ -73,10 +90,21 @@ let find_task t (w : worker option) : task option =
   let n = Array.length t.workers in
   let try_pop_own () =
     match w with
-    | Some w -> ( match Ws_deque.pop w.deque with t' -> Some t' | exception Ws_deque.Empty -> None)
+    | Some w -> (
+        match Ws_deque.pop w.deque with
+        | t' ->
+            w.n_pops <- w.n_pops + 1;
+            Some t'
+        | exception Ws_deque.Empty -> None)
     | None -> None
   in
-  let try_inject () = Mpmc_queue.try_pop t.inject in
+  let try_inject () =
+    match Mpmc_queue.try_pop t.inject with
+    | Some _ as r ->
+        (match w with Some w -> w.n_inject <- w.n_inject + 1 | None -> Atomic.incr t.ext_inject);
+        r
+    | None -> None
+  in
   let try_steal () =
     if n = 0 then None
     else begin
@@ -91,7 +119,11 @@ let find_task t (w : worker option) : task option =
           if victim = self then scan (i + 1)
           else
             match Ws_deque.steal t.workers.(victim).deque with
-            | task -> Some task
+            | task ->
+                (match w with
+                | Some w -> w.n_steals <- w.n_steals + 1
+                | None -> Atomic.incr t.ext_steals);
+                Some task
             | exception Ws_deque.Empty -> scan (i + 1)
         end
       in
@@ -152,7 +184,14 @@ let create ?num_domains () =
   let pool_id = Atomic.fetch_and_add next_pool_id 1 in
   let workers =
     Array.init n (fun wid ->
-        { wid; deque = Ws_deque.create (); rng = Xoshiro.of_seed ((pool_id * 8191) + wid) })
+        {
+          wid;
+          deque = Ws_deque.create ();
+          rng = Xoshiro.of_seed ((pool_id * 8191) + wid);
+          n_pops = 0;
+          n_steals = 0;
+          n_inject = 0;
+        })
   in
   let t =
     {
@@ -164,17 +203,71 @@ let create ?num_domains () =
       sleepers = Atomic.make 0;
       sleep_mutex = Mutex.create ();
       sleep_cond = Condition.create ();
+      ext_steals = Atomic.make 0;
+      ext_inject = Atomic.make 0;
+      submitted = Atomic.make 0;
     }
   in
   t.domains <- Array.map (fun w -> Domain.spawn (worker_loop t w)) workers;
   t
+
+(* --- scheduling statistics -------------------------------------------- *)
+
+type worker_stats = { tasks : int; own_pops : int; steals : int; inject_pops : int }
+
+type stats = {
+  per_worker : worker_stats array;
+  external_steals : int;  (* tasks run by non-worker domains helping in await *)
+  external_inject_pops : int;
+  total_submitted : int;
+  total_tasks : int;  (* = sum of all pops + steals + inject pops *)
+}
+
+let worker_stats_of w =
+  {
+    tasks = w.n_pops + w.n_steals + w.n_inject;
+    own_pops = w.n_pops;
+    steals = w.n_steals;
+    inject_pops = w.n_inject;
+  }
+
+let stats t =
+  let per_worker = Array.map worker_stats_of t.workers in
+  let external_steals = Atomic.get t.ext_steals in
+  let external_inject_pops = Atomic.get t.ext_inject in
+  {
+    per_worker;
+    external_steals;
+    external_inject_pops;
+    total_submitted = Atomic.get t.submitted;
+    total_tasks =
+      Array.fold_left (fun acc ws -> acc + ws.tasks) 0 per_worker
+      + external_steals + external_inject_pops;
+  }
+
+(* Global obs counters, fed when a pool is torn down (never on the hot
+   path).  Registration at module init costs nothing while disabled. *)
+let obs_tasks = Obs.Counter.make "pool.tasks"
+let obs_steals = Obs.Counter.make "pool.steals"
+let obs_inject = Obs.Counter.make "pool.inject_pops"
+let obs_submitted = Obs.Counter.make "pool.submitted"
+
+let publish_obs t =
+  let s = stats t in
+  Obs.Counter.add obs_tasks s.total_tasks;
+  Obs.Counter.add obs_steals
+    (Array.fold_left (fun acc ws -> acc + ws.steals) s.external_steals s.per_worker);
+  Obs.Counter.add obs_inject
+    (Array.fold_left (fun acc ws -> acc + ws.inject_pops) s.external_inject_pops s.per_worker);
+  Obs.Counter.add obs_submitted s.total_submitted
 
 let teardown t =
   if Atomic.get t.alive then begin
     Atomic.set t.alive false;
     wake_all t;
     Array.iter Domain.join t.domains;
-    t.domains <- [||]
+    t.domains <- [||];
+    if Obs.enabled () then publish_obs t
   end
 
 let async t f =

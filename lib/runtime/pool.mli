@@ -20,6 +20,33 @@ val teardown : t -> unit
 
 val num_workers : t -> int
 
+(** {1 Scheduling statistics}
+
+    Counted with plain per-worker fields (single-writer, always on, free);
+    reads while the pool is busy may lag by a few events. *)
+
+type worker_stats = {
+  tasks : int;  (** = own_pops + steals + inject_pops *)
+  own_pops : int;  (** tasks taken from the worker's own deque *)
+  steals : int;  (** tasks stolen from a victim's deque *)
+  inject_pops : int;  (** tasks taken from the shared injection queue *)
+}
+
+type stats = {
+  per_worker : worker_stats array;
+  external_steals : int;  (** tasks run by non-worker domains helping in await *)
+  external_inject_pops : int;
+  total_submitted : int;
+  total_tasks : int;
+}
+
+val stats : t -> stats
+
+val publish_obs : t -> unit
+(** Add this pool's totals to the global obs counters ([pool.tasks],
+    [pool.steals], [pool.inject_pops], [pool.submitted]). Called
+    automatically by {!teardown} when observability is enabled. *)
+
 val async : t -> (unit -> 'a) -> 'a promise
 (** Submit a task; exceptions are captured and re-raised at {!await}. *)
 

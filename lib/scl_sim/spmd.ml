@@ -5,12 +5,33 @@ open Machine
 let default_topology procs =
   if Topology.is_power_of_two procs then Topology.Hypercube else Topology.Complete
 
+(* Observability: the simulator itself records messages/bytes/barriers and
+   the simulated makespan (see Machine.Sim).  Here we add the host side of
+   the "simulated vs wall" comparison: a span for the wall-clock cost of
+   running each SPMD program, and the aggregate simulated seconds, both
+   under spmd.* names. *)
+let obs_runs = Obs.Counter.make "spmd.runs"
+let obs_wall = Obs.Span.make "spmd.run_wall"
+let obs_sim_us = Obs.Histogram.make ~unit_:"us" "spmd.sim_makespan_us"
+
+let observe stats =
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_runs;
+    Obs.Histogram.record obs_sim_us (int_of_float (stats.Sim.makespan *. 1e6))
+  end;
+  stats
+
 let run ?trace ?(cost = Cost_model.ap1000) ?topology ~procs (program : Comm.t -> unit) :
     Sim.stats =
-  let topology = match topology with Some t -> t | None -> default_topology procs in
-  Sim.run ?trace { Sim.procs; topology; cost } (fun ctx -> program (Comm.world ctx))
+  Obs.Span.timed obs_wall (fun () ->
+      let topology = match topology with Some t -> t | None -> default_topology procs in
+      observe (Sim.run ?trace { Sim.procs; topology; cost } (fun ctx -> program (Comm.world ctx))))
 
 let run_collect ?trace ?(cost = Cost_model.ap1000) ?topology ~procs
     (program : Comm.t -> 'a option) : 'a * Sim.stats =
-  let topology = match topology with Some t -> t | None -> default_topology procs in
-  Sim.run_collect ?trace { Sim.procs; topology; cost } (fun ctx -> program (Comm.world ctx))
+  Obs.Span.timed obs_wall (fun () ->
+      let topology = match topology with Some t -> t | None -> default_topology procs in
+      let v, stats =
+        Sim.run_collect ?trace { Sim.procs; topology; cost } (fun ctx -> program (Comm.world ctx))
+      in
+      (v, observe stats))

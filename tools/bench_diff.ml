@@ -1,0 +1,75 @@
+(* Compare two bench JSON artifacts (schema scl-bench/1, produced by
+   `dune exec bench/main.exe -- --json FILE`).
+
+   Usage:
+     bench_diff BASELINE.json CANDIDATE.json [--threshold 0.25] [--warn-only]
+
+   Exit codes:
+     0  no regression beyond the threshold (or --warn-only)
+     1  at least one benchmark regressed beyond the threshold
+     2  usage or parse error
+
+   Host wall-clock benchmarks are noisy on shared CI runners, which is why
+   the default threshold is a generous 25% on medians and why CI starts
+   warn-only; simulated benchmarks are deterministic, so any drift there
+   beyond float noise is a real behavioural change. *)
+
+let usage = "bench_diff BASELINE.json CANDIDATE.json [--threshold FRACTION] [--warn-only]"
+
+let () =
+  let threshold = ref 0.25 in
+  let warn_only = ref false in
+  let positional = ref [] in
+  let spec =
+    [
+      ( "--threshold",
+        Arg.Set_float threshold,
+        "FRACTION tolerated relative slowdown of the median (default 0.25)" );
+      ("--warn-only", Arg.Set warn_only, " report regressions but always exit 0");
+    ]
+  in
+  (try Arg.parse spec (fun a -> positional := a :: !positional) usage
+   with _ -> exit 2);
+  let baseline_path, candidate_path =
+    match List.rev !positional with
+    | [ a; b ] -> (a, b)
+    | _ ->
+        prerr_endline usage;
+        exit 2
+  in
+  let load path =
+    match Obs.Artifact.load path with
+    | Ok f -> f
+    | Error e ->
+        Printf.eprintf "bench_diff: %s\n" e;
+        exit 2
+  in
+  let baseline = load baseline_path in
+  let candidate = load candidate_path in
+  let comparisons, missing, added =
+    Obs.Artifact.compare_files ~threshold:!threshold ~baseline ~candidate ()
+  in
+  Printf.printf "bench_diff: %s -> %s (threshold %.0f%%)\n" baseline_path candidate_path
+    (100.0 *. !threshold);
+  Printf.printf "  %-28s %12s %12s %8s  %s\n" "benchmark" "old (s)" "new (s)" "ratio" "verdict";
+  List.iter
+    (fun (c : Obs.Artifact.comparison) ->
+      Printf.printf "  %-28s %12.6f %12.6f %8.3f  %s\n" c.Obs.Artifact.bench c.Obs.Artifact.old_s
+        c.Obs.Artifact.new_s c.Obs.Artifact.ratio
+        (match c.Obs.Artifact.verdict with
+        | Obs.Artifact.Regression -> "REGRESSION"
+        | Obs.Artifact.Improvement -> "improvement"
+        | Obs.Artifact.Unchanged -> "ok"))
+    comparisons;
+  List.iter (Printf.printf "  missing from candidate: %s\n") missing;
+  List.iter (Printf.printf "  new in candidate: %s\n") added;
+  let n_reg =
+    List.length (List.filter (fun c -> c.Obs.Artifact.verdict = Obs.Artifact.Regression) comparisons)
+  in
+  if comparisons = [] then Printf.printf "  (no benchmarks in common)\n";
+  if n_reg > 0 then begin
+    Printf.printf "%d regression(s) beyond %.0f%%%s\n" n_reg (100.0 *. !threshold)
+      (if !warn_only then " [warn-only: exiting 0]" else "");
+    if not !warn_only then exit 1
+  end
+  else Printf.printf "no regressions.\n"
