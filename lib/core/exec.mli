@@ -15,7 +15,9 @@ type t = {
           in index order (safe for non-commutative operators).
           @raise Invalid_argument on an empty array. *)
   pscan : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a array;
-      (** Inclusive prefix: [[| x0; op x0 x1; ... |]]. *)
+      (** Inclusive prefix: [[| x0; op x0 x1; ... |]]. An empty array yields
+          an empty array on every backend (locked cross-backend by the
+          differential oracle in [tools/diffcheck]). *)
   piter : 'a. ('a -> unit) -> 'a array -> unit;
 }
 

@@ -1,0 +1,253 @@
+(* Rule oracle, cost-consistency check and differential oracle. *)
+
+open Transform
+open Gen
+
+let rec drop i l = if i <= 0 then l else match l with [] -> [] | _ :: t -> drop (i - 1) t
+
+let rec take i l =
+  if i <= 0 then [] else match l with [] -> [] | x :: t -> x :: take (i - 1) t
+
+let apply_rule_somewhere (rule : Rules.rule) chain =
+  let len = List.length chain in
+  let rec go i =
+    if i > len then None
+    else
+      match rule.Rules.apply_at (drop i chain) with
+      | Some (suffix', _) -> Some (take i chain @ suffix')
+      | None -> go (i + 1)
+  in
+  go 0
+
+let vstr v = Fmt.str "%a" Value.pp v
+
+(* --- rule oracle ------------------------------------------------------------ *)
+
+(* A known-firing instance of each rule's pattern, with random parameters.
+   Returns (pattern stages, ends_scalar). [n] is the array length at the
+   injection point (the contexts are length-preserving). *)
+let gen_pattern (rule : Rules.rule) ~n : (Ast.expr list * bool) Gen.t option =
+  let nonzero g = map (fun k -> if k = 0 then 1 else k) g in
+  match rule.Rules.rname with
+  | "map-fusion" ->
+      Some
+        (let* f = Pipe_gen.gen_fn in
+         let+ g = Pipe_gen.gen_fn in
+         ([ Ast.Map f; Ast.Map g ], false))
+  | "map-distribution" ->
+      Some
+        (let* f = Pipe_gen.gen_fn2_assoc in
+         let+ g = Pipe_gen.gen_fn in
+         ([ Ast.Foldr_compose (f, g) ], true))
+  | "send-fusion" ->
+      Some
+        (let* a = Pipe_gen.gen_perm_ifn in
+         let+ b = Pipe_gen.gen_perm_ifn in
+         ([ Ast.Send a; Ast.Send b ], false))
+  | "fetch-fusion" ->
+      Some
+        (let* a = Pipe_gen.gen_fetch_ifn ~n in
+         let+ b = Pipe_gen.gen_fetch_ifn ~n in
+         ([ Ast.Fetch a; Ast.Fetch b ], false))
+  | "rotate-fusion" ->
+      Some
+        (let* a = int_range (-2 * n) (2 * n) in
+         let+ b = int_range (-2 * n) (2 * n) in
+         ([ Ast.Rotate a; Ast.Rotate b ], false))
+  | "rotate-fetch-fusion" ->
+      Some
+        (let* k = nonzero (int_range (-2 * n) (2 * n)) in
+         let* f = Pipe_gen.gen_fetch_ifn ~n in
+         let+ order = bool in
+         ((if order then [ Ast.Rotate k; Ast.Fetch f ] else [ Ast.Fetch f; Ast.Rotate k ]), false))
+  | "identity-elimination" ->
+      Some
+        (let* body = Pipe_gen.gen_lp_stage in
+         let* k = int_range 0 3 in
+         let+ inst =
+           oneof_val
+             [
+               [ Ast.Id ];
+               [ Ast.Map Fn.id ];
+               [ Ast.Send Fn.i_id ];
+               [ Ast.Fetch Fn.i_id ];
+               [ Ast.Rotate 0 ];
+               [ Ast.Map_nested Ast.Id ];
+               [ Ast.Iter_for (0, body) ];
+               [ Ast.Iter_for (1, body) ];
+               [ Ast.Iter_for (k, Ast.Id) ];
+             ]
+         in
+         (inst, false))
+  | "split-combine-elimination" ->
+      Some
+        (let+ p = int_range 1 (max 1 (min n 4)) in
+         ([ Ast.Split p; Ast.Combine ], false))
+  | "flattening(map)" ->
+      Some
+        (let* p = int_range 1 (max 1 (min n 4)) in
+         let+ f = Pipe_gen.gen_fn in
+         ([ Ast.Split p; Ast.Map_nested (Ast.Map f); Ast.Combine ], false))
+  | "flattening(fold)" ->
+      Some
+        (let* p = int_range 1 (max 1 (min n 4)) in
+         let+ f = Pipe_gen.gen_fn2_assoc in
+         ([ Ast.Split p; Ast.Map_nested (Ast.Fold f); Ast.Fold f ], true))
+  | "commute(map,rotate)" ->
+      Some
+        (let* k = int_range (-2 * n) (2 * n) in
+         let+ f = Pipe_gen.gen_fn in
+         ([ Ast.Rotate k; Ast.Map f ], false))
+  | "commute(map,fetch)" ->
+      Some
+        (let* g = Pipe_gen.gen_fetch_ifn ~n in
+         let+ f = Pipe_gen.gen_fn in
+         ([ Ast.Fetch g; Ast.Map f ], false))
+  | "commute(map,send)" ->
+      Some
+        (let* g = Pipe_gen.gen_perm_ifn in
+         let+ f = Pipe_gen.gen_fn in
+         ([ Ast.Send g; Ast.Map f ], false))
+  | "iterFor-unrolling" ->
+      Some
+        (let* k = int_range 2 8 in
+         let+ body = list_size (int_range 1 3) Pipe_gen.gen_lp_stage in
+         ([ Ast.Iter_for (k, Ast.of_chain body) ], false))
+  | _ -> None
+
+let gen_rule_case (rule : Rules.rule) : Pipe_gen.case Gen.t =
+  match gen_pattern rule ~n:1 with
+  | None ->
+      (* unknown rule: fall back to random pipelines; the property skips
+         cases where the rule never fires *)
+      Pipe_gen.gen ()
+  | Some _ ->
+      let* n = int_range 1 12 in
+      let* input = Pipe_gen.gen_input ~n in
+      let pat_gen = Option.get (gen_pattern rule ~n) in
+      let* pre = Pipe_gen.gen_ctx ~max_stages:2 in
+      let* pat, ends_scalar = pat_gen in
+      let+ post = if ends_scalar then return [] else Pipe_gen.gen_ctx ~max_stages:2 in
+      { Pipe_gen.chain = pre @ pat @ post; input }
+
+let rule_prop (rule : Rules.rule) (c : Pipe_gen.case) : Runner.result_ =
+  match apply_rule_somewhere rule c.Pipe_gen.chain with
+  | None -> Runner.Skip_case
+  | Some chain' -> (
+      let e = Ast.of_chain c.Pipe_gen.chain in
+      let e' = Ast.of_chain chain' in
+      match Ast.eval e c.Pipe_gen.input with
+      | exception Value.Type_error _ -> Runner.Skip_case
+      | expected -> (
+          match Ast.eval e' c.Pipe_gen.input with
+          | exception ex ->
+              Runner.Fail_case
+                (Printf.sprintf "rewritten program raised %s (rewritten: %s)"
+                   (Printexc.to_string ex) (Ast.to_string e'))
+          | got ->
+              if Value.equal expected got then Runner.Pass_case
+              else
+                Runner.Fail_case
+                  (Printf.sprintf "%s changed meaning: %s <> %s (rewritten: %s)"
+                     rule.Rules.rname (vstr expected) (vstr got) (Ast.to_string e'))))
+
+let check_rule ?config (rule : Rules.rule) =
+  Runner.check ?config ~shrink:Pipe_gen.shrink ~gen:(gen_rule_case rule) ~prop:(rule_prop rule)
+    ()
+
+(* --- cost-model consistency -------------------------------------------------
+
+   If the static cost model ranks the normalised pipeline as cheaper, the
+   simulator must not report a regression beyond tolerance. (The model is
+   an estimate; the simulator is the ground truth.) *)
+
+let cost_prop ~procs ~tolerance (c : Pipe_gen.case) : Runner.result_ =
+  if not (Pipe_gen.is_flat c) then Runner.Skip_case
+  else
+    let n = match c.Pipe_gen.input with Value.Arr a -> Array.length a | _ -> 0 in
+    if n < 1 then Runner.Skip_case
+    else
+      let e = Pipe_gen.expr c in
+      let e', _steps = Rewrite.normalize e in
+      if Ast.to_string e' = Ast.to_string e then Runner.Skip_case
+      else
+        let c0 = Cost.estimate_pipeline ~procs ~n e in
+        let c1 = Cost.estimate_pipeline ~procs ~n e' in
+        if c1 >= c0 then Runner.Pass_case
+        else
+          try
+            let _, s0 = Sim_exec.run ~procs e c.Pipe_gen.input in
+            let _, s1 = Sim_exec.run ~procs e' c.Pipe_gen.input in
+            let m0 = s0.Machine.Sim.makespan and m1 = s1.Machine.Sim.makespan in
+            if m1 <= (m0 *. tolerance) +. 1e-9 then Runner.Pass_case
+            else
+              Runner.Fail_case
+                (Printf.sprintf
+                   "cost model claims improvement (%.3g -> %.3g) but simulated makespan \
+                    regressed %.3g -> %.3g (rewritten: %s)"
+                   c0 c1 m0 m1 (Ast.to_string e'))
+          with Sim_exec.Unsupported _ | Value.Type_error _ -> Runner.Skip_case
+
+let check_cost ?config ~procs ~tolerance () =
+  Runner.check ?config ~shrink:Pipe_gen.shrink
+    ~gen:(Pipe_gen.gen ~allow_nested:false ())
+    ~prop:(cost_prop ~procs ~tolerance) ()
+
+(* --- differential oracle ---------------------------------------------------- *)
+
+type diff_stats = {
+  mutable compared : int;
+  mutable sim_ran : int;
+  mutable sim_skipped : int;
+}
+
+let new_stats () = { compared = 0; sim_ran = 0; sim_skipped = 0 }
+
+let diff_prop ?pool_exec ?stats ~sim_procs (c : Pipe_gen.case) : Runner.result_ =
+  let n = match c.Pipe_gen.input with Value.Arr a -> Array.length a | _ -> -1 in
+  if n < 1 then Runner.Skip_case (* generator precondition; guards shrink candidates *)
+  else
+    let e = Pipe_gen.expr c in
+    match Ast.eval e c.Pipe_gen.input with
+    | exception Value.Type_error _ -> Runner.Skip_case
+    | expected ->
+        let flat = Pipe_gen.is_flat c in
+        (match stats with
+        | Some s ->
+            s.compared <- s.compared + 1;
+            if flat then s.sim_ran <- s.sim_ran + 1 else s.sim_skipped <- s.sim_skipped + 1
+        | None -> ());
+        let backends =
+          (("host-seq", fun () -> Host_exec.eval e c.Pipe_gen.input)
+          ::
+          (match pool_exec with
+          | Some exec -> [ ("host-pool", fun () -> Host_exec.eval ~exec e c.Pipe_gen.input) ]
+          | None -> []))
+          @
+          if flat then
+            List.map
+              (fun p ->
+                (Printf.sprintf "sim-p%d" p, fun () -> fst (Sim_exec.run ~procs:p e c.Pipe_gen.input)))
+              sim_procs
+          else []
+        in
+        let rec run = function
+          | [] -> Runner.Pass_case
+          | (who, f) :: rest -> (
+              match f () with
+              | exception ex ->
+                  Runner.Fail_case
+                    (Printf.sprintf "%s raised %s but the reference returned %s" who
+                       (Printexc.to_string ex) (vstr expected))
+              | got ->
+                  if Value.equal expected got then run rest
+                  else
+                    Runner.Fail_case
+                      (Printf.sprintf "%s diverged: %s <> reference %s" who (vstr got)
+                         (vstr expected)))
+        in
+        run backends
+
+let check_differential ?config ?pool_exec ?stats ~sim_procs () =
+  Runner.check ?config ~shrink:Pipe_gen.shrink ~gen:(Pipe_gen.gen ())
+    ~prop:(diff_prop ?pool_exec ?stats ~sim_procs) ()

@@ -1,0 +1,63 @@
+(** The two harnesses of the correctness tooling:
+
+    - the {b rule oracle}: for a given {!Transform.Rules.rule}, generate
+      pipelines in which the rule fires (a known-firing instance of the
+      rule's pattern embedded in a random context), apply it, and check
+      [eval (rewrite e) = eval e] on a random input — plus a cost-model
+      consistency check against the simulator;
+    - the {b differential oracle}: run one generated pipeline through the
+      reference interpreter, the host {!Transform.Host_exec} backends
+      (sequential and, when given, pool), and {!Transform.Sim_exec} at
+      several processor counts, and compare results. *)
+
+val apply_rule_somewhere :
+  Transform.Rules.rule -> Transform.Ast.expr list -> Transform.Ast.expr list option
+(** Rewrite at the first position (left to right) where the rule fires. *)
+
+(** {1 Rule oracle} *)
+
+val gen_rule_case : Transform.Rules.rule -> Pipe_gen.case Gen.t
+(** Pipelines containing an injected firing instance of the rule (known
+    rules by name; unknown rules fall back to fully random pipelines and
+    rely on the property's skip). *)
+
+val rule_prop : Transform.Rules.rule -> Pipe_gen.case -> Runner.result_
+(** Skips when the rule does not fire anywhere or the case is ill-typed
+    (shrink candidates); fails on any semantic difference. *)
+
+val check_rule : ?config:Runner.config -> Transform.Rules.rule -> Pipe_gen.case Runner.outcome
+
+(** {1 Cost-model consistency} *)
+
+val cost_prop : procs:int -> tolerance:float -> Pipe_gen.case -> Runner.result_
+(** Normalises the pipeline with the default rules; if the static cost
+    model claims an improvement, the simulated makespan must not regress
+    beyond [tolerance] (a multiplicative factor). *)
+
+val check_cost :
+  ?config:Runner.config -> procs:int -> tolerance:float -> unit -> Pipe_gen.case Runner.outcome
+
+(** {1 Differential oracle} *)
+
+type diff_stats = {
+  mutable compared : int;  (** cases compared across backends *)
+  mutable sim_ran : int;  (** flat cases also run on the simulator *)
+  mutable sim_skipped : int;  (** nested cases the simulator cannot run *)
+}
+
+val new_stats : unit -> diff_stats
+
+val diff_prop :
+  ?pool_exec:Scl.Exec.t ->
+  ?stats:diff_stats ->
+  sim_procs:int list ->
+  Pipe_gen.case ->
+  Runner.result_
+
+val check_differential :
+  ?config:Runner.config ->
+  ?pool_exec:Scl.Exec.t ->
+  ?stats:diff_stats ->
+  sim_procs:int list ->
+  unit ->
+  Pipe_gen.case Runner.outcome

@@ -1,0 +1,166 @@
+(* Shape-directed pipeline generation. The static shape of the value is
+   tracked through the chain (array length, group sizes, scalar) so every
+   stage is well-typed where it lands; the precondition set is documented
+   in the interface. *)
+
+open Transform
+open Gen
+
+type case = { chain : Ast.expr list; input : Value.t }
+
+let expr c = Ast.of_chain c.chain
+let print c = Printf.sprintf "%s $ %s" (Ast.to_string (expr c)) (Fmt.str "%a" Value.pp c.input)
+
+let rec expr_is_flat = function
+  | Ast.Split _ | Ast.Combine | Ast.Map_nested _ -> false
+  | Ast.Compose (f, g) -> expr_is_flat f && expr_is_flat g
+  | Ast.Iter_for (_, b) -> expr_is_flat b
+  | _ -> true
+
+let is_flat c = List.for_all expr_is_flat c.chain
+
+(* --- function pools -------------------------------------------------------- *)
+
+let gen_fn =
+  frequency
+    [
+      (3, oneof_val Fn.[ incr; double; square; negate; halve ]);
+      (1, return Fn.id);
+    ]
+
+let gen_fn2_assoc = oneof_val Fn.[ add; mul; imax; imin ]
+let gen_fn2_any = oneof_val Fn.[ add; mul; imax; imin; sub ]
+
+let gen_basic_perm =
+  frequency
+    [
+      (1, return Fn.i_id);
+      (3, map Fn.i_shift (int_range (-7) 7));
+      (2, return Fn.i_reverse);
+    ]
+
+let gen_perm_ifn =
+  frequency
+    [
+      (3, gen_basic_perm);
+      (1, map2 Fn.i_compose gen_basic_perm gen_basic_perm);
+    ]
+
+let i_const j = Fn.{ iname = Printf.sprintf "const(%d)" j; iapply = (fun ~n:_ _ -> j) }
+
+let gen_fetch_ifn ~n =
+  frequency [ (3, gen_perm_ifn); (1, map i_const (int_range 0 (n - 1))) ]
+
+let gen_input ~n =
+  let+ a = array_size (return n) (int_range (-20) 20) in
+  Value.Arr (Array.map (fun i -> Value.Int i) a)
+
+(* --- stages ---------------------------------------------------------------- *)
+
+(* Flat, length-preserving, well-typed at any length >= 1 (and vacuously at
+   0): usable inside Iter_for / Map_nested bodies and as oracle context. *)
+let gen_lp_stage =
+  frequency
+    [
+      (4, map (fun f -> Ast.Map f) gen_fn);
+      (1, return (Ast.Imap Fn.add_index));
+      (2, map (fun f -> Ast.Scan f) gen_fn2_assoc);
+      (2, map (fun k -> Ast.Rotate k) (int_range (-7) 7));
+      (2, map (fun f -> Ast.Send f) gen_perm_ifn);
+      (2, map (fun f -> Ast.Fetch f) gen_perm_ifn);
+    ]
+
+let gen_ctx ~max_stages = list_size (int_range 0 max_stages) gen_lp_stage
+
+type shape = Flat of int | Groups of int array | Scalar
+
+let block_sizes ~n ~p =
+  let q = n / p and r = n mod p in
+  Array.init p (fun k -> if k < r then q + 1 else q)
+
+let gen_flat_stage ~allow_nested n : (Ast.expr * shape) Gen.t =
+  let lp g = map (fun e -> (e, Flat n)) g in
+  let base =
+    [
+      (4, lp (map (fun f -> Ast.Map f) gen_fn));
+      (1, lp (return (Ast.Imap Fn.add_index)));
+      (2, lp (map (fun f -> Ast.Scan f) gen_fn2_assoc));
+      (2, lp (map (fun k -> Ast.Rotate k) (int_range (-2 * n) (2 * n))));
+      (2, lp (map (fun f -> Ast.Send f) gen_perm_ifn));
+      (2, lp (map (fun f -> Ast.Fetch f) (gen_fetch_ifn ~n)));
+      (1, map (fun f -> (Ast.Fold f, Scalar)) gen_fn2_assoc);
+      ( 1,
+        let* f = gen_fn2_any in
+        let+ g = gen_fn in
+        (Ast.Foldr_compose (f, g), Scalar) );
+      ( 1,
+        let* k = int_range 0 3 in
+        let+ body = list_size (int_range 1 2) gen_lp_stage in
+        (Ast.Iter_for (k, Ast.of_chain body), Flat n) );
+    ]
+  in
+  let nested =
+    if allow_nested && n >= 2 then
+      [
+        ( 2,
+          let+ p = int_range 1 (min n 4) in
+          (Ast.Split p, Groups (block_sizes ~n ~p)) );
+      ]
+    else []
+  in
+  frequency (base @ nested)
+
+let gen_group_stage sizes : (Ast.expr * shape) Gen.t =
+  let p = Array.length sizes in
+  let total = Array.fold_left ( + ) 0 sizes in
+  frequency
+    [
+      (3, return (Ast.Combine, Flat total));
+      ( 2,
+        let+ body = list_size (int_range 1 2) gen_lp_stage in
+        (Ast.Map_nested (Ast.of_chain body), Groups sizes) );
+      (1, map (fun f -> (Ast.Map_nested (Ast.Fold f), Flat p)) gen_fn2_assoc);
+    ]
+
+let rec gen_stages ~allow_nested shape budget : Ast.expr list Gen.t =
+  if budget <= 0 then return []
+  else
+    match shape with
+    | Scalar -> return []
+    | Flat n ->
+        let* st, sh = gen_flat_stage ~allow_nested n in
+        let+ rest = gen_stages ~allow_nested sh (budget - 1) in
+        st :: rest
+    | Groups sizes ->
+        let* st, sh = gen_group_stage sizes in
+        let+ rest = gen_stages ~allow_nested sh (budget - 1) in
+        st :: rest
+
+let gen ?(allow_nested = true) () : case Gen.t =
+  sized (fun size ->
+      let* n = int_range 1 (max 2 (min 40 (3 * size))) in
+      let* input = gen_input ~n in
+      let* budget = int_range 0 (2 + size) in
+      let+ chain = gen_stages ~allow_nested (Flat n) budget in
+      { chain; input })
+
+(* --- shrinking ------------------------------------------------------------- *)
+
+let shrink_stage : Ast.expr Shrink.t = function
+  | Ast.Rotate k -> Seq.map (fun k' -> Ast.Rotate k') (Shrink.int k)
+  | Ast.Iter_for (k, b) -> Seq.map (fun k' -> Ast.Iter_for (k', b)) (Shrink.int k)
+  | Ast.Split p -> Seq.map (fun p' -> Ast.Split p') (Shrink.int_toward 1 p)
+  | Ast.Map_nested b ->
+      Seq.map (fun ch -> Ast.Map_nested (Ast.of_chain ch)) (Shrink.list (Ast.to_chain b))
+  | _ -> Seq.empty
+
+let rec shrink_value : Value.t Shrink.t = function
+  | Value.Int i -> Seq.map (fun i' -> Value.Int i') (Shrink.int i)
+  | Value.Arr a -> Seq.map (fun a' -> Value.Arr a') (Shrink.array ~elem:shrink_value a)
+  | _ -> Seq.empty
+
+let shrink : case Shrink.t =
+ fun c ->
+  Seq.append
+    (Seq.map (fun chain -> { c with chain }) (Shrink.list ~elem:shrink_stage c.chain))
+    (Seq.map (fun input -> { c with input }) (shrink_value c.input))

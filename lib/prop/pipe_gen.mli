@@ -1,0 +1,55 @@
+(** Typed random generation of well-formed skeleton pipelines and inputs.
+
+    The generator tracks the static shape of the value flowing through the
+    chain (flat array of known length, nested groups, or scalar) so every
+    generated pipeline evaluates without a type error under the reference
+    interpreter.
+
+    {2 Precondition set}
+
+    Generated cases respect the documented preconditions of the backends;
+    anything outside them is intentionally-partial behaviour, not a
+    divergence:
+
+    - the input is a flat [Int] array with [n >= 1] ([n = 0] makes the
+      size-aware index functions divide by zero before any backend runs);
+    - [Fold]/[Scan] operators are associative (backends chunk and combine
+      in index order — the paper calls non-associative results undefined);
+    - [Send] index functions are in-range permutations;
+    - [Split p] has [1 <= p <= n], so every group is non-empty and nested
+      folds are total;
+    - [Iter_for] counts are non-negative. *)
+
+type case = { chain : Transform.Ast.expr list; input : Transform.Value.t }
+
+val expr : case -> Transform.Ast.expr
+val print : case -> string
+val is_flat : case -> bool
+(** No [Split]/[Combine]/[Map_nested] anywhere (executable on [Sim_exec]). *)
+
+val gen : ?allow_nested:bool -> unit -> case Gen.t
+(** [~allow_nested:false] restricts to flat pipelines. *)
+
+val shrink : case Shrink.t
+(** Drops stages, shrinks rotation/iteration/split constants, and shrinks
+    the input array (length and element values). Candidates may be
+    ill-typed; the properties skip those. *)
+
+(** {1 Building blocks (shared with the rule oracle)} *)
+
+val gen_fn : Transform.Fn.t Gen.t
+val gen_fn2_assoc : Transform.Fn.t2 Gen.t
+val gen_fn2_any : Transform.Fn.t2 Gen.t
+val gen_perm_ifn : Transform.Fn.ifn Gen.t
+(** Permutation index functions valid at every array length. *)
+
+val gen_fetch_ifn : n:int -> Transform.Fn.ifn Gen.t
+(** Adds non-injective sources (constants), valid at length [n]. *)
+
+val gen_lp_stage : Transform.Ast.expr Gen.t
+(** One flat, length-preserving stage, well-typed at every length [>= 1]. *)
+
+val gen_ctx : max_stages:int -> Transform.Ast.expr list Gen.t
+(** A context chain of [0..max_stages] length-preserving stages. *)
+
+val gen_input : n:int -> Transform.Value.t Gen.t

@@ -1,0 +1,98 @@
+(* Generate-check-shrink driver.
+
+   Replayability: a master Xoshiro stream is seeded from [config.seed]; case
+   [i] runs on the [i+1]-th child split off the master. Splitting is
+   deterministic, so (seed, case_index, size) fully identifies a case — the
+   failure record carries exactly that triple. *)
+
+type config = {
+  count : int;
+  max_size : int;
+  seed : int;
+  max_shrink_steps : int;
+  max_discard_ratio : int;
+}
+
+let default =
+  { count = 100; max_size = 10; seed = 42; max_shrink_steps = 2000; max_discard_ratio = 10 }
+
+type result_ = Pass_case | Skip_case | Fail_case of string
+
+type 'a failure = {
+  original : 'a;
+  shrunk : 'a;
+  shrink_steps : int;
+  case_index : int;
+  seed : int;
+  size : int;
+  message : string;
+}
+
+type 'a outcome =
+  | Pass of { checked : int; discarded : int }
+  | Fail of 'a failure
+  | Gave_up of { checked : int; discarded : int }
+
+let run_prop prop x =
+  try prop x with
+  | Stack_overflow | Out_of_memory -> Fail_case "resource exhaustion"
+  | e -> Fail_case (Printexc.to_string e)
+
+(* Greedy shrink: take the first candidate that still fails, restart from
+   it. Candidates that pass or no longer meet the precondition are
+   rejected, so the shrunk case provably violates the same property. *)
+let shrink_loop ~max_steps (shrinker : 'a Shrink.t) prop x0 msg0 =
+  let steps = ref 0 in
+  let rec improve x msg =
+    if !steps >= max_steps then (x, msg)
+    else
+      let rec scan s =
+        if !steps >= max_steps then (x, msg)
+        else
+          match s () with
+          | Seq.Nil -> (x, msg)
+          | Seq.Cons (c, rest) -> (
+              incr steps;
+              match run_prop prop c with
+              | Fail_case m -> improve c m
+              | Pass_case | Skip_case -> scan rest)
+      in
+      scan (shrinker x)
+  in
+  let x, msg = improve x0 msg0 in
+  (x, msg, !steps)
+
+let size_for config idx = min config.max_size (1 + (idx * config.max_size / max 1 config.count))
+
+let check ?(config = default) ?(shrink : 'a Shrink.t = Shrink.nothing) ~(gen : 'a Gen.t)
+    ~(prop : 'a -> result_) () : 'a outcome =
+  let master = Runtime.Xoshiro.of_seed config.seed in
+  let rec loop checked discarded idx =
+    if checked >= config.count then Pass { checked; discarded }
+    else if discarded > config.count * config.max_discard_ratio then
+      Gave_up { checked; discarded }
+    else
+      let rng = Runtime.Xoshiro.split master in
+      let size = size_for config idx in
+      let x = gen ~size rng in
+      match run_prop prop x with
+      | Pass_case -> loop (checked + 1) discarded (idx + 1)
+      | Skip_case -> loop checked (discarded + 1) (idx + 1)
+      | Fail_case message ->
+          let shrunk, message, shrink_steps =
+            shrink_loop ~max_steps:config.max_shrink_steps shrink prop x message
+          in
+          Fail
+            { original = x; shrunk; shrink_steps; case_index = idx; seed = config.seed; size; message }
+  in
+  loop 0 0 0
+
+let replay ?(config = default) ~(gen : 'a Gen.t) ~case_index ~size =
+  let master = Runtime.Xoshiro.of_seed config.seed in
+  gen ~size (Runtime.Xoshiro.nth_child master case_index)
+
+let pp_failure print ppf (f : 'a failure) =
+  Format.fprintf ppf
+    "@[<v>counterexample (case %d, seed %d, size %d, %d shrink steps):@,\
+     shrunk:   %s@,original: %s@,reason:   %s@]"
+    f.case_index f.seed f.size f.shrink_steps (print f.shrunk) (print f.original) f.message

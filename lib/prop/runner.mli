@@ -1,0 +1,52 @@
+(** The property-check driver: generate, check, shrink, replay.
+
+    Each case gets its own PRNG stream split off a master stream seeded
+    with [config.seed], so case [i] is replayable from [(seed, i)] alone
+    regardless of what other cases did. *)
+
+type config = {
+  count : int;  (** target number of checked (non-skipped) cases *)
+  max_size : int;  (** size budget ramps linearly from 1 up to this *)
+  seed : int;
+  max_shrink_steps : int;
+  max_discard_ratio : int;
+      (** give up after [count * max_discard_ratio] skipped cases *)
+}
+
+val default : config
+(** 100 cases, max size 10, seed 42, 2000 shrink steps, ratio 10. *)
+
+type result_ =
+  | Pass_case
+  | Skip_case  (** precondition not met — does not count toward [count] *)
+  | Fail_case of string
+
+type 'a failure = {
+  original : 'a;
+  shrunk : 'a;
+  shrink_steps : int;
+  case_index : int;  (** replay: split the master stream this many times *)
+  seed : int;
+  size : int;  (** size budget the failing case was generated at *)
+  message : string;  (** from the check of the shrunk case *)
+}
+
+type 'a outcome =
+  | Pass of { checked : int; discarded : int }
+  | Fail of 'a failure
+  | Gave_up of { checked : int; discarded : int }
+
+val check :
+  ?config:config ->
+  ?shrink:'a Shrink.t ->
+  gen:'a Gen.t ->
+  prop:('a -> result_) ->
+  unit ->
+  'a outcome
+(** Exceptions raised by [prop] count as failures (message = the exception);
+    during shrinking a candidate is only accepted if it still fails. *)
+
+val replay : ?config:config -> gen:'a Gen.t -> case_index:int -> size:int -> 'a
+(** Regenerate the case a failure reported, from the seed alone. *)
+
+val pp_failure : ('a -> string) -> Format.formatter -> 'a failure -> unit

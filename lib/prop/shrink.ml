@@ -1,0 +1,68 @@
+(* Lazy shrinkers. Candidate order matters: the runner is greedy, so each
+   sequence leads with the biggest reductions (whole-array removal, jump to
+   the anchor) and falls back to one-step tweaks that guarantee progress. *)
+
+type 'a t = 'a -> 'a Seq.t
+
+let nothing : 'a t = fun _ -> Seq.empty
+
+let int_toward anchor : int t =
+ fun x ->
+  if x = anchor then Seq.empty
+  else
+    let delta = x - anchor in
+    let step = if delta > 0 then x - 1 else x + 1 in
+    (* anchor, halfway point, predecessor: greedy re-shrinking makes the
+       halfway candidate converge logarithmically. *)
+    List.to_seq [ anchor; anchor + (delta / 2); step ]
+    |> Seq.filter (fun c -> c <> x)
+    |> fun s ->
+    (* dedup consecutive equal candidates (e.g. when |delta| <= 2) *)
+    let seen = Hashtbl.create 4 in
+    Seq.filter
+      (fun c ->
+        if Hashtbl.mem seen c then false
+        else begin
+          Hashtbl.add seen c ();
+          true
+        end)
+      s
+
+let int : int t = int_toward 0
+
+let array ?(elem : 'a t = nothing) : 'a array t =
+ fun a ->
+  let n = Array.length a in
+  let remove i k = Array.append (Array.sub a 0 i) (Array.sub a (i + k) (n - i - k)) in
+  (* chunk sizes n, n/2, ..., 1: aligned chunk removals, largest first *)
+  let rec sizes k () = if k <= 0 then Seq.Nil else Seq.Cons (k, sizes (k / 2)) in
+  let removals =
+    Seq.concat_map
+      (fun k ->
+        let rec at i () =
+          if i + k > n then Seq.Nil else Seq.Cons (remove i k, at (i + k))
+        in
+        at 0)
+      (sizes n)
+  in
+  let element_shrinks =
+    Seq.concat_map
+      (fun i ->
+        Seq.map
+          (fun e ->
+            let b = Array.copy a in
+            b.(i) <- e;
+            b)
+          (elem a.(i)))
+      (Seq.init n Fun.id)
+  in
+  Seq.append removals element_shrinks
+
+let list ?elem : 'a list t =
+ fun l -> Seq.map Array.to_list (array ?elem (Array.of_list l))
+
+let pair (sa : 'a t) (sb : 'b t) : ('a * 'b) t =
+ fun (a, b) ->
+  Seq.append (Seq.map (fun a' -> (a', b)) (sa a)) (Seq.map (fun b' -> (a, b')) (sb b))
+
+let append (s1 : 'a t) (s2 : 'a t) : 'a t = fun x -> Seq.append (s1 x) (s2 x)

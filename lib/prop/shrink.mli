@@ -1,0 +1,22 @@
+(** Counterexample shrinkers: lazy sequences of strictly "smaller"
+    candidates. The runner greedily takes the first candidate that still
+    fails and recurses, so sequences should put the most aggressive
+    reductions first (e.g. whole-chunk removal before element tweaks). *)
+
+type 'a t = 'a -> 'a Seq.t
+
+val nothing : 'a t
+
+val int : int t
+(** Toward 0: [0], then repeated halvings, then the predecessor. *)
+
+val int_toward : int -> int t
+(** Toward an arbitrary anchor instead of 0. *)
+
+val list : ?elem:'a t -> 'a list t
+(** Chunk removal (halves, quarters, ... single elements), then pointwise
+    element shrinking. *)
+
+val array : ?elem:'a t -> 'a array t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val append : 'a t -> 'a t -> 'a t

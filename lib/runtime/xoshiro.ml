@@ -59,6 +59,15 @@ let split t =
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let nth_child t n =
+  if n < 0 then invalid_arg "Xoshiro.nth_child: negative index";
+  let parent = copy t in
+  let child = ref (split parent) in
+  for _ = 1 to n do
+    child := split parent
+  done;
+  !child
+
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 (* 62 non-negative bits *)
 

@@ -16,6 +16,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a fresh generator whose stream is
     independent of [t]'s subsequent output. *)
 
+val nth_child : t -> int -> t
+(** [nth_child t n] is the [n+1]-th stream split off [t], without mutating
+    [t] (it works on a {!copy}). Lets a replay derive the same child a
+    sequence of [n+1] {!split}s would have produced — e.g. regenerating the
+    [n]-th case of a property-test run from its master seed. Raises
+    [Invalid_argument] if [n < 0]. *)
+
 val copy : t -> t
 (** Snapshot of the current state. *)
 

@@ -1,0 +1,76 @@
+(* Run a skeleton pipeline on the host Scl skeletons. Mirrors Ast.eval
+   node for node; every array primitive goes through the Scl layer so the
+   pipeline actually exercises the chosen Exec backend (sequential or
+   pool). Host skeletons report bad movements with Invalid_argument —
+   translated here to Value.Type_error so the backends share one error
+   taxonomy (the reference interpreter raises Type_error on the same
+   inputs). *)
+
+let wrap name f =
+  try f () with Invalid_argument m -> Value.type_error "%s: %s" name m
+
+let pa v = Scl.Par_array.unsafe_of_array (Value.as_arr v)
+let arr a = Value.Arr (Scl.Par_array.unsafe_to_array a)
+
+let rec eval ?(exec = Scl.Exec.sequential) (e : Ast.expr) (v : Value.t) : Value.t =
+  match e with
+  | Ast.Id -> v
+  | Ast.Compose (f, g) -> eval ~exec f (eval ~exec g v)
+  | Ast.Map f -> wrap "map" (fun () -> arr (Scl.Elementary.map ~exec f.Fn.apply (pa v)))
+  | Ast.Imap f ->
+      wrap "imap" (fun () ->
+          arr (Scl.Elementary.imap ~exec (fun i x -> f.Fn.apply2 (Value.Int i) x) (pa v)))
+  | Ast.Fold f ->
+      let a = pa v in
+      if Scl.Par_array.length a = 0 then Value.type_error "fold: empty array";
+      wrap "fold" (fun () -> Scl.Elementary.fold ~exec f.Fn.apply2 a)
+  | Ast.Scan f ->
+      let a = pa v in
+      if Scl.Par_array.length a = 0 then Value.Arr [||]
+      else wrap "scan" (fun () -> arr (Scl.Elementary.scan ~exec f.Fn.apply2 a))
+  | Ast.Foldr_compose (f, g) ->
+      (* Inherently sequential source pattern; computed directly, as on the
+         simulator's root processor. *)
+      let a = Value.as_arr v in
+      if Array.length a = 0 then Value.type_error "foldr: empty array";
+      let acc = ref (g.Fn.apply a.(Array.length a - 1)) in
+      for i = Array.length a - 2 downto 0 do
+        acc := f.Fn.apply2 (g.Fn.apply a.(i)) !acc
+      done;
+      !acc
+  | Ast.Send f ->
+      let a = pa v in
+      let n = Scl.Par_array.length a in
+      if n = 0 then v
+      else wrap "send" (fun () -> arr (Scl.Communication.send_one ~exec (fun i -> f.Fn.iapply ~n i) a))
+  | Ast.Fetch f ->
+      let a = pa v in
+      let n = Scl.Par_array.length a in
+      wrap "fetch" (fun () -> arr (Scl.Communication.fetch ~exec (fun i -> f.Fn.iapply ~n i) a))
+  | Ast.Rotate k ->
+      let a = pa v in
+      if Scl.Par_array.length a = 0 then v
+      else wrap "rotate" (fun () -> arr (Scl.Communication.rotate ~exec k a))
+  | Ast.Split p ->
+      if p <= 0 then Value.type_error "split: non-positive part count";
+      wrap "split" (fun () ->
+          let groups = Scl.Partition.split (Scl.Partition.Block p) (pa v) in
+          Value.Arr
+            (Array.map (fun g -> arr g) (Scl.Par_array.unsafe_to_array groups)))
+  | Ast.Combine ->
+      wrap "combine" (fun () ->
+          let groups = Value.as_arr v in
+          let nested =
+            Scl.Par_array.unsafe_of_array
+              (Array.map (fun g -> Scl.Par_array.unsafe_of_array (Value.as_arr g)) groups)
+          in
+          arr (Scl.Partition.combine nested))
+  | Ast.Map_nested body ->
+      wrap "map_nested" (fun () -> arr (Scl.Elementary.map ~exec (eval ~exec body) (pa v)))
+  | Ast.Iter_for (k, body) ->
+      if k < 0 then Value.type_error "iterFor: negative count";
+      let acc = ref v in
+      for _ = 1 to k do
+        acc := eval ~exec body !acc
+      done;
+      !acc

@@ -1,0 +1,19 @@
+(** Execute a skeleton pipeline on the host SCL skeletons — the third
+    semantics next to {!Ast.eval} (reference) and {!Sim_exec} (simulated
+    machine). Pass [?exec] to choose the {!Scl.Exec} backend: sequential
+    (default) or a multicore pool.
+
+    Supports the whole AST including nested parallelism ([Split] /
+    [Combine] / [Map_nested] run through {!Scl.Partition}).
+    [Foldr_compose] is inherently sequential and is computed directly, as
+    on the simulator.
+
+    Error taxonomy: host skeletons signal bad movements with
+    [Invalid_argument]; this wrapper translates those into
+    {!Value.Type_error} so all backends raise the same exception class on
+    the same inputs (empty fold, out-of-range fetch/send, non-permutation
+    send). *)
+
+val eval : ?exec:Scl.Exec.t -> Ast.expr -> Value.t -> Value.t
+(** [eval ?exec e v] equals [Ast.eval e v] on every input where the latter
+    is defined. @raise Value.Type_error as {!Ast.eval} does. *)

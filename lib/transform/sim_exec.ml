@@ -43,7 +43,10 @@ and exec_prim (comm : Comm.t) (e : Ast.expr) (st : state) : state =
         (Scl_sim.Dvec.imap ~flops_per_elem:f.Fn.cost2
            (fun i x -> f.Fn.apply2 (Value.Int i) x)
            (the_vec st))
-  | Ast.Fold f -> S (Scl_sim.Dvec.fold ~flops_per_elem:f.Fn.cost2 f.Fn.apply2 (the_vec st))
+  | Ast.Fold f ->
+      let dv = the_vec st in
+      if Scl_sim.Dvec.total dv = 0 then Value.type_error "fold: empty array";
+      S (Scl_sim.Dvec.fold ~flops_per_elem:f.Fn.cost2 f.Fn.apply2 dv)
   | Ast.Scan f -> V (Scl_sim.Dvec.scan ~flops_per_elem:f.Fn.cost2 f.Fn.apply2 (the_vec st))
   | Ast.Foldr_compose (f, g) ->
       (* Inherently sequential: collect everything at the root, compute
@@ -67,11 +70,25 @@ and exec_prim (comm : Comm.t) (e : Ast.expr) (st : state) : state =
   | Ast.Fetch f ->
       let dv = the_vec st in
       let n = Scl_sim.Dvec.total dv in
-      V (Scl_sim.Dvec.fetch (fun i -> f.Fn.iapply ~n i) dv)
+      V
+        (Scl_sim.Dvec.fetch
+           (fun i ->
+             let s = f.Fn.iapply ~n i in
+             if s < 0 || s >= n then Value.type_error "fetch %s: source out of range" f.Fn.iname;
+             s)
+           dv)
   | Ast.Send f ->
       let dv = the_vec st in
       let n = Scl_sim.Dvec.total dv in
-      let sent = Scl_sim.Dvec.send (fun i -> [ f.Fn.iapply ~n i ]) dv in
+      let sent =
+        Scl_sim.Dvec.send
+          (fun i ->
+            let d = f.Fn.iapply ~n i in
+            if d < 0 || d >= n then
+              Value.type_error "send %s: destination out of range" f.Fn.iname;
+            [ d ])
+          dv
+      in
       (* permutation: each slot received exactly one element *)
       V
         (Scl_sim.Dvec.map ~flops_per_elem:1
@@ -81,8 +98,9 @@ and exec_prim (comm : Comm.t) (e : Ast.expr) (st : state) : state =
              | k -> Value.type_error "send: %d arrivals at one site (not a permutation)" k)
            sent)
   | Ast.Iter_for (k, body) ->
+      if k < 0 then Value.type_error "iterFor: negative count";
       let st = ref st in
-      for _ = 1 to max 0 k do
+      for _ = 1 to k do
         st := exec comm body !st
       done;
       !st

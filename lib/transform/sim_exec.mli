@@ -17,4 +17,7 @@ val run :
   Value.t * Machine.Sim.stats
 (** Scatter the input array, run the pipeline SPMD, gather the result (or
     return the replicated scalar after a fold). Results equal
-    [Ast.eval e input]. *)
+    [Ast.eval e input], including the error taxonomy: empty folds,
+    out-of-range movements, negative iteration counts and non-permutation
+    sends raise {!Value.Type_error} exactly where the reference
+    interpreter does. *)

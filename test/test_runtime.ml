@@ -50,6 +50,27 @@ let test_xoshiro_int_rejects () =
   Alcotest.check_raises "bound 0" (Invalid_argument "Xoshiro.int: bound must be positive") (fun () ->
       ignore (Xoshiro.int (Xoshiro.of_seed 0) 0))
 
+let test_xoshiro_nth_child () =
+  (* nth_child must agree with n+1 manual splits, and must not mutate its
+     argument (replays depend on both). *)
+  let manual = Xoshiro.of_seed 42 in
+  let expected =
+    let c = ref (Xoshiro.split manual) in
+    for _ = 1 to 5 do
+      c := Xoshiro.split manual
+    done;
+    !c
+  in
+  let master = Xoshiro.of_seed 42 in
+  let child = Xoshiro.nth_child master 5 in
+  Alcotest.(check int64) "same as 6 splits" (Xoshiro.next_int64 expected) (Xoshiro.next_int64 child);
+  let untouched = Xoshiro.of_seed 42 in
+  ignore (Xoshiro.nth_child master 3);
+  Alcotest.(check int64) "master not mutated" (Xoshiro.next_int64 untouched)
+    (Xoshiro.next_int64 master);
+  Alcotest.check_raises "negative index" (Invalid_argument "Xoshiro.nth_child: negative index")
+    (fun () -> ignore (Xoshiro.nth_child master (-1)))
+
 let test_xoshiro_uniformity () =
   (* Chi-square-ish sanity: 10 buckets, 100k draws, each bucket within 10%. *)
   let r = Xoshiro.of_seed 123 in
@@ -400,6 +421,115 @@ let prop_pool_map_matches_seq =
       with_pool ~num_domains:2 (fun pool ->
           Pool.map_array pool (fun x -> (x * 17) mod 23) a = Array.map (fun x -> (x * 17) mod 23) a))
 
+(* --- seeded randomized stress (lib/prop-style: deterministic schedules
+   from Xoshiro seeds; only the physical interleaving varies) ------------- *)
+
+let test_deque_seeded_stress () =
+  (* 4 domains: the owner (this one) runs a seeded push/pop schedule while
+     3 thieves steal concurrently. Every pushed element must be consumed
+     exactly once: compare count / sum / sum-of-squares of the popped and
+     stolen multiset against what was pushed. *)
+  List.iter
+    (fun seed ->
+      let rng = Xoshiro.of_seed seed in
+      let n_ops = 4000 in
+      let ops =
+        Array.init n_ops (fun _ ->
+            if Xoshiro.int rng 3 < 2 then `Push (Xoshiro.int rng 1_000_000) else `Pop)
+      in
+      let dq = Ws_deque.create () in
+      let done_ = Atomic.make false in
+      let thieves =
+        List.init 3 (fun _ ->
+            Domain.spawn (fun () ->
+                let got = ref [] in
+                while not (Atomic.get done_) do
+                  match Ws_deque.steal dq with
+                  | v -> got := v :: !got
+                  | exception Ws_deque.Empty -> Domain.cpu_relax ()
+                done;
+                !got))
+      in
+      let pushed_cnt = ref 0 and pushed_sum = ref 0 and pushed_sq = ref 0 in
+      let consumed = ref [] in
+      Array.iter
+        (function
+          | `Push v ->
+              Ws_deque.push dq v;
+              incr pushed_cnt;
+              pushed_sum := !pushed_sum + v;
+              pushed_sq := !pushed_sq + (v * v)
+          | `Pop -> (
+              match Ws_deque.pop dq with
+              | v -> consumed := v :: !consumed
+              | exception Ws_deque.Empty -> ()))
+        ops;
+      Atomic.set done_ true;
+      List.iter (fun d -> consumed := Domain.join d @ !consumed) thieves;
+      (* all thieves have stopped: the owner's drain is now definitive *)
+      let rec drain () =
+        match Ws_deque.pop dq with
+        | v ->
+            consumed := v :: !consumed;
+            drain ()
+        | exception Ws_deque.Empty -> ()
+      in
+      drain ();
+      let cnt = List.length !consumed in
+      let sum = List.fold_left ( + ) 0 !consumed in
+      let sq = List.fold_left (fun acc v -> acc + (v * v)) 0 !consumed in
+      Alcotest.(check int) (Printf.sprintf "seed %d: count" seed) !pushed_cnt cnt;
+      Alcotest.(check int) (Printf.sprintf "seed %d: sum" seed) !pushed_sum sum;
+      Alcotest.(check int) (Printf.sprintf "seed %d: sum of squares" seed) !pushed_sq sq)
+    [ 42; 1337 ]
+
+let test_queue_seeded_stress () =
+  (* 4 domains: 2 producers with seeded value streams, 2 consumers popping
+     until close; the consumed multiset must equal the produced one. *)
+  List.iter
+    (fun seed ->
+      let q = Mpmc_queue.create () in
+      let per_producer = 3000 in
+      let producers =
+        List.init 2 (fun p ->
+            Domain.spawn (fun () ->
+                let rng = Xoshiro.of_seed (seed + p) in
+                let sum = ref 0 and sq = ref 0 in
+                for _ = 1 to per_producer do
+                  let v = Xoshiro.int rng 1_000_000 in
+                  Mpmc_queue.push q v;
+                  sum := !sum + v;
+                  sq := !sq + (v * v)
+                done;
+                (!sum, !sq)))
+      in
+      let consumers =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let cnt = ref 0 and sum = ref 0 and sq = ref 0 in
+                (try
+                   while true do
+                     let v = Mpmc_queue.pop q in
+                     incr cnt;
+                     sum := !sum + v;
+                     sq := !sq + (v * v)
+                   done
+                 with Mpmc_queue.Closed -> ());
+                (!cnt, !sum, !sq)))
+      in
+      let produced = List.map Domain.join producers in
+      Mpmc_queue.close q;
+      let consumed = List.map Domain.join consumers in
+      let psum = List.fold_left (fun a (s, _) -> a + s) 0 produced in
+      let psq = List.fold_left (fun a (_, s) -> a + s) 0 produced in
+      let ccnt = List.fold_left (fun a (c, _, _) -> a + c) 0 consumed in
+      let csum = List.fold_left (fun a (_, s, _) -> a + s) 0 consumed in
+      let csq = List.fold_left (fun a (_, _, s) -> a + s) 0 consumed in
+      Alcotest.(check int) (Printf.sprintf "seed %d: count" seed) (2 * per_producer) ccnt;
+      Alcotest.(check int) (Printf.sprintf "seed %d: sum" seed) psum csum;
+      Alcotest.(check int) (Printf.sprintf "seed %d: sum of squares" seed) psq csq)
+    [ 42; 1337 ]
+
 let test_barrier_two_pools_coexist () =
   (* Two pools can run side by side without interference. *)
   let p1 = Pool.create ~num_domains:1 () in
@@ -420,6 +550,7 @@ let suite =
         Alcotest.test_case "seed sensitivity" `Quick test_xoshiro_seed_sensitivity;
         Alcotest.test_case "copy" `Quick test_xoshiro_copy;
         Alcotest.test_case "split independence" `Quick test_xoshiro_split_independent;
+        Alcotest.test_case "nth_child replay" `Quick test_xoshiro_nth_child;
         Alcotest.test_case "bounds" `Quick test_xoshiro_bounds;
         Alcotest.test_case "int rejects bad bound" `Quick test_xoshiro_int_rejects;
         Alcotest.test_case "uniformity" `Slow test_xoshiro_uniformity;
@@ -431,6 +562,7 @@ let suite =
         Alcotest.test_case "growth" `Quick test_deque_grow;
         Alcotest.test_case "mixed pop/steal" `Quick test_deque_mixed;
         Alcotest.test_case "concurrent steal" `Slow test_deque_concurrent_steal;
+        Alcotest.test_case "seeded 4-domain stress" `Slow test_deque_seeded_stress;
       ] );
     ( "mpmc_queue",
       [
@@ -438,6 +570,7 @@ let suite =
         Alcotest.test_case "try_pop" `Quick test_queue_try_pop;
         Alcotest.test_case "close" `Quick test_queue_close;
         Alcotest.test_case "blocking consumer" `Slow test_queue_blocking_producer_consumer;
+        Alcotest.test_case "seeded 4-domain stress" `Slow test_queue_seeded_stress;
       ] );
     ( "pool",
       [

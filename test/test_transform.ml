@@ -642,6 +642,114 @@ let prop_codegen_accepts_flat_pipelines =
       in
       Codegen.compilable (Ast.of_chain chain))
 
+(* --- chain / printing round trips (on the lib/prop engine) ----------------- *)
+
+(* Random expression *trees* — arbitrary Compose shapes with explicit Ids
+   and nested Map_nested bodies — exercising exactly what to_chain must
+   normalise away. *)
+let rec gen_tree depth : Ast.expr Prop.Gen.t =
+  let open Prop.Gen in
+  if depth <= 0 then frequency [ (1, return Ast.Id); (4, Prop.Pipe_gen.gen_lp_stage) ]
+  else
+    frequency
+      [
+        ( 3,
+          let* l = gen_tree (depth - 1) in
+          let+ r = gen_tree (depth - 1) in
+          Ast.Compose (l, r) );
+        (1, map (fun e -> Ast.Map_nested e) (gen_tree (depth - 1)));
+        (1, return Ast.Id);
+        (3, Prop.Pipe_gen.gen_lp_stage);
+      ]
+
+(* Same, without Map_nested: length-preserving on flat arrays, so eval
+   round trips can run on random inputs. *)
+let rec gen_flat_tree depth : Ast.expr Prop.Gen.t =
+  let open Prop.Gen in
+  if depth <= 0 then frequency [ (1, return Ast.Id); (4, Prop.Pipe_gen.gen_lp_stage) ]
+  else
+    frequency
+      [
+        ( 3,
+          let* l = gen_flat_tree (depth - 1) in
+          let+ r = gen_flat_tree (depth - 1) in
+          Ast.Compose (l, r) );
+        (1, return Ast.Id);
+        (3, Prop.Pipe_gen.gen_lp_stage);
+      ]
+
+let prop_run ?(count = 200) name gen prop =
+  match
+    Prop.Runner.check ~config:{ Prop.Runner.default with count; seed = 42 } ~gen ~prop ()
+  with
+  | Prop.Runner.Pass _ -> ()
+  | Prop.Runner.Fail f -> Alcotest.fail (name ^ ": " ^ f.Prop.Runner.message)
+  | Prop.Runner.Gave_up _ -> Alcotest.fail (name ^ ": gave up")
+
+let stage_strings chain = List.map Ast.to_string chain
+
+let test_chain_roundtrip_prop () =
+  prop_run "to_chain . of_chain stable"
+    (Prop.Gen.bind (Prop.Gen.int_range 0 4) gen_tree)
+    (fun e ->
+      let c = Ast.to_chain e in
+      let c' = Ast.to_chain (Ast.of_chain c) in
+      if stage_strings c = stage_strings c' then Prop.Runner.Pass_case
+      else
+        Prop.Runner.Fail_case
+          (Printf.sprintf "chain changed: [%s] vs [%s] (tree %s)"
+             (String.concat "; " (stage_strings c))
+             (String.concat "; " (stage_strings c'))
+             (Ast.to_string e)))
+
+let test_chain_drops_ids () =
+  prop_run "to_chain drops Id and flattens Compose"
+    (Prop.Gen.bind (Prop.Gen.int_range 0 4) gen_tree)
+    (fun e ->
+      let ok = function Ast.Id | Ast.Compose _ -> false | _ -> true in
+      if List.for_all ok (Ast.to_chain e) then Prop.Runner.Pass_case
+      else Prop.Runner.Fail_case ("Id or Compose in chain of " ^ Ast.to_string e))
+
+let test_chain_roundtrip_eval () =
+  let gen =
+    let open Prop.Gen in
+    let* e = bind (int_range 0 4) gen_flat_tree in
+    let* n = int_range 1 20 in
+    let+ input = Prop.Pipe_gen.gen_input ~n in
+    (e, input)
+  in
+  prop_run "of_chain . to_chain preserves meaning" gen (fun (e, v) ->
+      let e' = Ast.of_chain (Ast.to_chain e) in
+      if Value.equal (Ast.eval e v) (Ast.eval e' v) then Prop.Runner.Pass_case
+      else Prop.Runner.Fail_case (Ast.to_string e ^ " <> normalised " ^ Ast.to_string e'))
+
+let test_to_string_stable () =
+  prop_run "to_string total and normalisation-idempotent"
+    (Prop.Gen.bind (Prop.Gen.int_range 0 4) gen_tree)
+    (fun e ->
+      let norm = Ast.of_chain (Ast.to_chain e) in
+      let norm2 = Ast.of_chain (Ast.to_chain norm) in
+      if String.length (Ast.to_string e) > 0 && Ast.to_string norm = Ast.to_string norm2 then
+        Prop.Runner.Pass_case
+      else Prop.Runner.Fail_case ("printing unstable for " ^ Ast.to_string e))
+
+let test_nested_map_chain_roundtrip () =
+  (* deep Map_nested towers keep their body structure through the chain view *)
+  prop_run "nested bodies survive round trip"
+    (let open Prop.Gen in
+     let* depth = int_range 1 3 in
+     let+ body = gen_tree depth in
+     Ast.Map_nested (Ast.Map_nested body))
+    (fun e ->
+      match Ast.to_chain e with
+      | [ Ast.Map_nested _ ] as c ->
+          if stage_strings c = stage_strings (Ast.to_chain (Ast.of_chain c)) then
+            Prop.Runner.Pass_case
+          else Prop.Runner.Fail_case ("nested chain changed for " ^ Ast.to_string e)
+      | c ->
+          Prop.Runner.Fail_case
+            (Printf.sprintf "expected singleton chain, got %d stages" (List.length c)))
+
 let () =
   Alcotest.run "transform"
     [
@@ -657,6 +765,14 @@ let () =
           Alcotest.test_case "iter_for" `Quick test_eval_iter_for;
           Alcotest.test_case "type errors" `Quick test_eval_type_errors;
           Alcotest.test_case "chain roundtrip" `Quick test_chain_roundtrip;
+        ] );
+      ( "chain-roundtrip-prop",
+        [
+          Alcotest.test_case "to_chain/of_chain stable" `Quick test_chain_roundtrip_prop;
+          Alcotest.test_case "Id-dropping" `Quick test_chain_drops_ids;
+          Alcotest.test_case "eval-preserving" `Quick test_chain_roundtrip_eval;
+          Alcotest.test_case "to_string stable" `Quick test_to_string_stable;
+          Alcotest.test_case "nested Map_nested chains" `Quick test_nested_map_chain_roundtrip;
         ] );
       ( "rules",
         [

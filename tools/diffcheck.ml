@@ -1,0 +1,120 @@
+(* Cross-backend differential oracle + rule oracle driver.
+
+   Usage:
+     diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N]
+               [--tolerance F] [--no-pool] [--out FILE]
+
+   Phases:
+     1. rule oracle       — every rule in Transform.Rules.all gets
+                            [--rule-cases] generated pipelines in which it
+                            fires; eval (rewrite e) must equal eval e.
+     2. cost consistency  — when the static cost model ranks the normal
+                            form as cheaper, the simulated makespan must
+                            not regress beyond [--tolerance].
+     3. differential      — [--budget] random pipelines are run through
+                            the reference interpreter, Host_exec seq,
+                            Host_exec on a pool, and Sim_exec at procs
+                            1/2/4 (flat pipelines only); all must agree.
+
+   On failure: prints the shrunk counterexample (Ast.to_string + input +
+   seed + case index), optionally writes it to --out, exits 1.
+   Exit codes: 0 all pass, 1 divergence found, 2 usage error / gave up. *)
+
+let usage =
+  "diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N] [--tolerance F] \
+   [--no-pool] [--out FILE]"
+
+let failures : string list ref = ref []
+
+let record_failure ~phase print (f : _ Prop.Runner.failure) =
+  let text =
+    Fmt.str "@[<v>phase: %s@,%a@]" phase (Prop.Runner.pp_failure print) f
+  in
+  Printf.printf "FAIL  %s\n%s\n" phase text;
+  failures := text :: !failures
+
+let report ~phase print outcome =
+  match outcome with
+  | Prop.Runner.Pass { checked; discarded } ->
+      Printf.printf "ok    %-40s %d cases (%d discarded)\n%!" phase checked discarded;
+      true
+  | Prop.Runner.Gave_up { checked; discarded } ->
+      Printf.printf "GAVE UP %-38s after %d cases (%d discarded)\n%!" phase checked discarded;
+      exit 2
+  | Prop.Runner.Fail f ->
+      record_failure ~phase print f;
+      false
+
+let () =
+  let budget = ref 500 in
+  let seed = ref 42 in
+  let rule_cases = ref 100 in
+  let cost_cases = ref 100 in
+  let tolerance = ref 1.25 in
+  let no_pool = ref false in
+  let out = ref "" in
+  let spec =
+    [
+      ("--budget", Arg.Set_int budget, "N differential pipelines to generate (default 500)");
+      ("--seed", Arg.Set_int seed, "S master PRNG seed (default 42)");
+      ("--rule-cases", Arg.Set_int rule_cases, "N firing cases per rule (default 100)");
+      ("--cost-cases", Arg.Set_int cost_cases, "N cost-consistency cases (default 100)");
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "F allowed simulated-makespan regression factor (default 1.25)" );
+      ("--no-pool", Arg.Set no_pool, " skip the multicore pool backend");
+      ("--out", Arg.Set_string out, "FILE write failing seed + counterexample to FILE");
+    ]
+  in
+  (try Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage
+   with Arg.Bad m ->
+     prerr_endline m;
+     exit 2);
+  let config count = { Prop.Runner.default with count; seed = !seed } in
+  Printf.printf "diffcheck: seed %d, budget %d, %d cases/rule\n%!" !seed !budget !rule_cases;
+
+  (* phase 1: rule oracle *)
+  let ok_rules =
+    List.for_all
+      (fun (rule : Transform.Rules.rule) ->
+        report
+          ~phase:(Printf.sprintf "rule %s" rule.Transform.Rules.rname)
+          Prop.Pipe_gen.print
+          (Prop.Oracle.check_rule ~config:(config !rule_cases) rule))
+      Transform.Rules.all
+  in
+
+  (* phase 2: cost-model consistency *)
+  let ok_cost =
+    report ~phase:"cost-vs-simulator" Prop.Pipe_gen.print
+      (Prop.Oracle.check_cost ~config:(config !cost_cases) ~procs:4 ~tolerance:!tolerance ())
+  in
+
+  (* phase 3: differential oracle *)
+  let pool = if !no_pool then None else Some (Runtime.Pool.create ~num_domains:3 ()) in
+  let stats = Prop.Oracle.new_stats () in
+  let ok_diff =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Runtime.Pool.teardown pool)
+      (fun () ->
+        report ~phase:"differential" Prop.Pipe_gen.print
+          (Prop.Oracle.check_differential ~config:(config !budget)
+             ?pool_exec:(Option.map Scl.Exec.on_pool pool)
+             ~stats ~sim_procs:[ 1; 2; 4 ] ()))
+  in
+  Printf.printf "differential: %d compared, %d on simulator, %d sim-skipped (nested)\n%!"
+    stats.Prop.Oracle.compared stats.Prop.Oracle.sim_ran stats.Prop.Oracle.sim_skipped;
+
+  if ok_rules && ok_cost && ok_diff then begin
+    Printf.printf "diffcheck: all oracles agree (seed %d)\n" !seed;
+    exit 0
+  end
+  else begin
+    if !out <> "" then begin
+      let oc = open_out !out in
+      Printf.fprintf oc "seed: %d\n%s\n" !seed (String.concat "\n---\n" (List.rev !failures));
+      close_out oc;
+      Printf.printf "wrote counterexample(s) to %s\n" !out
+    end;
+    exit 1
+  end
