@@ -17,6 +17,20 @@ let scan ?(exec = Exec.sequential) op pa =
 
 let iter ?(exec = Exec.sequential) f pa = exec.Exec.piter f (Par_array.unsafe_to_array pa)
 
+(* Fused compositions: one pass over the data, no intermediate ParArray.
+   Semantically [map_fold op f = fold op . map f] etc.; the property suite
+   checks the agreement on both backends. *)
+
+let map_fold ?(exec = Exec.sequential) op f pa =
+  if Par_array.length pa = 0 then invalid_arg "Elementary.map_fold: empty ParArray";
+  exec.Exec.pmap_reduce f op (Par_array.unsafe_to_array pa)
+
+let map_scan ?(exec = Exec.sequential) op f pa =
+  Par_array.unsafe_of_array (exec.Exec.pmap_scan f op (Par_array.unsafe_to_array pa))
+
+let map_compose ?(exec = Exec.sequential) f g pa =
+  Par_array.unsafe_of_array (exec.Exec.pmap2 f g (Par_array.unsafe_to_array pa))
+
 let zip_with ?(exec = Exec.sequential) f a b =
   if Par_array.length a <> Par_array.length b then
     invalid_arg "Elementary.zip_with: length mismatch";

@@ -20,6 +20,20 @@ val scan : ?exec:Exec.t -> ('a -> 'a -> 'a) -> 'a Par_array.t -> 'a Par_array.t
 
 val iter : ?exec:Exec.t -> ('a -> unit) -> 'a Par_array.t -> unit
 
+val map_fold : ?exec:Exec.t -> ('b -> 'b -> 'b) -> ('a -> 'b) -> 'a Par_array.t -> 'b
+(** [map_fold op f pa = fold op (map f pa)] in a single pass with no
+    intermediate ParArray — the executable form of the map/fold fusion
+    rule. @raise Invalid_argument on empty input. *)
+
+val map_scan :
+  ?exec:Exec.t -> ('b -> 'b -> 'b) -> ('a -> 'b) -> 'a Par_array.t -> 'b Par_array.t
+(** [map_scan op f pa = scan op (map f pa)] in a single pass; each element
+    is mapped exactly once. *)
+
+val map_compose : ?exec:Exec.t -> ('b -> 'c) -> ('a -> 'b) -> 'a Par_array.t -> 'c Par_array.t
+(** [map_compose f g pa = map f (map g pa)] in one traversal — the
+    executable form of the map/map fusion rule. *)
+
 val zip_with :
   ?exec:Exec.t -> ('a -> 'b -> 'c) -> 'a Par_array.t -> 'b Par_array.t -> 'c Par_array.t
 (** Pointwise combination of two aligned ParArrays. *)

@@ -8,7 +8,13 @@
 
    The backend is a record of rank-2 polymorphic fields rather than a
    functor so that it can be chosen dynamically (e.g. per benchmark run)
-   without duplicating the skeleton code per instantiation. *)
+   without duplicating the skeleton code per instantiation.
+
+   Fused primitives (pmap_reduce / pmap_scan / pmap2) realise the paper's
+   Section 4 algebra at the execution layer: [fold f . map g],
+   [scan f . map g] and [map f . map g] run as single passes with no
+   intermediate array, so a composition optimised by [Transform.Rewrite]
+   actually costs what the fusion rules promise. *)
 
 type t = {
   name : string;
@@ -20,6 +26,12 @@ type t = {
   pscan : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a array;
       (* inclusive prefix: [| x0; x0+x1; ... |] *)
   piter : 'a. ('a -> unit) -> 'a array -> unit;
+  pmap_reduce : 'a 'b. ('a -> 'b) -> ('b -> 'b -> 'b) -> 'a array -> 'b;
+      (* preduce op (pmap f a), one pass, no intermediate *)
+  pmap_scan : 'a 'b. ('a -> 'b) -> ('b -> 'b -> 'b) -> 'a array -> 'b array;
+      (* pscan op (pmap f a), one pass, no intermediate *)
+  pmap2 : 'a 'b 'c. ('b -> 'c) -> ('a -> 'b) -> 'a array -> 'c array;
+      (* pmap (f . g), one traversal of the composed function *)
 }
 
 let seq_reduce op a =
@@ -42,6 +54,26 @@ let seq_scan op a =
     out
   end
 
+let seq_map_reduce f op a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Exec.pmap_reduce: empty array";
+  let acc = ref (f a.(0)) in
+  for i = 1 to n - 1 do
+    acc := op !acc (f a.(i))
+  done;
+  !acc
+
+let seq_map_scan f op a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f a.(0)) in
+    for i = 1 to n - 1 do
+      out.(i) <- op out.(i - 1) (f a.(i))
+    done;
+    out
+  end
+
 (* Observability: wrap every primitive of a backend in an aggregated span
    ("exec.<backend>.<prim>", durations in ns) plus a per-backend call
    counter.  With the obs switch off (the default) each call costs a single
@@ -55,7 +87,10 @@ let instrument e =
   and s_pinit = span "pinit"
   and s_preduce = span "preduce"
   and s_pscan = span "pscan"
-  and s_piter = span "piter" in
+  and s_piter = span "piter"
+  and s_pmap_reduce = span "pmap_reduce"
+  and s_pmap_scan = span "pmap_scan"
+  and s_pmap2 = span "pmap2" in
   let calls = Obs.Counter.make (Printf.sprintf "exec.%s.calls" e.name) in
   let pmap : 'a 'b. ('a -> 'b) -> 'a array -> 'b array =
    fun f a ->
@@ -87,7 +122,22 @@ let instrument e =
     Obs.Counter.incr calls;
     Obs.Span.timed s_piter (fun () -> e.piter f a)
   in
-  { name = e.name; pmap; pmapi; pinit; preduce; pscan; piter }
+  let pmap_reduce : 'a 'b. ('a -> 'b) -> ('b -> 'b -> 'b) -> 'a array -> 'b =
+   fun f op a ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_pmap_reduce (fun () -> e.pmap_reduce f op a)
+  in
+  let pmap_scan : 'a 'b. ('a -> 'b) -> ('b -> 'b -> 'b) -> 'a array -> 'b array =
+   fun f op a ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_pmap_scan (fun () -> e.pmap_scan f op a)
+  in
+  let pmap2 : 'a 'b 'c. ('b -> 'c) -> ('a -> 'b) -> 'a array -> 'c array =
+   fun f g a ->
+    Obs.Counter.incr calls;
+    Obs.Span.timed s_pmap2 (fun () -> e.pmap2 f g a)
+  in
+  { name = e.name; pmap; pmapi; pinit; preduce; pscan; piter; pmap_reduce; pmap_scan; pmap2 }
 
 let sequential =
   instrument
@@ -99,6 +149,9 @@ let sequential =
       preduce = seq_reduce;
       pscan = seq_scan;
       piter = Array.iter;
+      pmap_reduce = seq_map_reduce;
+      pmap_scan = seq_map_scan;
+      pmap2 = (fun f g a -> Array.map (fun x -> f (g x)) a);
     }
 
 (* Chunk boundaries for the two-phase parallel reduce/scan: [nchunks]
@@ -110,42 +163,55 @@ let chunk_bounds n nchunks =
 
 let on_pool pool =
   let open Runtime in
+  (* Chunking derives from the pool's size-aware grain heuristic, so the
+     chunk count adapts to the array instead of the fixed 8 x workers. *)
+  let bounds_for n = chunk_bounds n ((n + Pool.grain_for pool n - 1) / Pool.grain_for pool n) in
   let pmap : 'a 'b. ('a -> 'b) -> 'a array -> 'b array = fun f a -> Pool.map_array pool f a in
   let pmapi : 'a 'b. (int -> 'a -> 'b) -> 'a array -> 'b array =
    fun f a -> Pool.mapi_array pool f a
   in
   let pinit : 'a. int -> (int -> 'a) -> 'a array = fun n f -> Pool.init_array pool n f in
-  let preduce : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a =
-   fun op a ->
+  (* Two-phase reduce with the map fused into the leaf pass.  [preduce] is
+     the [f = id] instance. *)
+  let pmap_reduce : 'a 'b. ('a -> 'b) -> ('b -> 'b -> 'b) -> 'a array -> 'b =
+   fun f op a ->
     let n = Array.length a in
-    if n = 0 then invalid_arg "Exec.preduce: empty array";
-    let bounds = chunk_bounds n (8 * max 1 (Pool.num_workers pool)) in
+    if n = 0 then invalid_arg "Exec.pmap_reduce: empty array";
+    let bounds = bounds_for n in
     let nchunks = Array.length bounds - 1 in
     let partials =
-      Pool.init_array pool nchunks (fun k ->
-          let acc = ref a.(bounds.(k)) in
+      Pool.init_array pool ~grain:1 nchunks (fun k ->
+          let acc = ref (f a.(bounds.(k))) in
           for i = bounds.(k) + 1 to bounds.(k + 1) - 1 do
-            acc := op !acc a.(i)
+            acc := op !acc (f a.(i))
           done;
           !acc)
     in
     (* Combine partials in index order so non-commutative ops are safe. *)
     seq_reduce op partials
   in
-  let pscan : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a array =
+  let preduce : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a =
    fun op a ->
+    match pmap_reduce (fun x -> x) op a with
+    | v -> v
+    | exception Invalid_argument _ -> invalid_arg "Exec.preduce: empty array"
+  in
+  (* Three-phase scan, with an optional map fused into the phase-1 local
+     scans (each element is mapped exactly once). *)
+  let pmap_scan : 'a 'b. ('a -> 'b) -> ('b -> 'b -> 'b) -> 'a array -> 'b array =
+   fun f op a ->
     let n = Array.length a in
     if n = 0 then [||]
     else begin
-      let bounds = chunk_bounds n (8 * max 1 (Pool.num_workers pool)) in
+      let bounds = bounds_for n in
       let nchunks = Array.length bounds - 1 in
-      let out = Array.make n a.(0) in
-      (* Phase 1: local inclusive scans per chunk. *)
+      let out = Array.make n (f a.(0)) in
+      (* Phase 1: local inclusive scans per chunk, mapping as we read. *)
       Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:nchunks (fun k ->
           let lo = bounds.(k) and hi = bounds.(k + 1) in
-          out.(lo) <- a.(lo);
+          out.(lo) <- f a.(lo);
           for i = lo + 1 to hi - 1 do
-            out.(i) <- op out.(i - 1) a.(i)
+            out.(i) <- op out.(i - 1) (f a.(i))
           done);
       (* Phase 2: exclusive prefix of chunk totals, sequential over chunks. *)
       let offsets = Array.make nchunks None in
@@ -166,7 +232,13 @@ let on_pool pool =
       out
     end
   in
+  let pscan : 'a. ('a -> 'a -> 'a) -> 'a array -> 'a array = fun op a -> pmap_scan (fun x -> x) op a in
   let piter : 'a. ('a -> unit) -> 'a array -> unit =
-   fun f a -> Pool.parallel_for pool ~lo:0 ~hi:(Array.length a) (fun i -> f a.(i))
+   fun f a ->
+    let n = Array.length a in
+    Pool.parallel_for pool ~grain:(Pool.grain_for pool n) ~lo:0 ~hi:n (fun i -> f a.(i))
   in
-  instrument { name = "pool"; pmap; pmapi; pinit; preduce; pscan; piter }
+  let pmap2 : 'a 'b 'c. ('b -> 'c) -> ('a -> 'b) -> 'a array -> 'c array =
+   fun f g a -> Pool.map_array pool (fun x -> f (g x)) a
+  in
+  instrument { name = "pool"; pmap; pmapi; pinit; preduce; pscan; piter; pmap_reduce; pmap_scan; pmap2 }

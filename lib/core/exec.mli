@@ -3,7 +3,14 @@
     Skeletons are written once against this record of primitive
     data-parallel loops; passing {!sequential} gives the reference
     semantics, {!on_pool} runs the same skeleton on the multicore
-    work-stealing pool. *)
+    work-stealing pool.
+
+    The fused primitives ([pmap_reduce], [pmap_scan], [pmap2]) are the
+    execution-layer counterpart of the transformation rules: compositions
+    like [fold op . map f] run as a single pass with no intermediate array,
+    so a pipeline rewritten by [Transform.Rewrite] pays the cost the fusion
+    rules promise. Each fused primitive is semantically equal to its
+    composed form (checked by the property suite and [tools/diffcheck]). *)
 
 type t = {
   name : string;
@@ -19,6 +26,14 @@ type t = {
           an empty array on every backend (locked cross-backend by the
           differential oracle in [tools/diffcheck]). *)
   piter : 'a. ('a -> unit) -> 'a array -> unit;
+  pmap_reduce : 'a 'b. ('a -> 'b) -> ('b -> 'b -> 'b) -> 'a array -> 'b;
+      (** [pmap_reduce f op a = preduce op (pmap f a)] in one pass with no
+          intermediate array. @raise Invalid_argument on an empty array. *)
+  pmap_scan : 'a 'b. ('a -> 'b) -> ('b -> 'b -> 'b) -> 'a array -> 'b array;
+      (** [pmap_scan f op a = pscan op (pmap f a)] in one pass with no
+          intermediate array; each element is mapped exactly once. *)
+  pmap2 : 'a 'b 'c. ('b -> 'c) -> ('a -> 'b) -> 'a array -> 'c array;
+      (** [pmap2 f g a = pmap f (pmap g a)] in one traversal. *)
 }
 
 val sequential : t
@@ -26,7 +41,9 @@ val sequential : t
 
 val on_pool : Runtime.Pool.t -> t
 (** Multicore backend over a work-stealing pool. Reduce and scan use
-    two-phase chunked algorithms that preserve combination order. *)
+    two-phase chunked algorithms that preserve combination order; chunk
+    counts follow the pool's size-aware grain heuristic
+    ({!Runtime.Pool.grain_for}), so small arrays run as a single task. *)
 
 val instrument : t -> t
 (** Wrap each primitive in an aggregated [Obs] span

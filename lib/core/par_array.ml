@@ -1,43 +1,72 @@
 (* The paper's ParArray: a distributed array whose element [i] conceptually
    lives on (virtual) processor [i].
 
-   The representation is a host array; which machine the elements actually
-   live on is the business of the execution backend (multicore pool) or of
-   the simulator templates in [scl_sim].  Nested parallelism is direct:
-   ['a t t] is a ParArray of ParArrays, the paper's processor groups. *)
+   The representation is a window [off, off+len) over a host array, so a
+   contiguous slice (a Block partition part, a processor group) is an O(1)
+   *view* that shares the base storage instead of a copy.  ParArrays are
+   immutable from the skeleton level, which is what makes the aliasing
+   sound; the only mutation doors are the [unsafe_*] conversions, whose
+   contracts forbid writing through them.  Which machine the elements
+   actually live on is the business of the execution backend (multicore
+   pool) or of the simulator templates in [scl_sim].  Nested parallelism is
+   direct: ['a t t] is a ParArray of ParArrays, the paper's processor
+   groups. *)
 
-type 'a t = { elems : 'a array }
+type 'a t = { base : 'a array; off : int; len : int }
 
-let of_array a = { elems = Array.copy a }
-let unsafe_of_array elems = { elems }
-let to_array t = Array.copy t.elems
-let unsafe_to_array t = t.elems
-let init n f = { elems = Array.init n f }
-let make n v = { elems = Array.make n v }
-let length t = Array.length t.elems
+let full base = { base; off = 0; len = Array.length base }
+let is_full t = t.off = 0 && t.len = Array.length t.base
+let of_array a = full (Array.copy a)
+let unsafe_of_array base = full base
+let to_array t = Array.sub t.base t.off t.len
+
+(* Zero-copy only when the window spans the whole base array (the common
+   case); a proper view has to materialise because callers index the result
+   from 0. *)
+let unsafe_to_array t = if is_full t then t.base else Array.sub t.base t.off t.len
+
+let init n f = full (Array.init n f)
+let make n v = full (Array.make n v)
+let length t = t.len
 
 let get t i =
-  if i < 0 || i >= length t then
-    invalid_arg (Printf.sprintf "Par_array.get: index %d out of bounds [0,%d)" i (length t));
-  t.elems.(i)
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Par_array.get: index %d out of bounds [0,%d)" i t.len);
+  t.base.(t.off + i)
 
 let set t i v =
-  if i < 0 || i >= length t then
-    invalid_arg (Printf.sprintf "Par_array.set: index %d out of bounds [0,%d)" i (length t));
-  { elems = Array.mapi (fun j x -> if j = i then v else x) t.elems }
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Par_array.set: index %d out of bounds [0,%d)" i t.len);
+  full (Array.init t.len (fun j -> if j = i then v else t.base.(t.off + j)))
 
-let equal eq a b = length a = length b && Array.for_all2 eq a.elems b.elems
+let equal eq a b =
+  a.len = b.len
+  &&
+  let rec go i = i >= a.len || (eq a.base.(a.off + i) b.base.(b.off + i) && go (i + 1)) in
+  go 0
 
 let pp pp_elem ppf t =
   Format.fprintf ppf "@[<hov 1><%a>@]"
     (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_elem)
-    t.elems
+    (unsafe_to_array t)
 
-let to_list t = Array.to_list t.elems
-let of_list l = { elems = Array.of_list l }
+let to_list t = Array.to_list (unsafe_to_array t)
+let of_list l = full (Array.of_list l)
 
-let concat ts = { elems = Array.concat (List.map (fun t -> t.elems) ts) }
+let concat ts =
+  match ts with
+  | [ t ] -> t (* singleton: nothing to join, keep the (possibly) shared base *)
+  | ts -> full (Array.concat (List.map to_array ts))
+
+let check_range t pos len who =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg (who ^ ": bad range")
 
 let sub t ~pos ~len =
-  if pos < 0 || len < 0 || pos + len > length t then invalid_arg "Par_array.sub: bad range";
-  { elems = Array.sub t.elems pos len }
+  check_range t pos len "Par_array.sub";
+  full (Array.sub t.base (t.off + pos) len)
+
+(* O(1): shares storage with [t]. Sound because ParArrays are immutable
+   from the skeleton level; do not mutate the base through [unsafe_*]. *)
+let sub_view t ~pos ~len =
+  check_range t pos len "Par_array.sub_view";
+  { base = t.base; off = t.off + pos; len }

@@ -15,7 +15,8 @@ val to_array : 'a t -> 'a array
 (** Copies. *)
 
 val unsafe_to_array : 'a t -> 'a array
-(** No copy; the caller must not mutate the result. *)
+(** No copy when the ParArray spans its whole base array (the common case);
+    a {!sub_view} materialises. The caller must not mutate the result. *)
 
 val of_list : 'a list -> 'a t
 val to_list : 'a t -> 'a list
@@ -30,6 +31,19 @@ val set : 'a t -> int -> 'a -> 'a t
 (** Functional update. *)
 
 val sub : 'a t -> pos:int -> len:int -> 'a t
+(** Copies. *)
+
+val sub_view : 'a t -> pos:int -> len:int -> 'a t
+(** O(1) zero-copy slice sharing storage with the source — the
+    configuration-skeleton fast path ({!Partition.split} on [Block]
+    patterns). Sound because ParArrays are immutable at the skeleton level;
+    the [unsafe_*] no-mutation contracts extend to every view of the same
+    base. *)
+
+val is_full : 'a t -> bool
+(** [true] when the ParArray spans its whole base array, i.e.
+    {!unsafe_to_array} is zero-copy (exposed for tests and benchmarks). *)
+
 val concat : 'a t list -> 'a t
 val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
 val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

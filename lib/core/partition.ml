@@ -4,7 +4,15 @@
    A pattern maps each element index of the source array to the part
    (virtual processor) that owns it; within a part, elements keep their
    source order.  [unapply] is the exact inverse of [apply] for any
-   pattern, which is what the paper's [gather] relies on. *)
+   pattern, which is what the paper's [gather] relies on.
+
+   Layout algebra: for the regular patterns (Block / Cyclic / Block_cyclic)
+   the sizes and the source position of every element are closed-form in
+   (n, pattern), so [apply]/[unapply] specialise to Array.sub / Array.blit
+   strided copies — one pass, no per-element closure dispatch and no
+   counting pre-pass.  The generic assign-driven two-pass implementation is
+   kept (and exposed) both for Custom patterns and as the executable
+   specification the fast paths are property-tested against. *)
 
 type t =
   | Block of int  (* balanced contiguous blocks *)
@@ -29,9 +37,9 @@ let check t =
   | Block_cyclic { block; _ } when block <= 0 -> invalid_arg "Partition: block size must be positive"
   | Block _ | Cyclic _ | Block_cyclic _ | Custom _ -> ()
 
-(* Part of element [i] in an array of length [n]. *)
-let assign t ~n i =
-  check t;
+(* Part of element [i]; the pattern is assumed well-formed ([check]ed once
+   by the caller) so hot loops pay no per-element validation. *)
+let assign_unchecked t ~n i =
   if i < 0 || i >= n then invalid_arg "Partition.assign: index out of range";
   match t with
   | Block p ->
@@ -46,16 +54,44 @@ let assign t ~n i =
         invalid_arg (Printf.sprintf "Partition %s: element %d assigned to invalid part %d" name i a);
       a
 
+let assign t ~n i =
+  check t;
+  assign_unchecked t ~n i
+
+(* Balanced-block boundaries: part [k] owns [b.(k), b.(k+1)). *)
+let block_bounds ~n ~p =
+  let q = n / p and r = n mod p in
+  Array.init (p + 1) (fun k -> (k * q) + min k r)
+
+(* Elements of part [k] under Cyclic p: k, k+p, k+2p, ... below n. *)
+let cyclic_size ~n ~p k = if k >= n then 0 else ((n - k - 1) / p) + 1
+
 let part_sizes t ~n =
   check t;
-  let sizes = Array.make (parts t) 0 in
-  for i = 0 to n - 1 do
-    let a = assign t ~n i in
-    sizes.(a) <- sizes.(a) + 1
-  done;
-  sizes
+  match t with
+  | Block p ->
+      let b = block_bounds ~n ~p in
+      Array.init p (fun k -> b.(k + 1) - b.(k))
+  | Cyclic p -> Array.init p (fun k -> cyclic_size ~n ~p k)
+  | Block_cyclic { parts; block } ->
+      let sizes = Array.make parts 0 in
+      let nblocks = (n + block - 1) / block in
+      for b = 0 to nblocks - 1 do
+        let p = b mod parts in
+        sizes.(p) <- sizes.(p) + min block (n - (b * block))
+      done;
+      sizes
+  | Custom _ ->
+      let sizes = Array.make (parts t) 0 in
+      for i = 0 to n - 1 do
+        let a = assign_unchecked t ~n i in
+        sizes.(a) <- sizes.(a) + 1
+      done;
+      sizes
 
-let apply t a =
+(* --- generic assign-driven paths (the executable specification) ---------- *)
+
+let apply_generic t a =
   check t;
   let n = Array.length a in
   (* Parts may be empty when n < parts; the n = 0 case is handled up front
@@ -66,19 +102,24 @@ let apply t a =
     let pieces = Array.map (fun s -> Array.make s a.(0)) sizes in
     let cursors = Array.make (parts t) 0 in
     for i = 0 to n - 1 do
-      let p = assign t ~n i in
+      let p = assign_unchecked t ~n i in
       pieces.(p).(cursors.(p)) <- a.(i);
       cursors.(p) <- cursors.(p) + 1
     done;
     Par_array.unsafe_of_array pieces
   end
 
-let unapply t pieces =
-  check t;
+let bad_sizes () = invalid_arg "Partition.unapply: part sizes inconsistent with pattern"
+
+let check_unapply_parts t pieces =
   if Par_array.length pieces <> parts t then
     invalid_arg
       (Printf.sprintf "Partition.unapply: %s expects %d parts, got %d" (name t) (parts t)
-         (Par_array.length pieces));
+         (Par_array.length pieces))
+
+let unapply_generic t pieces =
+  check t;
+  check_unapply_parts t pieces;
   let pieces = Par_array.unsafe_to_array pieces in
   let n = Array.fold_left (fun acc p -> acc + Array.length p) 0 pieces in
   if n = 0 then [||]
@@ -95,27 +136,121 @@ let unapply t pieces =
     let out = Array.make n seed in
     let cursors = Array.make (parts t) 0 in
     for i = 0 to n - 1 do
-      let p = assign t ~n i in
-      if cursors.(p) >= Array.length pieces.(p) then
-        invalid_arg "Partition.unapply: part sizes inconsistent with pattern";
+      let p = assign_unchecked t ~n i in
+      if cursors.(p) >= Array.length pieces.(p) then bad_sizes ();
       out.(i) <- pieces.(p).(cursors.(p));
       cursors.(p) <- cursors.(p) + 1
     done;
-    Array.iteri
-      (fun p c ->
-        if c <> Array.length pieces.(p) then
-          invalid_arg "Partition.unapply: part sizes inconsistent with pattern")
-      cursors;
+    Array.iteri (fun p c -> if c <> Array.length pieces.(p) then bad_sizes ()) cursors;
     out
   end
+
+(* --- specialised fast paths ----------------------------------------------- *)
+
+let apply t a =
+  check t;
+  let n = Array.length a in
+  match t with
+  | Block p ->
+      (* One Array.sub per part: a single copy pass, no assign calls. *)
+      let b = block_bounds ~n ~p in
+      Par_array.unsafe_of_array (Array.init p (fun k -> Array.sub a b.(k) (b.(k + 1) - b.(k))))
+  | Cyclic p ->
+      (* Strided gather: part k is a.(k), a.(k+p), ... *)
+      Par_array.unsafe_of_array
+        (Array.init p (fun k -> Array.init (cyclic_size ~n ~p k) (fun j -> a.(k + (j * p)))))
+  | Block_cyclic { parts = p; block } ->
+      if n = 0 then Par_array.unsafe_of_array (Array.make p [||])
+      else begin
+        let sizes = part_sizes t ~n in
+        let pieces = Array.map (fun s -> Array.make s a.(0)) sizes in
+        let cursors = Array.make p 0 in
+        (* Blit whole source blocks round-robin instead of dealing elements. *)
+        let nblocks = (n + block - 1) / block in
+        for b = 0 to nblocks - 1 do
+          let src = b * block in
+          let len = min block (n - src) in
+          let k = b mod p in
+          Array.blit a src pieces.(k) cursors.(k) len;
+          cursors.(k) <- cursors.(k) + len
+        done;
+        Par_array.unsafe_of_array pieces
+      end
+  | Custom _ -> apply_generic t a
+
+let unapply t pieces =
+  check t;
+  check_unapply_parts t pieces;
+  match t with
+  | Block p ->
+      (* Sizes determine the layout outright: validate against the balanced
+         block sizes, then the inverse is a plain concatenation. *)
+      let pieces = Par_array.unsafe_to_array pieces in
+      let n = Array.fold_left (fun acc q -> acc + Array.length q) 0 pieces in
+      let b = block_bounds ~n ~p in
+      for k = 0 to p - 1 do
+        if Array.length pieces.(k) <> b.(k + 1) - b.(k) then bad_sizes ()
+      done;
+      Array.concat (Array.to_list pieces)
+  | Cyclic p ->
+      let pieces = Par_array.unsafe_to_array pieces in
+      let n = Array.fold_left (fun acc q -> acc + Array.length q) 0 pieces in
+      for k = 0 to p - 1 do
+        if Array.length pieces.(k) <> cyclic_size ~n ~p k then bad_sizes ()
+      done;
+      if n = 0 then [||]
+      else begin
+        let out = Array.make n pieces.(0).(0) in
+        for k = 0 to p - 1 do
+          let piece = pieces.(k) in
+          for j = 0 to Array.length piece - 1 do
+            out.(k + (j * p)) <- piece.(j)
+          done
+        done;
+        out
+      end
+  | Block_cyclic { parts = p; block } ->
+      let pieces = Par_array.unsafe_to_array pieces in
+      let n = Array.fold_left (fun acc q -> acc + Array.length q) 0 pieces in
+      let sizes = part_sizes t ~n in
+      for k = 0 to p - 1 do
+        if Array.length pieces.(k) <> sizes.(k) then bad_sizes ()
+      done;
+      if n = 0 then [||]
+      else begin
+        let seed =
+          let rec find k = if Array.length pieces.(k) > 0 then pieces.(k).(0) else find (k + 1) in
+          find 0
+        in
+        let out = Array.make n seed in
+        let cursors = Array.make p 0 in
+        let nblocks = (n + block - 1) / block in
+        for b = 0 to nblocks - 1 do
+          let dst = b * block in
+          let len = min block (n - dst) in
+          let k = b mod p in
+          Array.blit pieces.(k) cursors.(k) out dst len;
+          cursors.(k) <- cursors.(k) + len
+        done;
+        out
+      end
+  | Custom _ -> unapply_generic t pieces
 
 (* [split] regroups a ParArray's elements (not a SeqArray's): the paper uses
    it to form nested configurations — processor groups. *)
 let split t pa =
   check t;
-  let arr = Par_array.unsafe_to_array pa in
-  let grouped = apply t arr in
-  Par_array.unsafe_of_array
-    (Array.map Par_array.unsafe_of_array (Par_array.unsafe_to_array grouped))
+  match t with
+  | Block p ->
+      (* Copy-free: each group is an O(1) view into the source ParArray. *)
+      let n = Par_array.length pa in
+      let b = block_bounds ~n ~p in
+      Par_array.unsafe_of_array
+        (Array.init p (fun k -> Par_array.sub_view pa ~pos:b.(k) ~len:(b.(k + 1) - b.(k))))
+  | Cyclic _ | Block_cyclic _ | Custom _ ->
+      let arr = Par_array.unsafe_to_array pa in
+      let grouped = apply t arr in
+      Par_array.unsafe_of_array
+        (Array.map Par_array.unsafe_of_array (Par_array.unsafe_to_array grouped))
 
 let combine nested = Par_array.concat (Par_array.to_list nested)

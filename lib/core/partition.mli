@@ -22,15 +22,30 @@ val assign : t -> n:int -> int -> int
 val part_sizes : t -> n:int -> int array
 
 val apply : t -> 'a array -> 'a array Par_array.t
-(** The paper's [partition]. Parts may be empty when [n < parts]. *)
+(** The paper's [partition]. Parts may be empty when [n < parts].
+
+    [Block], [Cyclic] and [Block_cyclic] take specialised single-pass fast
+    paths ([Array.sub] / strided copies / whole-block blits); [Custom]
+    falls back to {!apply_generic}. *)
 
 val unapply : t -> 'a array Par_array.t -> 'a array
 (** The paper's [gather]. @raise Invalid_argument if the part sizes are
-    inconsistent with the pattern. *)
+    inconsistent with the pattern. Regular patterns validate the sizes
+    against their closed-form layout and then copy without any per-element
+    [assign]. *)
+
+val apply_generic : t -> 'a array -> 'a array Par_array.t
+(** The generic assign-driven two-pass implementation — the executable
+    specification every {!apply} fast path must agree with (exposed for
+    property tests and benchmarks). *)
+
+val unapply_generic : t -> 'a array Par_array.t -> 'a array
+(** Generic inverse, same role as {!apply_generic}. *)
 
 val split : t -> 'a Par_array.t -> 'a Par_array.t Par_array.t
 (** The paper's [split]: regroup a ParArray into a nested ParArray —
-    dynamic processor grouping. *)
+    dynamic processor grouping. For [Block] patterns the groups are O(1)
+    zero-copy {!Par_array.sub_view}s of the source. *)
 
 val combine : 'a Par_array.t Par_array.t -> 'a Par_array.t
 (** The paper's [combine]: flatten a nested ParArray (left inverse of

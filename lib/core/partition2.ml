@@ -22,15 +22,30 @@ let parts t = (Partition.parts t.row_pat, Partition.parts t.col_pat)
 let name t =
   Printf.sprintf "2d(%s x %s)" (Partition.name t.row_pat) (Partition.name t.col_pat)
 
-(* Indices of the source rows/cols owned by each part, in order. *)
+(* Indices of the source rows/cols owned by each part, in order.  All the
+   paper's named 2-D patterns combine Block and Cyclic 1-D patterns, whose
+   owned sets are closed-form — only a Custom row/col pattern pays the
+   generic per-index assign pass. *)
 let owned pat ~n =
   let parts = Partition.parts pat in
-  let buckets = Array.make parts [] in
-  for i = n - 1 downto 0 do
-    let p = Partition.assign pat ~n i in
-    buckets.(p) <- i :: buckets.(p)
-  done;
-  Array.map Array.of_list buckets
+  match pat with
+  | Partition.Block p ->
+      let sizes = Partition.part_sizes pat ~n in
+      let start = Array.make p 0 in
+      for k = 1 to p - 1 do
+        start.(k) <- start.(k - 1) + sizes.(k - 1)
+      done;
+      Array.init p (fun k -> Array.init sizes.(k) (fun j -> start.(k) + j))
+  | Partition.Cyclic p ->
+      let sizes = Partition.part_sizes pat ~n in
+      Array.init p (fun k -> Array.init sizes.(k) (fun j -> k + (j * p)))
+  | Partition.Block_cyclic _ | Partition.Custom _ ->
+      let buckets = Array.make parts [] in
+      for i = n - 1 downto 0 do
+        let p = Partition.assign pat ~n i in
+        buckets.(p) <- i :: buckets.(p)
+      done;
+      Array.map Array.of_list buckets
 
 let apply t (m : 'a Par_array2.t) : 'a Par_array2.t Par_array2.t =
   let r = Par_array2.rows m and c = Par_array2.cols m in

@@ -37,6 +37,9 @@ let map = Elementary.map
 let imap = Elementary.imap
 let fold = Elementary.fold
 let scan = Elementary.scan
+let map_fold = Elementary.map_fold
+let map_scan = Elementary.map_scan
+let map_compose = Elementary.map_compose
 let rotate = Communication.rotate
 let brdcast = Communication.brdcast
 let applybrdcast = Communication.applybrdcast

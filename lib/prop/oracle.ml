@@ -205,7 +205,7 @@ let new_stats () = { compared = 0; sim_ran = 0; sim_skipped = 0 }
 
 let diff_prop ?pool_exec ?stats ~sim_procs (c : Pipe_gen.case) : Runner.result_ =
   let n = match c.Pipe_gen.input with Value.Arr a -> Array.length a | _ -> -1 in
-  if n < 1 then Runner.Skip_case (* generator precondition; guards shrink candidates *)
+  if n < 0 then Runner.Skip_case (* non-array input (shrink candidates only) *)
   else
     let e = Pipe_gen.expr c in
     match Ast.eval e c.Pipe_gen.input with
@@ -219,9 +219,15 @@ let diff_prop ?pool_exec ?stats ~sim_procs (c : Pipe_gen.case) : Runner.result_ 
         | None -> ());
         let backends =
           (("host-seq", fun () -> Host_exec.eval e c.Pipe_gen.input)
+          :: ("host-opt", fun () -> Host_exec.eval ~optimize:true e c.Pipe_gen.input)
           ::
           (match pool_exec with
-          | Some exec -> [ ("host-pool", fun () -> Host_exec.eval ~exec e c.Pipe_gen.input) ]
+          | Some exec ->
+              [
+                ("host-pool", fun () -> Host_exec.eval ~exec e c.Pipe_gen.input);
+                ( "host-pool-opt",
+                  fun () -> Host_exec.eval ~exec ~optimize:true e c.Pipe_gen.input );
+              ]
           | None -> []))
           @
           if flat then
@@ -251,3 +257,88 @@ let diff_prop ?pool_exec ?stats ~sim_procs (c : Pipe_gen.case) : Runner.result_ 
 let check_differential ?config ?pool_exec ?stats ~sim_procs () =
   Runner.check ?config ~shrink:Pipe_gen.shrink ~gen:(Pipe_gen.gen ())
     ~prop:(diff_prop ?pool_exec ?stats ~sim_procs) ()
+
+(* --- fused-primitive oracle --------------------------------------------------
+
+   The fused Exec primitives (pmap_reduce / pmap_scan / pmap2, surfaced as
+   Elementary.map_fold / map_scan / map_compose) must agree with their
+   composed two-pass forms on every backend.  Cases are drawn from the same
+   element-typed pools as the pipeline generator, so the agreement is
+   checked over ints, dyadic floats and pairs, at lengths 0..40. *)
+
+type fused_case = {
+  felem : Pipe_gen.elem;
+  ff : Fn.t;  (* map payload *)
+  fop : Fn.t2;  (* associative combine *)
+  fg : Fn.t;  (* second map payload, for map_compose *)
+  finput : Value.t;
+}
+
+let print_fused fc =
+  Printf.sprintf "elem=%s map=%s op=%s map2=%s input=%s"
+    (Pipe_gen.elem_name fc.felem) fc.ff.Fn.name fc.fop.Fn.name2 fc.fg.Fn.name
+    (Fmt.str "%a" Value.pp fc.finput)
+
+let gen_fused_case : fused_case Gen.t =
+  let* felem = oneof_val [ Pipe_gen.EInt; Pipe_gen.EFloat; Pipe_gen.EPair ] in
+  let* ff = Pipe_gen.gen_fn_of felem in
+  let* fop = Pipe_gen.gen_fn2_assoc_of felem in
+  let* fg = Pipe_gen.gen_fn_of felem in
+  let* n = frequency [ (1, return 0); (6, int_range 1 40) ] in
+  let+ finput = Pipe_gen.gen_input_elem ~elem:felem ~n in
+  { felem; ff; fop; fg; finput }
+
+let shrink_fused : fused_case Shrink.t =
+ fun fc ->
+  match fc.finput with
+  | Value.Arr a ->
+      Seq.map (fun a' -> { fc with finput = Value.Arr a' }) (Shrink.array a)
+  | _ -> Seq.empty
+
+let fused_prop ?pool_exec (fc : fused_case) : Runner.result_ =
+  let a = Scl.Par_array.of_array (Value.as_arr fc.finput) in
+  let n = Scl.Par_array.length a in
+  let f = fc.ff.Fn.apply and op = fc.fop.Fn.apply2 and g = fc.fg.Fn.apply in
+  let execs =
+    ("seq", Scl.Exec.sequential)
+    :: (match pool_exec with Some e -> [ ("pool", e) ] | None -> [])
+  in
+  let fail who what composed fused =
+    Runner.Fail_case
+      (Printf.sprintf "%s: fused %s diverged: %s <> composed %s (%s)" who what (vstr fused)
+         (vstr composed) (print_fused fc))
+  in
+  let rec run = function
+    | [] -> Runner.Pass_case
+    | (who, exec) :: rest -> (
+        let composed_arr h = Value.Arr (Scl.Par_array.to_array h) in
+        (* map_fold vs fold . map (non-empty only; both raise on empty) *)
+        let r1 =
+          if n = 0 then Runner.Pass_case
+          else
+            let composed = Scl.Elementary.fold ~exec op (Scl.Elementary.map ~exec f a) in
+            let fused = Scl.Elementary.map_fold ~exec op f a in
+            if Value.equal composed fused then Runner.Pass_case
+            else fail who "map_fold" composed fused
+        in
+        match r1 with
+        | Runner.Fail_case _ -> r1
+        | _ -> (
+            let composed =
+              composed_arr (Scl.Elementary.scan ~exec op (Scl.Elementary.map ~exec f a))
+            in
+            let fused = composed_arr (Scl.Elementary.map_scan ~exec op f a) in
+            if not (Value.equal composed fused) then fail who "map_scan" composed fused
+            else
+              let composed =
+                composed_arr (Scl.Elementary.map ~exec g (Scl.Elementary.map ~exec f a))
+              in
+              let fused = composed_arr (Scl.Elementary.map_compose ~exec g f a) in
+              if not (Value.equal composed fused) then fail who "map_compose" composed fused
+              else run rest))
+  in
+  run execs
+
+let check_fused ?config ?pool_exec () =
+  Runner.check ?config ~shrink:shrink_fused ~gen:gen_fused_case ~prop:(fused_prop ?pool_exec)
+    ()

@@ -7,8 +7,12 @@
       consistency check against the simulator;
     - the {b differential oracle}: run one generated pipeline through the
       reference interpreter, the host {!Transform.Host_exec} backends
-      (sequential and, when given, pool), and {!Transform.Sim_exec} at
-      several processor counts, and compare results. *)
+      (sequential and, when given, pool — each also with
+      [~optimize:true]), and {!Transform.Sim_exec} at several processor
+      counts, and compare results;
+    - the {b fused-primitive oracle}: check that the fused Exec primitives
+      ([map_fold] / [map_scan] / [map_compose]) agree with their composed
+      two-pass forms on every backend and element type. *)
 
 val apply_rule_somewhere :
   Transform.Rules.rule -> Transform.Ast.expr list -> Transform.Ast.expr list option
@@ -61,3 +65,25 @@ val check_differential :
   sim_procs:int list ->
   unit ->
   Pipe_gen.case Runner.outcome
+
+(** {1 Fused-primitive oracle} *)
+
+type fused_case = {
+  felem : Pipe_gen.elem;
+  ff : Transform.Fn.t;  (** map payload *)
+  fop : Transform.Fn.t2;  (** associative combine *)
+  fg : Transform.Fn.t;  (** second map payload, for [map_compose] *)
+  finput : Transform.Value.t;
+}
+
+val print_fused : fused_case -> string
+val gen_fused_case : fused_case Gen.t
+val shrink_fused : fused_case Shrink.t
+
+val fused_prop : ?pool_exec:Scl.Exec.t -> fused_case -> Runner.result_
+(** [Elementary.map_fold op f = fold op . map f] (and likewise for
+    [map_scan] / [map_compose]) on the sequential backend and, when given,
+    the pool backend — over ints, dyadic floats and pairs, lengths 0..40. *)
+
+val check_fused :
+  ?config:Runner.config -> ?pool_exec:Scl.Exec.t -> unit -> fused_case Runner.outcome

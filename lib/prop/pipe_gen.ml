@@ -1,7 +1,13 @@
 (* Shape-directed pipeline generation. The static shape of the value is
    tracked through the chain (array length, group sizes, scalar) so every
    stage is well-typed where it lands; the precondition set is documented
-   in the interface. *)
+   in the interface.
+
+   The generator is widened beyond flat Int arrays: inputs may hold floats
+   (multiples of 0.5, so parallel reassociation of fadd is exact) or
+   Int-component pairs, and arrays may be empty (n = 0) — stage pools are
+   chosen per element type, and the few stages that are partial at n = 0
+   (fold, foldr, split) are gated on the length. *)
 
 open Transform
 open Gen
@@ -19,6 +25,15 @@ let rec expr_is_flat = function
 
 let is_flat c = List.for_all expr_is_flat c.chain
 
+(* --- element types --------------------------------------------------------- *)
+
+type elem = EInt | EFloat | EPair
+
+let elem_name = function EInt -> "int" | EFloat -> "float" | EPair -> "pair"
+
+(* Ints dominate so the historical distribution is roughly preserved. *)
+let gen_elem = frequency [ (2, return EInt); (1, return EFloat); (1, return EPair) ]
+
 (* --- function pools -------------------------------------------------------- *)
 
 let gen_fn =
@@ -30,6 +45,30 @@ let gen_fn =
 
 let gen_fn2_assoc = oneof_val Fn.[ add; mul; imax; imin ]
 let gen_fn2_any = oneof_val Fn.[ add; mul; imax; imin; sub ]
+
+(* Float maps keep dyadic rationals dyadic and float folds are exactly
+   associative on them (see Fn), so float pipelines stay bit-identical
+   across backends despite parallel reassociation. *)
+let gen_fn_float =
+  frequency
+    [ (3, oneof_val Fn.[ fincr; fneg; fhalve; fdouble ]); (1, return Fn.id) ]
+
+let gen_fn2_assoc_float = oneof_val Fn.[ fadd; fmax; fmin ]
+
+let gen_fn_pair =
+  frequency [ (3, oneof_val Fn.[ pswap; pincr_both ]); (1, return Fn.id) ]
+
+let gen_fn2_assoc_pair = oneof_val Fn.[ padd_pw; pmax_pw ]
+
+let gen_fn_of = function
+  | EInt -> gen_fn
+  | EFloat -> gen_fn_float
+  | EPair -> gen_fn_pair
+
+let gen_fn2_assoc_of = function
+  | EInt -> gen_fn2_assoc
+  | EFloat -> gen_fn2_assoc_float
+  | EPair -> gen_fn2_assoc_pair
 
 let gen_basic_perm =
   frequency
@@ -49,27 +88,46 @@ let gen_perm_ifn =
 let i_const j = Fn.{ iname = Printf.sprintf "const(%d)" j; iapply = (fun ~n:_ _ -> j) }
 
 let gen_fetch_ifn ~n =
-  frequency [ (3, gen_perm_ifn); (1, map i_const (int_range 0 (n - 1))) ]
+  if n < 1 then gen_perm_ifn
+  else frequency [ (3, gen_perm_ifn); (1, map i_const (int_range 0 (n - 1))) ]
 
-let gen_input ~n =
-  let+ a = array_size (return n) (int_range (-20) 20) in
-  Value.Arr (Array.map (fun i -> Value.Int i) a)
+let gen_elem_value = function
+  | EInt -> map (fun i -> Value.Int i) (int_range (-20) 20)
+  | EFloat ->
+      (* multiples of 0.5: dyadic, exact under reassociated fadd *)
+      map (fun i -> Value.Float (float_of_int i *. 0.5)) (int_range (-40) 40)
+  | EPair ->
+      map2
+        (fun a b -> Value.Pair (Value.Int a, Value.Int b))
+        (int_range (-20) 20) (int_range (-20) 20)
+
+let gen_input_elem ~elem ~n =
+  let+ a = array_size (return n) (gen_elem_value elem) in
+  Value.Arr a
+
+let gen_input ~n = gen_input_elem ~elem:EInt ~n
 
 (* --- stages ---------------------------------------------------------------- *)
 
 (* Flat, length-preserving, well-typed at any length >= 1 (and vacuously at
-   0): usable inside Iter_for / Map_nested bodies and as oracle context. *)
-let gen_lp_stage =
-  frequency
+   0, where no index function is ever applied): usable inside Iter_for /
+   Map_nested bodies and as oracle context. *)
+let gen_lp_stage_of elem =
+  let base =
     [
-      (4, map (fun f -> Ast.Map f) gen_fn);
-      (1, return (Ast.Imap Fn.add_index));
-      (2, map (fun f -> Ast.Scan f) gen_fn2_assoc);
+      (4, map (fun f -> Ast.Map f) (gen_fn_of elem));
+      (2, map (fun f -> Ast.Scan f) (gen_fn2_assoc_of elem));
       (2, map (fun k -> Ast.Rotate k) (int_range (-7) 7));
       (2, map (fun f -> Ast.Send f) gen_perm_ifn);
       (2, map (fun f -> Ast.Fetch f) gen_perm_ifn);
     ]
+  in
+  let imap =
+    match elem with EInt -> [ (1, return (Ast.Imap Fn.add_index)) ] | EFloat | EPair -> []
+  in
+  frequency (base @ imap)
 
+let gen_lp_stage = gen_lp_stage_of EInt
 let gen_ctx ~max_stages = list_size (int_range 0 max_stages) gen_lp_stage
 
 type shape = Flat of int | Groups of int array | Scalar
@@ -78,26 +136,39 @@ let block_sizes ~n ~p =
   let q = n / p and r = n mod p in
   Array.init p (fun k -> if k < r then q + 1 else q)
 
-let gen_flat_stage ~allow_nested n : (Ast.expr * shape) Gen.t =
+let gen_flat_stage ~elem ~allow_nested n : (Ast.expr * shape) Gen.t =
   let lp g = map (fun e -> (e, Flat n)) g in
   let base =
     [
-      (4, lp (map (fun f -> Ast.Map f) gen_fn));
-      (1, lp (return (Ast.Imap Fn.add_index)));
-      (2, lp (map (fun f -> Ast.Scan f) gen_fn2_assoc));
+      (4, lp (map (fun f -> Ast.Map f) (gen_fn_of elem)));
+      (2, lp (map (fun f -> Ast.Scan f) (gen_fn2_assoc_of elem)));
       (2, lp (map (fun k -> Ast.Rotate k) (int_range (-2 * n) (2 * n))));
       (2, lp (map (fun f -> Ast.Send f) gen_perm_ifn));
       (2, lp (map (fun f -> Ast.Fetch f) (gen_fetch_ifn ~n)));
-      (1, map (fun f -> (Ast.Fold f, Scalar)) gen_fn2_assoc);
-      ( 1,
-        let* f = gen_fn2_any in
-        let+ g = gen_fn in
-        (Ast.Foldr_compose (f, g), Scalar) );
       ( 1,
         let* k = int_range 0 3 in
-        let+ body = list_size (int_range 1 2) gen_lp_stage in
+        let+ body = list_size (int_range 1 2) (gen_lp_stage_of elem) in
         (Ast.Iter_for (k, Ast.of_chain body), Flat n) );
     ]
+  in
+  let int_only =
+    match elem with
+    | EInt ->
+        [
+          (1, lp (return (Ast.Imap Fn.add_index)));
+          ( 1,
+            if n >= 1 then
+              let* f = gen_fn2_any in
+              let+ g = gen_fn in
+              (Ast.Foldr_compose (f, g), Scalar)
+            else lp (map (fun f -> Ast.Map f) gen_fn) );
+        ]
+    | EFloat | EPair -> []
+  in
+  let fold =
+    (* partial at n = 0 on every backend: gate on the length *)
+    if n >= 1 then [ (1, map (fun f -> (Ast.Fold f, Scalar)) (gen_fn2_assoc_of elem)) ]
+    else []
   in
   let nested =
     if allow_nested && n >= 2 then
@@ -108,40 +179,44 @@ let gen_flat_stage ~allow_nested n : (Ast.expr * shape) Gen.t =
       ]
     else []
   in
-  frequency (base @ nested)
+  frequency (base @ int_only @ fold @ nested)
 
-let gen_group_stage sizes : (Ast.expr * shape) Gen.t =
+let gen_group_stage ~elem sizes : (Ast.expr * shape) Gen.t =
   let p = Array.length sizes in
   let total = Array.fold_left ( + ) 0 sizes in
   frequency
     [
       (3, return (Ast.Combine, Flat total));
       ( 2,
-        let+ body = list_size (int_range 1 2) gen_lp_stage in
+        let+ body = list_size (int_range 1 2) (gen_lp_stage_of elem) in
         (Ast.Map_nested (Ast.of_chain body), Groups sizes) );
-      (1, map (fun f -> (Ast.Map_nested (Ast.Fold f), Flat p)) gen_fn2_assoc);
+      (1, map (fun f -> (Ast.Map_nested (Ast.Fold f), Flat p)) (gen_fn2_assoc_of elem));
     ]
 
-let rec gen_stages ~allow_nested shape budget : Ast.expr list Gen.t =
+let rec gen_stages ~elem ~allow_nested shape budget : Ast.expr list Gen.t =
   if budget <= 0 then return []
   else
     match shape with
     | Scalar -> return []
     | Flat n ->
-        let* st, sh = gen_flat_stage ~allow_nested n in
-        let+ rest = gen_stages ~allow_nested sh (budget - 1) in
+        let* st, sh = gen_flat_stage ~elem ~allow_nested n in
+        let+ rest = gen_stages ~elem ~allow_nested sh (budget - 1) in
         st :: rest
     | Groups sizes ->
-        let* st, sh = gen_group_stage sizes in
-        let+ rest = gen_stages ~allow_nested sh (budget - 1) in
+        let* st, sh = gen_group_stage ~elem sizes in
+        let+ rest = gen_stages ~elem ~allow_nested sh (budget - 1) in
         st :: rest
 
-let gen ?(allow_nested = true) () : case Gen.t =
+let gen ?(allow_nested = true) ?elem () : case Gen.t =
   sized (fun size ->
-      let* n = int_range 1 (max 2 (min 40 (3 * size))) in
-      let* input = gen_input ~n in
+      let* elem = match elem with Some e -> return e | None -> gen_elem in
+      let* n =
+        frequency
+          [ (1, return 0); (9, int_range 1 (max 2 (min 40 (3 * size)))) ]
+      in
+      let* input = gen_input_elem ~elem ~n in
       let* budget = int_range 0 (2 + size) in
-      let+ chain = gen_stages ~allow_nested (Flat n) budget in
+      let+ chain = gen_stages ~elem ~allow_nested (Flat n) budget in
       { chain; input })
 
 (* --- shrinking ------------------------------------------------------------- *)
@@ -156,8 +231,16 @@ let shrink_stage : Ast.expr Shrink.t = function
 
 let rec shrink_value : Value.t Shrink.t = function
   | Value.Int i -> Seq.map (fun i' -> Value.Int i') (Shrink.int i)
+  | Value.Float f ->
+      (* shrink on the half-integer grid the generator draws from *)
+      Seq.map
+        (fun h -> Value.Float (float_of_int h *. 0.5))
+        (Shrink.int (int_of_float (f *. 2.0)))
+  | Value.Pair (a, b) ->
+      Seq.append
+        (Seq.map (fun a' -> Value.Pair (a', b)) (shrink_value a))
+        (Seq.map (fun b' -> Value.Pair (a, b')) (shrink_value b))
   | Value.Arr a -> Seq.map (fun a' -> Value.Arr a') (Shrink.array ~elem:shrink_value a)
-  | _ -> Seq.empty
 
 let shrink : case Shrink.t =
  fun c ->

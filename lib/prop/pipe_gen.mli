@@ -5,14 +5,24 @@
     generated pipeline evaluates without a type error under the reference
     interpreter.
 
+    Inputs are not just flat [Int] arrays: elements may be floats or
+    [Int]-component pairs (each with its own type-correct stage pool), and
+    arrays may be empty. Float inputs are multiples of [0.5] and float
+    operators are restricted to the exactly-associative-on-dyadics subset
+    in {!Transform.Fn}, so float pipelines are bit-identical across
+    backends despite parallel fold/scan reassociation.
+
     {2 Precondition set}
 
     Generated cases respect the documented preconditions of the backends;
     anything outside them is intentionally-partial behaviour, not a
     divergence:
 
-    - the input is a flat [Int] array with [n >= 1] ([n = 0] makes the
-      size-aware index functions divide by zero before any backend runs);
+    - the input is a flat array with [n >= 0]; at [n = 0] only stages that
+      are total on the empty array are generated ([Fold], [Foldr_compose]
+      and [Split] are gated on [n >= 1] / [n >= 2] — index functions are
+      never applied at [n = 0], so size-aware shifts cannot divide by
+      zero);
     - [Fold]/[Scan] operators are associative (backends chunk and combine
       in index order — the paper calls non-associative results undefined);
     - [Send] index functions are in-range permutations;
@@ -27,29 +37,50 @@ val print : case -> string
 val is_flat : case -> bool
 (** No [Split]/[Combine]/[Map_nested] anywhere (executable on [Sim_exec]). *)
 
-val gen : ?allow_nested:bool -> unit -> case Gen.t
-(** [~allow_nested:false] restricts to flat pipelines. *)
+type elem = EInt | EFloat | EPair
+
+val elem_name : elem -> string
+
+val gen : ?allow_nested:bool -> ?elem:elem -> unit -> case Gen.t
+(** [~allow_nested:false] restricts to flat pipelines; [?elem] pins the
+    element type (default: random, ints weighted highest). *)
 
 val shrink : case Shrink.t
 (** Drops stages, shrinks rotation/iteration/split constants, and shrinks
-    the input array (length and element values). Candidates may be
-    ill-typed; the properties skip those. *)
+    the input array (length and element values, including floats on the
+    half-integer grid and pair components). Candidates may be ill-typed;
+    the properties skip those. *)
 
 (** {1 Building blocks (shared with the rule oracle)} *)
 
 val gen_fn : Transform.Fn.t Gen.t
 val gen_fn2_assoc : Transform.Fn.t2 Gen.t
 val gen_fn2_any : Transform.Fn.t2 Gen.t
+
+val gen_fn_of : elem -> Transform.Fn.t Gen.t
+(** Type-correct unary pool for an element type. *)
+
+val gen_fn2_assoc_of : elem -> Transform.Fn.t2 Gen.t
+(** Type-correct associative binary pool for an element type. *)
+
 val gen_perm_ifn : Transform.Fn.ifn Gen.t
 (** Permutation index functions valid at every array length. *)
 
 val gen_fetch_ifn : n:int -> Transform.Fn.ifn Gen.t
-(** Adds non-injective sources (constants), valid at length [n]. *)
+(** Adds non-injective sources (constants) when [n >= 1]; falls back to
+    permutations at [n = 0] (where they are never applied). *)
 
 val gen_lp_stage : Transform.Ast.expr Gen.t
 (** One flat, length-preserving stage, well-typed at every length [>= 1]. *)
+
+val gen_lp_stage_of : elem -> Transform.Ast.expr Gen.t
+(** As {!gen_lp_stage}, for a given element type. *)
 
 val gen_ctx : max_stages:int -> Transform.Ast.expr list Gen.t
 (** A context chain of [0..max_stages] length-preserving stages. *)
 
 val gen_input : n:int -> Transform.Value.t Gen.t
+(** Flat [Int] array of length [n] (the historical generator; see
+    {!gen_input_elem}). *)
+
+val gen_input_elem : elem:elem -> n:int -> Transform.Value.t Gen.t

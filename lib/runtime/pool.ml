@@ -297,7 +297,25 @@ let run t f =
   let p = async t f in
   await t p
 
-let default_grain t n = max 1 (n / (8 * max 1 (num_workers t)))
+(* Size-aware grain heuristic, shared by every data-parallel loop in the
+   system (the loop primitives below and Exec's backend chunking).  Two
+   forces: enough tasks per worker that stealing can balance uneven loads
+   (TASKS_PER_WORKER), but never chunks so small that per-task scheduling
+   overhead dominates the body (MIN_GRAIN) — in particular an n-element
+   array smaller than MIN_GRAIN runs as a single sequential task instead of
+   n per-element tasks. *)
+let tasks_per_worker = 4
+let min_grain = 32
+
+let grain_for t n =
+  if n <= 0 then 1
+  else begin
+    let w = max 1 (num_workers t) in
+    let balanced = (n + (tasks_per_worker * w) - 1) / (tasks_per_worker * w) in
+    max (min min_grain n) balanced
+  end
+
+let default_grain = grain_for
 
 let parallel_for ?grain t ~lo ~hi body =
   let grain = match grain with Some g -> max 1 g | None -> default_grain t (hi - lo) in

@@ -56,6 +56,14 @@ val await : t -> 'a promise -> 'a
 val run : t -> (unit -> 'a) -> 'a
 (** [run t f] = [await t (async t f)]. *)
 
+val grain_for : t -> int -> int
+(** [grain_for t n] is the size-aware grain heuristic shared by the loop
+    primitives and the {!Scl.Exec} backend chunking: aims at ~4 tasks per
+    worker for stealing balance, but never chunks below a minimum
+    sequential run (32 elements), so small arrays execute as one task
+    instead of paying per-element scheduling overhead. This is the default
+    when [?grain] is omitted below. *)
+
 val parallel_for : ?grain:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** Evaluate [body i] for [lo <= i < hi] in parallel by recursive halving;
     chunks of at most [grain] run sequentially. *)

@@ -57,6 +57,73 @@ let imax = lift2_int "max" 1 ~assoc:true max
 let imin = lift2_int "min" 1 ~assoc:true min
 let sub = lift2_int "sub" 1 ~assoc:false ( - )
 
+(* Float primitives.  All are exact on dyadic rationals (multiples of a
+   power of two, well inside the 2^53 integer range): fincr/fneg/fhalve/
+   fdouble map dyadics to dyadics, and fadd on dyadics is exactly
+   associative — so float pipelines stay bit-identical across backends even
+   though parallel fold/scan reassociate.  fmax/fmin are associative on all
+   floats.  Overflow-prone ops (fmul, fsquare) are deliberately absent from
+   this library: they can reach inf where reassociation is no longer
+   exact. *)
+
+let lift_float name cost f = { name; cost; apply = (fun v -> Value.Float (f (Value.as_float v))) }
+
+let fincr = lift_float "fincr" 1 (fun x -> x +. 1.0)
+let fneg = lift_float "fneg" 1 (fun x -> -.x)
+let fhalve = lift_float "fhalve" 1 (fun x -> x *. 0.5)
+let fdouble = lift_float "fdouble" 1 (fun x -> x *. 2.0)
+
+let lift2_float name2 cost2 ~assoc f =
+  {
+    name2;
+    cost2;
+    assoc;
+    apply2 = (fun a b -> Value.Float (f (Value.as_float a) (Value.as_float b)));
+  }
+
+let fadd = lift2_float "fadd" 1 ~assoc:true ( +. )
+let fmax = lift2_float "fmax" 1 ~assoc:true Float.max
+let fmin = lift2_float "fmin" 1 ~assoc:true Float.min
+
+(* Pair primitives (components are Ints in the test library, so the
+   pointwise binary ops are exact and associative). *)
+
+let pswap =
+  {
+    name = "pswap";
+    cost = 1;
+    apply =
+      (fun v ->
+        let a, b = Value.as_pair v in
+        Value.Pair (b, a));
+  }
+
+let pincr_both =
+  {
+    name = "pincr_both";
+    cost = 2;
+    apply =
+      (fun v ->
+        let a, b = Value.as_pair v in
+        Value.Pair (Value.Int (Value.as_int a + 1), Value.Int (Value.as_int b + 1)));
+  }
+
+let lift2_pair_int name2 cost2 ~assoc f =
+  {
+    name2;
+    cost2;
+    assoc;
+    apply2 =
+      (fun x y ->
+        let a1, b1 = Value.as_pair x and a2, b2 = Value.as_pair y in
+        Value.Pair
+          ( Value.Int (f (Value.as_int a1) (Value.as_int a2)),
+            Value.Int (f (Value.as_int b1) (Value.as_int b2)) ));
+  }
+
+let padd_pw = lift2_pair_int "padd_pw" 2 ~assoc:true ( + )
+let pmax_pw = lift2_pair_int "pmax_pw" 2 ~assoc:true max
+
 (* Index-aware unary function for imap nodes: receives (index, value). *)
 let indexed name2 cost2 f =
   { name2; cost2; assoc = false; apply2 = (fun i v -> f (Value.as_int i) v) }

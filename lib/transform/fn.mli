@@ -48,6 +48,36 @@ val add_index : t2
 val indexed : string -> int -> (int -> Value.t -> Value.t) -> t2
 val lift2_int : string -> int -> assoc:bool -> (int -> int -> int) -> t2
 
+(** {2 Float primitives}
+
+    Chosen so float pipelines are bit-identical across backends even though
+    parallel fold/scan reassociate: the unary ops map dyadic rationals to
+    dyadic rationals, [fadd] is exactly associative on dyadics, and
+    [fmax]/[fmin] are associative on all floats. Overflow-prone ops (mul,
+    square) are deliberately absent. *)
+
+val fincr : t
+val fneg : t
+val fhalve : t
+val fdouble : t
+val lift_float : string -> int -> (float -> float) -> t
+
+val fadd : t2
+val fmax : t2
+val fmin : t2
+val lift2_float : string -> int -> assoc:bool -> (float -> float -> float) -> t2
+
+(** {2 Pair primitives}
+
+    Components are [Int]s, so the pointwise binary ops are exact and
+    associative. *)
+
+val pswap : t
+val pincr_both : t
+val padd_pw : t2
+val pmax_pw : t2
+val lift2_pair_int : string -> int -> assoc:bool -> (int -> int -> int) -> t2
+
 val i_id : ifn
 val i_shift : int -> ifn
 val i_reverse : ifn

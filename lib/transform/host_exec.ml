@@ -1,10 +1,19 @@
-(* Run a skeleton pipeline on the host Scl skeletons. Mirrors Ast.eval
-   node for node; every array primitive goes through the Scl layer so the
-   pipeline actually exercises the chosen Exec backend (sequential or
-   pool). Host skeletons report bad movements with Invalid_argument —
-   translated here to Value.Type_error so the backends share one error
-   taxonomy (the reference interpreter raises Type_error on the same
-   inputs). *)
+(* Run a skeleton pipeline on the host Scl skeletons. Every array primitive
+   goes through the Scl layer so the pipeline actually exercises the chosen
+   Exec backend (sequential or pool). Host skeletons report bad movements
+   with Invalid_argument — translated here to Value.Type_error so the
+   backends share one error taxonomy (the reference interpreter raises
+   Type_error on the same inputs).
+
+   Unlike Ast.eval, execution is fusion-aware: the pipeline is walked as a
+   chain (application order) and maximal runs of [Map] stages are composed
+   into one closure, dispatched to the fused Exec primitives — a map run
+   ending in [Fold] becomes one [map_fold] pass, ending in [Scan] one
+   [map_scan] pass, and a bare multi-map run a single [map_compose]
+   traversal. No intermediate Value.Arr is materialised between fused
+   stages. Fusion is meaning-preserving by construction (same functions,
+   same application order per element); the differential oracle locks this
+   against the reference interpreter. *)
 
 let wrap name f =
   try f () with Invalid_argument m -> Value.type_error "%s: %s" name m
@@ -12,10 +21,13 @@ let wrap name f =
 let pa v = Scl.Par_array.unsafe_of_array (Value.as_arr v)
 let arr a = Value.Arr (Scl.Par_array.unsafe_to_array a)
 
-let rec eval ?(exec = Scl.Exec.sequential) (e : Ast.expr) (v : Value.t) : Value.t =
+(* Compose a run of map stages, first stage innermost. *)
+let compose_run fns x = List.fold_left (fun v (f : Fn.t) -> f.Fn.apply v) x fns
+
+let rec eval_node ~exec (e : Ast.expr) (v : Value.t) : Value.t =
   match e with
   | Ast.Id -> v
-  | Ast.Compose (f, g) -> eval ~exec f (eval ~exec g v)
+  | Ast.Compose _ -> eval_chain ~exec (Ast.to_chain e) v
   | Ast.Map f -> wrap "map" (fun () -> arr (Scl.Elementary.map ~exec f.Fn.apply (pa v)))
   | Ast.Imap f ->
       wrap "imap" (fun () ->
@@ -42,7 +54,8 @@ let rec eval ?(exec = Scl.Exec.sequential) (e : Ast.expr) (v : Value.t) : Value.
       let a = pa v in
       let n = Scl.Par_array.length a in
       if n = 0 then v
-      else wrap "send" (fun () -> arr (Scl.Communication.send_one ~exec (fun i -> f.Fn.iapply ~n i) a))
+      else
+        wrap "send" (fun () -> arr (Scl.Communication.send_one ~exec (fun i -> f.Fn.iapply ~n i) a))
   | Ast.Fetch f ->
       let a = pa v in
       let n = Scl.Par_array.length a in
@@ -55,8 +68,7 @@ let rec eval ?(exec = Scl.Exec.sequential) (e : Ast.expr) (v : Value.t) : Value.
       if p <= 0 then Value.type_error "split: non-positive part count";
       wrap "split" (fun () ->
           let groups = Scl.Partition.split (Scl.Partition.Block p) (pa v) in
-          Value.Arr
-            (Array.map (fun g -> arr g) (Scl.Par_array.unsafe_to_array groups)))
+          Value.Arr (Array.map (fun g -> arr g) (Scl.Par_array.unsafe_to_array groups)))
   | Ast.Combine ->
       wrap "combine" (fun () ->
           let groups = Value.as_arr v in
@@ -66,11 +78,68 @@ let rec eval ?(exec = Scl.Exec.sequential) (e : Ast.expr) (v : Value.t) : Value.
           in
           arr (Scl.Partition.combine nested))
   | Ast.Map_nested body ->
-      wrap "map_nested" (fun () -> arr (Scl.Elementary.map ~exec (eval ~exec body) (pa v)))
+      let chain = Ast.to_chain body in
+      wrap "map_nested" (fun () ->
+          arr (Scl.Elementary.map ~exec (fun g -> eval_chain ~exec chain g) (pa v)))
   | Ast.Iter_for (k, body) ->
       if k < 0 then Value.type_error "iterFor: negative count";
+      let chain = Ast.to_chain body in
       let acc = ref v in
       for _ = 1 to k do
-        acc := eval ~exec body !acc
+        acc := eval_chain ~exec chain !acc
       done;
       !acc
+
+and eval_chain ~exec (chain : Ast.expr list) (v : Value.t) : Value.t =
+  match chain with
+  | [] -> v
+  | Ast.Map f :: rest ->
+      (* Collect the maximal run of consecutive maps. *)
+      let rec collect acc = function
+        | Ast.Map g :: tl -> collect (g :: acc) tl
+        | tl -> (List.rev acc, tl)
+      in
+      let fns, tl = collect [ f ] rest in
+      let g = compose_run fns in
+      (match tl with
+      | Ast.Fold op :: tl' ->
+          let a = pa v in
+          if Scl.Par_array.length a = 0 then Value.type_error "fold: empty array";
+          let r = wrap "fold" (fun () -> Scl.Elementary.map_fold ~exec op.Fn.apply2 g a) in
+          eval_chain ~exec tl' r
+      | Ast.Scan op :: tl' ->
+          let a = pa v in
+          let r =
+            if Scl.Par_array.length a = 0 then Value.Arr [||]
+            else
+              wrap "scan" (fun () -> arr (Scl.Elementary.map_scan ~exec op.Fn.apply2 g a))
+          in
+          eval_chain ~exec tl' r
+      | tl' ->
+          let r =
+            match fns with
+            | [ f1 ] -> wrap "map" (fun () -> arr (Scl.Elementary.map ~exec f1.Fn.apply (pa v)))
+            | fns ->
+                (* Multi-map run with no fusable consumer: one traversal of
+                   the composed closure via the fused map-map primitive. *)
+                let rec split_last acc = function
+                  | [ last ] -> (List.rev acc, last)
+                  | x :: xs -> split_last (x :: acc) xs
+                  | [] -> assert false
+                in
+                let prefix, last = split_last [] fns in
+                wrap "map" (fun () ->
+                    arr (Scl.Elementary.map_compose ~exec last.Fn.apply (compose_run prefix) (pa v)))
+          in
+          eval_chain ~exec tl' r)
+  | stage :: rest -> eval_chain ~exec rest (eval_node ~exec stage v)
+
+let eval ?(exec = Scl.Exec.sequential) ?(optimize = false) (e : Ast.expr) (v : Value.t) :
+    Value.t =
+  let e =
+    if not optimize then e
+    else
+      let n = match v with Value.Arr a -> Some (Array.length a) | _ -> None in
+      (Optimizer.optimize ?n e).Optimizer.output
+  in
+  eval_chain ~exec (Ast.to_chain e) v

@@ -24,13 +24,21 @@ let as_float = function
   | Float f -> f
   | Int _ | Pair _ | Arr _ -> type_error "expected a float value"
 
+let as_pair = function
+  | Pair (a, b) -> (a, b)
+  | Int _ | Float _ | Arr _ -> type_error "expected a pair value"
+
 let of_int_array a = Arr (Array.map (fun i -> Int i) a)
 let to_int_array v = Array.map as_int (as_arr v)
 
 let rec equal a b =
   match (a, b) with
   | Int x, Int y -> x = y
-  | Float x, Float y -> Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | Float x, Float y ->
+      (* Bitwise-equal first so identical infinities compare equal (the
+         relative test below yields nan-vs-nan on inf - inf). *)
+      x = y
+      || Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
   | Pair (x1, y1), Pair (x2, y2) -> equal x1 x2 && equal y1 y2
   | Arr x, Arr y -> Array.length x = Array.length y && Array.for_all2 equal x y
   | (Int _ | Float _ | Pair _ | Arr _), _ -> false

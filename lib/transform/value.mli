@@ -14,6 +14,7 @@ val type_error : ('a, unit, string, 'b) format4 -> 'a
 val as_arr : t -> t array
 val as_int : t -> int
 val as_float : t -> float
+val as_pair : t -> t * t
 val of_int_array : int array -> t
 val to_int_array : t -> int array
 

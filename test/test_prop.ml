@@ -120,6 +120,26 @@ let test_pipeline_gen_well_typed () =
   | Prop.Runner.Fail f -> Alcotest.fail f.Prop.Runner.message
   | Prop.Runner.Gave_up _ -> Alcotest.fail "gave up"
 
+let test_pipeline_gen_covers_widened_cases () =
+  (* the widened generator must actually produce float, pair and empty
+     inputs (and still mostly ints) *)
+  let floats = ref 0 and pairs = ref 0 and ints = ref 0 and empties = ref 0 in
+  for seed = 0 to 199 do
+    let c = Prop.Gen.generate ~seed (Prop.Pipe_gen.gen ()) in
+    match c.Prop.Pipe_gen.input with
+    | Value.Arr [||] -> incr empties
+    | Value.Arr a -> (
+        match a.(0) with
+        | Value.Float _ -> incr floats
+        | Value.Pair _ -> incr pairs
+        | _ -> incr ints)
+    | _ -> ()
+  done;
+  checkb "some float inputs" (!floats > 0) true;
+  checkb "some pair inputs" (!pairs > 0) true;
+  checkb "some empty inputs" (!empties > 0) true;
+  checkb "ints still dominate" (!ints > !floats && !ints > !pairs) true
+
 (* --- rule oracle ------------------------------------------------------------- *)
 
 let rule_test (rule : Rules.rule) () =
@@ -192,6 +212,33 @@ let test_host_exec_matches_reference () =
       checkb (Ast.to_string e) (Value.equal expected got) true)
     pipelines
 
+let test_host_exec_optimize_matches_reference () =
+  (* ~optimize:true rewrites through Optimizer first; results must not
+     change on any defined input *)
+  let pipelines =
+    [
+      Ast.of_chain [ Ast.Map Fn.incr; Ast.Map Fn.double; Ast.Fold Fn.add ];
+      Ast.of_chain [ Ast.Map Fn.square; Ast.Map Fn.negate; Ast.Scan Fn.add ];
+      Ast.of_chain [ Ast.Rotate 2; Ast.Rotate (-5); Ast.Map Fn.incr ];
+      Ast.of_chain [ Ast.Foldr_compose (Fn.add, Fn.double) ];
+      Ast.of_chain [ Ast.Split 2; Ast.Map_nested (Ast.Map Fn.incr); Ast.Combine ];
+      Ast.of_chain [ Ast.Send Fn.i_reverse; Ast.Map Fn.incr; Ast.Map Fn.double ];
+    ]
+  in
+  let input = Value.of_int_array [| 3; -1; 4; 1; 5; -9; 2; 6 |] in
+  List.iter
+    (fun e ->
+      let expected = Ast.eval e input in
+      checkb
+        ("optimize=true " ^ Ast.to_string e)
+        (Value.equal expected (Host_exec.eval ~optimize:true e input))
+        true;
+      checkb
+        ("optimize=false " ^ Ast.to_string e)
+        (Value.equal expected (Host_exec.eval ~optimize:false e input))
+        true)
+    pipelines
+
 let test_error_taxonomy_agreement () =
   (* all three backends raise Type_error on the same edge inputs (the
      divergences the differential oracle surfaced: empty fold, negative
@@ -243,6 +290,23 @@ let test_differential_smoke () =
           Alcotest.fail (Fmt.str "%a" (Prop.Runner.pp_failure Prop.Pipe_gen.print) f)
       | Prop.Runner.Gave_up _ -> Alcotest.fail "gave up")
 
+(* --- fused-primitive oracle -------------------------------------------------- *)
+
+let test_fused_oracle_smoke () =
+  let pool = Runtime.Pool.create ~num_domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      match
+        Prop.Oracle.check_fused
+          ~config:{ Prop.Runner.default with count = 100; seed = 42 }
+          ~pool_exec:(Scl.Exec.on_pool pool) ()
+      with
+      | Prop.Runner.Pass { checked; _ } -> check Alcotest.int "checked all" 100 checked
+      | Prop.Runner.Fail f ->
+          Alcotest.fail (Fmt.str "%a" (Prop.Runner.pp_failure Prop.Oracle.print_fused) f)
+      | Prop.Runner.Gave_up _ -> Alcotest.fail "gave up")
+
 let () =
   let rule_suite =
     List.map
@@ -263,7 +327,11 @@ let () =
           Alcotest.test_case "runner pass + replay" `Quick test_runner_pass_and_replay;
         ] );
       ( "pipeline-gen",
-        [ Alcotest.test_case "well-typed pipelines" `Quick test_pipeline_gen_well_typed ] );
+        [
+          Alcotest.test_case "well-typed pipelines" `Quick test_pipeline_gen_well_typed;
+          Alcotest.test_case "covers floats/pairs/empty" `Quick
+            test_pipeline_gen_covers_widened_cases;
+        ] );
       ("rule-oracle", rule_suite);
       ( "fault-injection",
         [
@@ -273,8 +341,12 @@ let () =
       ( "host-exec",
         [
           Alcotest.test_case "matches reference" `Quick test_host_exec_matches_reference;
+          Alcotest.test_case "optimize matches reference" `Quick
+            test_host_exec_optimize_matches_reference;
           Alcotest.test_case "error taxonomy agreement" `Quick test_error_taxonomy_agreement;
         ] );
       ( "differential",
         [ Alcotest.test_case "smoke (seq+pool+sim)" `Quick test_differential_smoke ] );
+      ( "fused-oracle",
+        [ Alcotest.test_case "smoke (seq+pool)" `Quick test_fused_oracle_smoke ] );
     ]

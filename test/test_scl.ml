@@ -47,6 +47,20 @@ let test_par_array_concat_sub () =
   Alcotest.(check (list int)) "concat" [ 1; 2; 3 ] (Par_array.to_list c);
   Alcotest.(check (list int)) "sub" [ 2; 3 ] (Par_array.to_list (Par_array.sub c ~pos:1 ~len:2))
 
+let test_par_array_sub_view () =
+  let pa = Par_array.init 6 Fun.id in
+  let v = Par_array.sub_view pa ~pos:2 ~len:3 in
+  Alcotest.(check (list int)) "view contents" [ 2; 3; 4 ] (Par_array.to_list v);
+  Alcotest.(check bool) "view = copying sub" true
+    (Par_array.equal ( = ) v (Par_array.sub pa ~pos:2 ~len:3));
+  let vv = Par_array.sub_view v ~pos:1 ~len:2 in
+  Alcotest.(check (list int)) "view of a view" [ 3; 4 ] (Par_array.to_list vv);
+  Alcotest.(check bool) "oob view rejected" true
+    (try
+       ignore (Par_array.sub_view pa ~pos:4 ~len:3);
+       false
+     with Invalid_argument _ -> true)
+
 (* --- Partition -------------------------------------------------------------- *)
 
 let patterns_for n =
@@ -117,6 +131,42 @@ let test_partition_unapply_inconsistent () =
        ignore (Partition.unapply (Partition.Cyclic 2) pieces);
        false
      with Invalid_argument _ -> true)
+
+(* The specialised apply/unapply fast paths must agree with the generic
+   assign-driven implementation (the executable specification) on every
+   pattern and length, including empty arrays and n < parts. *)
+let prop_partition_fastpath =
+  qtest "fast-path apply/unapply = generic"
+    QCheck.(list small_int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      List.for_all
+        (fun pat ->
+          let fast = Partition.apply pat a and generic = Partition.apply_generic pat a in
+          Par_array.equal ( = ) fast generic
+          && Partition.unapply pat generic = a
+          && Partition.unapply_generic pat fast = a)
+        (patterns_for (Array.length a)))
+
+let test_partition_fastpath_small_sizes () =
+  let pats =
+    [
+      Partition.Block 7;
+      Partition.Cyclic 7;
+      Partition.Block_cyclic { parts = 7; block = 2 };
+      Partition.Block_cyclic { parts = 3; block = 3 };
+    ]
+  in
+  for n = 0 to 6 do
+    let a = Array.init n (fun i -> (i * 3) + 1) in
+    List.iter
+      (fun pat ->
+        let who = Printf.sprintf "%s n=%d" (Partition.name pat) n in
+        let fast = Partition.apply pat a and generic = Partition.apply_generic pat a in
+        Alcotest.(check bool) (who ^ " apply") true (Par_array.equal ( = ) fast generic);
+        Alcotest.(check (array int)) (who ^ " unapply") a (Partition.unapply pat fast))
+      pats
+  done
 
 let prop_split_combine =
   qtest "combine (split p x) = x (block patterns)"
@@ -674,11 +724,69 @@ let prop_stream_matches_list_map =
       let pipe = farm ~workers (fun x -> (x * 31) mod 101) in
       run pipe xs = List.map (apply pipe) xs)
 
+(* --- Fused primitives ------------------------------------------------------------- *)
+
+let test_fused_map_fold =
+  both_execs (fun exec ->
+      let pa = Par_array.init 101 (fun i -> i - 50) in
+      let f x = (2 * x) + 1 in
+      Alcotest.(check int)
+        ("map_fold = fold.map on " ^ exec.Exec.name)
+        (Elementary.fold ~exec ( + ) (Elementary.map ~exec f pa))
+        (Elementary.map_fold ~exec ( + ) f pa))
+
+let test_fused_map_scan =
+  both_execs (fun exec ->
+      let pa = Par_array.init 97 (fun i -> i mod 13) in
+      let f x = x * 3 in
+      Alcotest.check int_par
+        ("map_scan = scan.map on " ^ exec.Exec.name)
+        (Elementary.scan ~exec ( + ) (Elementary.map ~exec f pa))
+        (Elementary.map_scan ~exec ( + ) f pa))
+
+let test_fused_map_compose =
+  both_execs (fun exec ->
+      let pa = Par_array.init 50 Fun.id in
+      Alcotest.check int_par
+        ("map_compose = map.map on " ^ exec.Exec.name)
+        (Elementary.map ~exec (fun x -> x + 1) (Elementary.map ~exec (fun x -> x * x) pa))
+        (Elementary.map_compose ~exec (fun x -> x + 1) (fun x -> x * x) pa))
+
+(* List append is associative but not commutative: locks the index order of
+   the parallel combine. *)
+let test_fused_combine_order =
+  both_execs (fun exec ->
+      let pa = Par_array.init 40 Fun.id in
+      Alcotest.(check (list int))
+        ("combine order on " ^ exec.Exec.name)
+        (List.init 40 Fun.id)
+        (Elementary.map_fold ~exec ( @ ) (fun x -> [ x ]) pa))
+
+let test_fused_empty =
+  both_execs (fun exec ->
+      Alcotest.(check bool) "map_fold empty raises" true
+        (try
+           ignore (Elementary.map_fold ~exec ( + ) Fun.id (Par_array.of_list []));
+           false
+         with Invalid_argument _ -> true);
+      Alcotest.(check int) "map_scan empty = empty" 0
+        (Par_array.length (Elementary.map_scan ~exec ( + ) Fun.id (Par_array.of_list []))))
+
 (* --- Exec internals --------------------------------------------------------------- *)
 
 let test_chunk_bounds () =
   Alcotest.(check (array int)) "10 into 3" [| 0; 4; 7; 10 |] (Exec.chunk_bounds 10 3);
   Alcotest.(check (array int)) "fewer elements than chunks" [| 0; 1; 2 |] (Exec.chunk_bounds 2 5)
+
+let test_grain_for () =
+  let p = Lazy.force pool in
+  let w = max 1 (Runtime.Pool.num_workers p) in
+  Alcotest.(check int) "n=0" 1 (Runtime.Pool.grain_for p 0);
+  Alcotest.(check int) "small array runs as one task" 10 (Runtime.Pool.grain_for p 10);
+  let n = 100_000 in
+  let g = Runtime.Pool.grain_for p n in
+  Alcotest.(check bool) "never below the minimum run" true (g >= 32);
+  Alcotest.(check bool) "at most ~4 tasks per worker" true (((n + g - 1) / g) <= 4 * w)
 
 let () =
   let suite =
@@ -689,6 +797,7 @@ let () =
           Alcotest.test_case "bounds" `Quick test_par_array_bounds;
           Alcotest.test_case "of_array copies" `Quick test_par_array_of_array_copies;
           Alcotest.test_case "concat/sub" `Quick test_par_array_concat_sub;
+          Alcotest.test_case "sub_view" `Quick test_par_array_sub_view;
         ] );
       ( "partition",
         [
@@ -700,6 +809,9 @@ let () =
           Alcotest.test_case "parts > elements" `Quick test_partition_more_parts_than_elements;
           Alcotest.test_case "invalid patterns" `Quick test_partition_invalid;
           Alcotest.test_case "unapply consistency" `Quick test_partition_unapply_inconsistent;
+          prop_partition_fastpath;
+          Alcotest.test_case "fast paths at sizes 0..n<parts" `Quick
+            test_partition_fastpath_small_sizes;
           prop_split_combine;
         ] );
       ( "partition2",
@@ -797,7 +909,19 @@ let () =
           Alcotest.test_case "stage count" `Quick test_stream_stage_count;
           prop_stream_matches_list_map;
         ] );
-      ("exec", [ Alcotest.test_case "chunk bounds" `Quick test_chunk_bounds ]);
+      ( "fused",
+        [
+          Alcotest.test_case "map_fold = fold.map" `Quick test_fused_map_fold;
+          Alcotest.test_case "map_scan = scan.map" `Quick test_fused_map_scan;
+          Alcotest.test_case "map_compose = map.map" `Quick test_fused_map_compose;
+          Alcotest.test_case "combine order" `Quick test_fused_combine_order;
+          Alcotest.test_case "empty inputs" `Quick test_fused_empty;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "chunk bounds" `Quick test_chunk_bounds;
+          Alcotest.test_case "grain heuristic" `Quick test_grain_for;
+        ] );
     ]
   in
   let finally () = if Lazy.is_val pool then Runtime.Pool.teardown (Lazy.force pool) in

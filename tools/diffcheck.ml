@@ -11,18 +11,25 @@
      2. cost consistency  — when the static cost model ranks the normal
                             form as cheaper, the simulated makespan must
                             not regress beyond [--tolerance].
-     3. differential      — [--budget] random pipelines are run through
-                            the reference interpreter, Host_exec seq,
-                            Host_exec on a pool, and Sim_exec at procs
-                            1/2/4 (flat pipelines only); all must agree.
+     3. fused primitives  — [--fused-cases] random (map, op, input) cases
+                            check that the fused Exec primitives
+                            (map_fold / map_scan / map_compose) agree with
+                            their composed forms on both backends, over
+                            ints, dyadic floats and pairs.
+     4. differential      — [--budget] random pipelines (int, float, pair
+                            elements; possibly empty) are run through the
+                            reference interpreter, Host_exec seq and pool
+                            (each also with ~optimize:true), and Sim_exec
+                            at procs 1/2/4 (flat pipelines only); all must
+                            agree.
 
    On failure: prints the shrunk counterexample (Ast.to_string + input +
    seed + case index), optionally writes it to --out, exits 1.
    Exit codes: 0 all pass, 1 divergence found, 2 usage error / gave up. *)
 
 let usage =
-  "diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N] [--tolerance F] \
-   [--no-pool] [--out FILE]"
+  "diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N] [--fused-cases N] \
+   [--tolerance F] [--no-pool] [--out FILE]"
 
 let failures : string list ref = ref []
 
@@ -50,6 +57,7 @@ let () =
   let seed = ref 42 in
   let rule_cases = ref 100 in
   let cost_cases = ref 100 in
+  let fused_cases = ref 200 in
   let tolerance = ref 1.25 in
   let no_pool = ref false in
   let out = ref "" in
@@ -59,6 +67,7 @@ let () =
       ("--seed", Arg.Set_int seed, "S master PRNG seed (default 42)");
       ("--rule-cases", Arg.Set_int rule_cases, "N firing cases per rule (default 100)");
       ("--cost-cases", Arg.Set_int cost_cases, "N cost-consistency cases (default 100)");
+      ("--fused-cases", Arg.Set_int fused_cases, "N fused-primitive cases (default 200)");
       ( "--tolerance",
         Arg.Set_float tolerance,
         "F allowed simulated-makespan regression factor (default 1.25)" );
@@ -90,22 +99,31 @@ let () =
       (Prop.Oracle.check_cost ~config:(config !cost_cases) ~procs:4 ~tolerance:!tolerance ())
   in
 
-  (* phase 3: differential oracle *)
+  (* phases 3 and 4 share the pool backend *)
   let pool = if !no_pool then None else Some (Runtime.Pool.create ~num_domains:3 ()) in
   let stats = Prop.Oracle.new_stats () in
-  let ok_diff =
+  let ok_fused, ok_diff =
     Fun.protect
       ~finally:(fun () -> Option.iter Runtime.Pool.teardown pool)
       (fun () ->
-        report ~phase:"differential" Prop.Pipe_gen.print
-          (Prop.Oracle.check_differential ~config:(config !budget)
-             ?pool_exec:(Option.map Scl.Exec.on_pool pool)
-             ~stats ~sim_procs:[ 1; 2; 4 ] ()))
+        let pool_exec = Option.map Scl.Exec.on_pool pool in
+        (* phase 3: fused primitives vs composed forms *)
+        let ok_fused =
+          report ~phase:"fused-primitives" Prop.Oracle.print_fused
+            (Prop.Oracle.check_fused ~config:(config !fused_cases) ?pool_exec ())
+        in
+        (* phase 4: differential oracle *)
+        let ok_diff =
+          report ~phase:"differential" Prop.Pipe_gen.print
+            (Prop.Oracle.check_differential ~config:(config !budget) ?pool_exec ~stats
+               ~sim_procs:[ 1; 2; 4 ] ())
+        in
+        (ok_fused, ok_diff))
   in
   Printf.printf "differential: %d compared, %d on simulator, %d sim-skipped (nested)\n%!"
     stats.Prop.Oracle.compared stats.Prop.Oracle.sim_ran stats.Prop.Oracle.sim_skipped;
 
-  if ok_rules && ok_cost && ok_diff then begin
+  if ok_rules && ok_cost && ok_fused && ok_diff then begin
     Printf.printf "diffcheck: all oracles agree (seed %d)\n" !seed;
     exit 0
   end
