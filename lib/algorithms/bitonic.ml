@@ -16,7 +16,6 @@ let compare_split ~keep_low (mine : int array) (theirs : int array) : int array 
   if keep_low then Array.sub merged 0 n else Array.sub merged (Array.length merged - n) n
 
 let bitonic_program (data : int array option) (comm : Comm.t) : int array option =
-  let ctx = Comm.ctx comm in
   let p = Comm.size comm in
   let d = Topology.log2_exact p in
   let me = Comm.rank comm in
@@ -30,14 +29,14 @@ let bitonic_program (data : int array option) (comm : Comm.t) : int array option
   in
   let dv = Scl_sim.Dvec.scatter comm ~root:0 padded_data in
   let mine = ref (Seq_kernels.quicksort (Scl_sim.Dvec.local dv)) in
-  Sim.work_flops ctx (Scl_sim.Kernels.sort_flops (Array.length !mine));
+  Comm.work_flops comm (Scl_sim.Kernels.sort_flops (Array.length !mine));
   for k = 1 to d do
     (* Stage k: bitonic merge within groups of 2^k; direction from bit k. *)
     let ascending = (me lsr k) land 1 = 0 in
     for j = k - 1 downto 0 do
       let partner = me lxor (1 lsl j) in
       let theirs : int array = Comm.exchange comm ~partner !mine in
-      Sim.work_flops ctx (Scl_sim.Kernels.merge_flops (2 * Array.length !mine));
+      Comm.work_flops comm (Scl_sim.Kernels.merge_flops (2 * Array.length !mine));
       let keep_low = (me < partner) = ascending in
       mine := compare_split ~keep_low !mine theirs
     done

@@ -72,7 +72,6 @@ open Machine
 
 let cannon_program ~n ~q (ab : block option) (bb : block option) (comm : Comm.t) :
     float array array option =
-  let ctx = Comm.ctx comm in
   let me = Comm.rank comm in
   let bi = me / q and bj = me mod q in
   let bs = n / q in
@@ -94,15 +93,16 @@ let cannon_program ~n ~q (ab : block option) (bb : block option) (comm : Comm.t)
   in
   let c_mine = ref (zero_block bs) in
   for _round = 0 to q - 1 do
-    Sim.work_flops ctx (Scl_sim.Kernels.matmul_flops bs);
+    Comm.work_flops comm (Scl_sim.Kernels.matmul_flops bs);
     c_mine := block_add !c_mine (Seq_kernels.matmul !a_mine !b_mine);
     if q > 1 then begin
       (* Shift A left along the row, B up along the column: torus
-         neighbours, so each transfer is one hop. *)
-      Sim.send ctx ~dest:(rank_of bi (bj - 1)) ~tag:101 !a_mine;
-      Sim.send ctx ~dest:(rank_of (bi - 1) bj) ~tag:102 !b_mine;
-      a_mine := Sim.recv ctx ~src:(rank_of bi (bj + 1)) ~tag:101 ();
-      b_mine := Sim.recv ctx ~src:(rank_of (bi + 1) bj) ~tag:102 ()
+         neighbours, so each transfer is one hop.  User tags keep the two
+         concurrent streams apart. *)
+      Comm.send comm ~dest:(rank_of bi (bj - 1)) ~tag:101 !a_mine;
+      Comm.send comm ~dest:(rank_of (bi - 1) bj) ~tag:102 !b_mine;
+      a_mine := Comm.recv comm ~src:(rank_of bi (bj + 1)) ~tag:101 ();
+      b_mine := Comm.recv comm ~src:(rank_of (bi + 1) bj) ~tag:102 ()
     end
   done;
   match Comm.gather comm ~root:0 !c_mine with
@@ -122,7 +122,22 @@ let multiply_sim ?(cost = Cost_model.ap1000) ?trace ~grid (a : float array array
   Sim.run_collect ?trace
     { Sim.procs = q * q; topology = Topology.Torus2d (q, q); cost }
     (fun ctx ->
-      let comm = Comm.world ctx in
+      let comm = Comm.world (Engine.of_sim ctx) in
+      let root = Comm.rank comm = 0 in
+      cannon_program ~n ~q
+        (if root then Some a else None)
+        (if root then Some b else None)
+        comm)
+
+let multiply_multicore ?domains ~grid (a : float array array) (b : float array array) :
+    float array array * Multicore.stats =
+  let n = check_square_divisible "Cannon.multiply_multicore" a grid in
+  let n' = check_square_divisible "Cannon.multiply_multicore" b grid in
+  if n <> n' then invalid_arg "Cannon.multiply_multicore: dimension mismatch";
+  let q = grid in
+  Multicore.run_collect ?domains ~topology:(Topology.Torus2d (q, q)) ~procs:(q * q)
+    (fun eng ->
+      let comm = Comm.world eng in
       let root = Comm.rank comm = 0 in
       cannon_program ~n ~q
         (if root then Some a else None)

@@ -23,6 +23,14 @@ val multiply_sim :
 (** Simulator rendering on a grid×grid torus (single-hop neighbour
     shifts). *)
 
+val multiply_multicore :
+  ?domains:int ->
+  grid:int ->
+  float array array ->
+  float array array ->
+  float array array * Multicore.stats
+(** The same SPMD program on real OCaml 5 domains; identical product. *)
+
 val random_matrix : seed:int -> int -> float array array
 
 (** {2 Block plumbing (exposed for SUMMA and tests)} *)

@@ -97,7 +97,6 @@ open Machine
 
 let cg_program ?(tol = 1e-10) ?(max_iter = 10_000) (b : float array option) (comm : Comm.t) :
     result option =
-  let ctx = Comm.ctx comm in
   let me = Comm.rank comm in
   let bv = Scl_sim.Dvec.scatter comm ~root:0 b in
   let n = Scl_sim.Dvec.total bv in
@@ -107,7 +106,7 @@ let cg_program ?(tol = 1e-10) ?(max_iter = 10_000) (b : float array option) (com
   let has_left = off > 0 and has_right = off + ln < n in
   (* local dot + allreduce: the distributed fold *)
   let ddot a b =
-    Sim.work_flops ctx (2 * max 1 ln);
+    Comm.work_flops comm (2 * max 1 ln);
     let s = ref 0.0 in
     for i = 0 to ln - 1 do
       s := !s +. (a.(i) *. b.(i))
@@ -123,7 +122,7 @@ let cg_program ?(tol = 1e-10) ?(max_iter = 10_000) (b : float array option) (com
       if has_left then hl := Comm.recv comm ~src:(me - 1) ();
       if has_right then hr := Comm.recv comm ~src:(me + 1) ()
     end;
-    Sim.work_flops ctx (Scl_sim.Kernels.stencil_flops ln);
+    Comm.work_flops comm (Scl_sim.Kernels.stencil_flops ln);
     Array.init ln (fun i ->
         let left = if i > 0 then p.(i - 1) else if has_left then !hl else 0.0 in
         let right = if i < ln - 1 then p.(i + 1) else if has_right then !hr else 0.0 in
@@ -137,14 +136,14 @@ let cg_program ?(tol = 1e-10) ?(max_iter = 10_000) (b : float array option) (com
   while sqrt !rr >= tol && !it < max_iter do
     let ap = matvec p in
     let alpha = !rr /. ddot p ap in
-    Sim.work_flops ctx (4 * max 1 ln);
+    Comm.work_flops comm (4 * max 1 ln);
     for i = 0 to ln - 1 do
       x.(i) <- x.(i) +. (alpha *. p.(i));
       r.(i) <- r.(i) -. (alpha *. ap.(i))
     done;
     let rr' = ddot r r in
     let beta = rr' /. !rr in
-    Sim.work_flops ctx (2 * max 1 ln);
+    Comm.work_flops comm (2 * max 1 ln);
     for i = 0 to ln - 1 do
       p.(i) <- r.(i) +. (beta *. p.(i))
     done;
@@ -159,6 +158,11 @@ let cg_program ?(tol = 1e-10) ?(max_iter = 10_000) (b : float array option) (com
 let solve_sim ?(cost = Cost_model.ap1000) ?trace ?(tol = 1e-10) ?(max_iter = 10_000) ~procs
     (b : float array) : result * Sim.stats =
   Scl_sim.Spmd.run_collect ?trace ~cost ~procs (fun comm ->
+      cg_program ~tol ~max_iter (if Comm.rank comm = 0 then Some b else None) comm)
+
+let solve_multicore ?domains ?(tol = 1e-10) ?(max_iter = 10_000) ~procs (b : float array) :
+    result * Multicore.stats =
+  Scl_sim.Spmd.run_multicore_collect ?domains ~procs (fun comm ->
       cg_program ~tol ~max_iter (if Comm.rank comm = 0 then Some b else None) comm)
 
 (* The residual check used by tests. *)

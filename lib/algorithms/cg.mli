@@ -22,6 +22,11 @@ val solve_sim :
   float array ->
   result * Sim.stats
 
+val solve_multicore :
+  ?domains:int -> ?tol:float -> ?max_iter:int -> procs:int -> float array -> result * Multicore.stats
+(** The same SPMD program on real OCaml 5 domains; identical solution and
+    iteration count to {!solve_sim}. *)
+
 val laplacian_matvec : float array -> float array
 val residual_inf : float array -> float array -> float
 (** max |A x − b| for the Laplacian system. *)

@@ -26,14 +26,13 @@ type 'r job_spec = {
 
 let static ?(cost = Cost_model.ap1000) ~procs (spec : 'r job_spec) : 'r array * Sim.stats =
   Scl_sim.Spmd.run_collect ~cost ~procs (fun comm ->
-      let ctx = Comm.ctx comm in
       let me = Comm.rank comm in
       let p = Comm.size comm in
       let bounds = Scl_sim.Dvec.block_bounds ~total:spec.njobs ~parts:p in
       let mine =
         Array.init (bounds.(me + 1) - bounds.(me)) (fun k ->
             let i = bounds.(me) + k in
-            Sim.work_flops ctx (spec.flops i);
+            Comm.work_flops comm (spec.flops i);
             (i, spec.run i))
       in
       match Comm.gather comm ~root:0 mine with
@@ -60,10 +59,10 @@ let tag_request = 7001
 let tag_job = 7002
 let tag_result = 7003
 
-let dynamic ?(cost = Cost_model.ap1000) ~procs (spec : 'r job_spec) : 'r array * Sim.stats =
-  if procs < 2 then invalid_arg "Farm_sim.dynamic: needs a master and at least one worker";
-  Scl_sim.Spmd.run_collect ~cost ~procs (fun comm ->
-      let ctx = Comm.ctx comm in
+(* One processor's program for the dynamic farm — engine-parametric, so
+   the same master/worker protocol runs on the simulator and on real
+   domains (where [recv_any] order is genuinely nondeterministic). *)
+let dynamic_program (spec : 'r job_spec) (comm : Comm.t) : 'r array option =
       let me = Comm.rank comm in
       let p = Comm.size comm in
       if me = 0 then begin
@@ -72,16 +71,16 @@ let dynamic ?(cost = Cost_model.ap1000) ~procs (spec : 'r job_spec) : 'r array *
         let results : (int * 'r) list ref = ref [] in
         let active = ref (p - 1) in
         while !active > 0 do
-          let src, (msg : [ `Request | `Result of int * 'r ]) = Sim.recv_any ctx ~tag:tag_request () in
+          let src, (msg : [ `Request | `Result of int * 'r ]) = Comm.recv_any comm ~tag:tag_request () in
           (match msg with
           | `Result (i, r) -> results := (i, r) :: !results
           | `Request ->
               if !next < spec.njobs then begin
-                Sim.send ctx ~dest:src ~tag:tag_job !next;
+                Comm.send comm ~dest:src ~tag:tag_job !next;
                 incr next
               end
               else begin
-                Sim.send ctx ~dest:src ~tag:tag_job (-1);
+                Comm.send comm ~dest:src ~tag:tag_job (-1);
                 decr active
               end);
           ()
@@ -99,17 +98,26 @@ let dynamic ?(cost = Cost_model.ap1000) ~procs (spec : 'r job_spec) : 'r array *
         (* worker: request, work, return result, repeat *)
         let continue_ = ref true in
         while !continue_ do
-          Sim.send ctx ~dest:0 ~tag:tag_request (`Request : [ `Request | `Result of int * 'r ]);
-          let i : int = Sim.recv ctx ~src:0 ~tag:tag_job () in
+          Comm.send comm ~dest:0 ~tag:tag_request (`Request : [ `Request | `Result of int * 'r ]);
+          let i : int = Comm.recv comm ~src:0 ~tag:tag_job () in
           if i < 0 then continue_ := false
           else begin
-            Sim.work_flops ctx (spec.flops i);
+            Comm.work_flops comm (spec.flops i);
             let r = spec.run i in
-            Sim.send ctx ~dest:0 ~tag:tag_request (`Result (i, r) : [ `Request | `Result of int * 'r ])
+            Comm.send comm ~dest:0 ~tag:tag_request (`Result (i, r) : [ `Request | `Result of int * 'r ])
           end
         done;
         None
-      end)
+      end
+
+let dynamic ?(cost = Cost_model.ap1000) ~procs (spec : 'r job_spec) : 'r array * Sim.stats =
+  if procs < 2 then invalid_arg "Farm_sim.dynamic: needs a master and at least one worker";
+  Scl_sim.Spmd.run_collect ~cost ~procs (dynamic_program spec)
+
+let dynamic_multicore ?domains ~procs (spec : 'r job_spec) : 'r array * Multicore.stats =
+  if procs < 2 then
+    invalid_arg "Farm_sim.dynamic_multicore: needs a master and at least one worker";
+  Scl_sim.Spmd.run_multicore_collect ?domains ~procs (dynamic_program spec)
 
 (* Skewed job mix used by tests and benches: the heavy jobs are clustered
    at the front of the index range, so static block dealing dumps them all

@@ -18,6 +18,12 @@ val dynamic : ?cost:Cost_model.t -> procs:int -> 'r job_spec -> 'r array * Sim.s
 (** Master (rank 0) deals jobs on request; [procs - 1] workers.
     @raise Invalid_argument if [procs < 2]. *)
 
+val dynamic_multicore : ?domains:int -> procs:int -> 'r job_spec -> 'r array * Multicore.stats
+(** The dynamic farm on real OCaml 5 domains: genuinely concurrent
+    workers, nondeterministic request interleaving at the master, same
+    indexed results.
+    @raise Invalid_argument if [procs < 2]. *)
+
 val skewed_spec : njobs:int -> skew:int -> int job_spec
 (** A job mix with a few [skew]-times-heavier jobs among light ones — the
     distribution that defeats static dealing. *)

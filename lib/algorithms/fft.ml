@@ -91,7 +91,6 @@ let flops_per_butterfly = 10
 
 let fft_program ?(inverse = false) (a : Complex.t array option) (comm : Comm.t) :
     Complex.t array option =
-  let ctx = Comm.ctx comm in
   let dv = Scl_sim.Dvec.scatter comm ~root:0 a in
   let n = Scl_sim.Dvec.total dv in
   if n <= 1 then Scl_sim.Dvec.gather ~root:0 dv
@@ -103,7 +102,7 @@ let fft_program ?(inverse = false) (a : Complex.t array option) (comm : Comm.t) 
     for s = 0 to bits - 1 do
       let span = 1 lsl s in
       let partner = Scl_sim.Dvec.fetch (fun i -> i lxor span) !x in
-      Sim.work_flops ctx (flops_per_butterfly * Scl_sim.Dvec.local_length !x);
+      Comm.work_flops comm (flops_per_butterfly * Scl_sim.Dvec.local_length !x);
       x :=
         Scl_sim.Dvec.imap ~flops_per_elem:0
           (fun i (xi, pi) -> butterfly ~inverse ~span i xi pi)

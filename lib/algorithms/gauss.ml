@@ -52,7 +52,6 @@ let solve_scl ?(exec = Exec.sequential) ?(parts = 4) (a : float array array) (b 
 open Machine
 
 let gauss_program (cols : float array array option) (comm : Comm.t) : float array option =
-  let ctx = Comm.ctx comm in
   let p = Comm.size comm in
   let n_plus_1 = Comm.bcast comm ~root:0 (Option.map Array.length cols) in
   let n = n_plus_1 - 1 in
@@ -72,14 +71,14 @@ let gauss_program (cols : float array array option) (comm : Comm.t) : float arra
     let o = owner i in
     let info =
       if me = o then begin
-        Sim.work_flops ctx (Scl_sim.Kernels.partial_pivot_flops (n - i));
+        Comm.work_flops comm (Scl_sim.Kernels.partial_pivot_flops (n - i));
         Some (Seq_kernels.make_pivot_info ~row:i !mine.(i - bounds.(o)))
       end
       else None
     in
     let info = Comm.bcast comm ~root:o info in
     (* UPDATE every local column. *)
-    Sim.work_flops ctx (Array.length !mine * Scl_sim.Kernels.column_update_flops n);
+    Comm.work_flops comm (Array.length !mine * Scl_sim.Kernels.column_update_flops n);
     mine := Array.map (Seq_kernels.update ~row:i info) !mine
   done;
   ignore my_lo;

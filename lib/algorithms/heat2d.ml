@@ -123,7 +123,6 @@ open Machine
 
 let heat_program ?(tol = 1e-7) ?(max_iter = 50_000) (f : float array array option) ~n
     (comm : Comm.t) : result option =
-  let ctx = Comm.ctx comm in
   let df = Scl_sim.Dmat.scatter comm ~root:0 f ~n in
   let hh = h2 n in
   let q = Scl_sim.Dmat.grid df in
@@ -133,7 +132,7 @@ let heat_program ?(tol = 1e-7) ?(max_iter = 50_000) (f : float array array optio
   let step _i u =
     let halo = Scl_sim.Dmat.halo_exchange u in
     let ub = Scl_sim.Dmat.block u in
-    Sim.work_flops ctx (Scl_sim.Kernels.stencil_flops (bs * bs));
+    Comm.work_flops comm (Scl_sim.Kernels.stencil_flops (bs * bs));
     let next =
       Array.init bs (fun x ->
           Array.init bs (fun y ->
@@ -177,6 +176,15 @@ let solve_sim ?(cost = Cost_model.ap1000) ?trace ?(tol = 1e-7) ?(max_iter = 50_0
   let n = Array.length f in
   Array.iter (fun r -> if Array.length r <> n then invalid_arg "Heat2d.solve_sim: non-square grid") f;
   Scl_sim.Spmd.run_collect ?trace ~cost ~procs (fun comm ->
+      heat_program ~tol ~max_iter (if Comm.rank comm = 0 then Some f else None) ~n comm)
+
+let solve_multicore ?domains ?(tol = 1e-7) ?(max_iter = 50_000) ~procs (f : float array array)
+    : result * Multicore.stats =
+  let n = Array.length f in
+  Array.iter
+    (fun r -> if Array.length r <> n then invalid_arg "Heat2d.solve_multicore: non-square grid")
+    f;
+  Scl_sim.Spmd.run_multicore_collect ?domains ~procs (fun comm ->
       heat_program ~tol ~max_iter (if Comm.rank comm = 0 then Some f else None) ~n comm)
 
 (* Manufactured solution used by the tests: f = 2 pi^2 sin(pi x) sin(pi y)

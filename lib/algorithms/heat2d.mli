@@ -28,6 +28,11 @@ val solve_sim :
     divides the dimension): halo exchange + stencil sweep + allreduce per
     iteration. *)
 
+val solve_multicore :
+  ?domains:int -> ?tol:float -> ?max_iter:int -> procs:int -> float array array -> result * Multicore.stats
+(** The same SPMD program on real OCaml 5 domains; identical solution and
+    iteration count to {!solve_sim}. *)
+
 val manufactured_f : int -> float array array
 (** f = 2π² sin(πx) sin(πy), whose exact solution is
     {!manufactured_u}. *)

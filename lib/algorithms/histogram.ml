@@ -55,13 +55,12 @@ open Machine
 
 let histogram_program ~buckets ~lo ~hi (xs : float array option) (comm : Comm.t) :
     int array option =
-  let ctx = Comm.ctx comm in
   let p = Comm.size comm in
   let dv = Scl_sim.Dvec.scatter comm ~root:0 xs in
   (* Bucket ownership is block-distributed over the processors. *)
   let owner b = Scl_sim.Dvec.owner_of ~total:buckets ~parts:p b in
   let local = Scl_sim.Dvec.local dv in
-  Sim.work_flops ctx (3 * Array.length local);
+  Comm.work_flops comm (3 * Array.length local);
   (* Count locally per bucket first (the standard combining optimisation),
      then route each partial count to the bucket's owner. *)
   let partial = Hashtbl.create 64 in
@@ -79,7 +78,7 @@ let histogram_program ~buckets ~lo ~hi (xs : float array option) (comm : Comm.t)
   Array.iter
     (Array.iter (fun (b, c) -> mine.(b - bounds.(me)) <- mine.(b - bounds.(me)) + c))
     incoming;
-  Sim.work_flops ctx (Array.length mine);
+  Comm.work_flops comm (Array.length mine);
   Scl_sim.Dvec.gather ~root:0 (Scl_sim.Dvec.of_local comm mine)
 
 let histogram_sim ?(cost = Cost_model.ap1000) ?trace ~procs ~buckets ~lo ~hi

@@ -111,10 +111,9 @@ open Machine
 (* One processor's SPMD program.  [verbose] adds trace notes used to
    regenerate the paper's Figure 2. *)
 let hqs_program ~verbose (data : int array option) (comm : Comm.t) : int array option =
-  let ctx = Comm.ctx comm in
   let p = Comm.size comm in
   let d = log2_exact p in
-  let say fmt = Printf.ksprintf (fun s -> if verbose then Sim.note ctx s) fmt in
+  let say fmt = Printf.ksprintf (fun s -> if verbose then Comm.note comm s) fmt in
   let show a =
     if Array.length a <= 40 then
       "[" ^ String.concat " " (Array.to_list (Array.map string_of_int a)) ^ "]"
@@ -123,7 +122,7 @@ let hqs_program ~verbose (data : int array option) (comm : Comm.t) : int array o
   (* Distribute, then SEQ_QUICKSORT locally. *)
   let dv = Scl_sim.Dvec.scatter comm ~root:0 data in
   let local = ref (Seq_kernels.quicksort (Scl_sim.Dvec.local dv)) in
-  Sim.work_flops ctx (Scl_sim.Kernels.sort_flops (Array.length !local));
+  Comm.work_flops comm (Scl_sim.Kernels.sort_flops (Array.length !local));
   say "after local quicksort: %s" (show !local);
   (* Iterate over cube dimensions, splitting the group communicator each
      round — the paper's mergeAndDiv / dynamic processor grouping. *)
@@ -133,7 +132,7 @@ let hqs_program ~verbose (data : int array option) (comm : Comm.t) : int array o
     let half = gsz / 2 in
     let me = Comm.rank !c in
     (* pivot: first non-empty member's MIDVALUE, shared group-wide. *)
-    Sim.work_flops ctx Scl_sim.Kernels.median_flops;
+    Comm.work_flops comm Scl_sim.Kernels.median_flops;
     let first_some a b = if a = None then b else a in
     let pivot = Comm.allreduce !c first_some (Seq_kernels.midvalue !local) in
     (match pivot with
@@ -141,14 +140,14 @@ let hqs_program ~verbose (data : int array option) (comm : Comm.t) : int array o
     | Some pivot ->
         say "group pivot %d" pivot;
         (* SPLIT locally... *)
-        Sim.work_flops ctx (Scl_sim.Kernels.binary_search_flops (Array.length !local));
+        Comm.work_flops comm (Scl_sim.Kernels.binary_search_flops (Array.length !local));
         let lo, hi = Seq_kernels.split_at pivot !local in
         let keep, give = if me < half then (lo, hi) else (hi, lo) in
         (* ...exchange with the partner in the other half-cube... *)
         let partner = me lxor half in
         let (recvd : int array) = Comm.exchange !c ~partner give in
         (* ...and MERGE. *)
-        Sim.work_flops ctx
+        Comm.work_flops comm
           (Scl_sim.Kernels.merge_flops (Array.length keep + Array.length recvd));
         local := Seq_kernels.merge keep recvd;
         say "after exchange with partner %d: %s" partner (show !local));
@@ -165,6 +164,15 @@ let sort_sim ?(cost = Cost_model.ap1000) ?trace ?(topology = Topology.Hypercube)
   if not (Topology.is_power_of_two procs) then
     invalid_arg "Hyperquicksort.sort_sim: processor count must be a power of two";
   Scl_sim.Spmd.run_collect ?trace ~cost ~topology ~procs (fun comm ->
+      hqs_program ~verbose:false (if Comm.rank comm = 0 then Some data else None) comm)
+
+(* The same program body on real domains: the engine-parametric payoff.
+   [Comm.work_flops] becomes a no-op, the local quicksort/merge kernels are
+   the actual work, and messages move zero-copy between domains. *)
+let sort_multicore ?domains ~procs (data : int array) : int array * Multicore.stats =
+  if not (Topology.is_power_of_two procs) then
+    invalid_arg "Hyperquicksort.sort_multicore: processor count must be a power of two";
+  Scl_sim.Spmd.run_multicore_collect ?domains ~procs (fun comm ->
       hqs_program ~verbose:false (if Comm.rank comm = 0 then Some data else None) comm)
 
 (* Figure-2 style annotated run: returns the sorted array, the stats and

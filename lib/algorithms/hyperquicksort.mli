@@ -35,6 +35,12 @@ val sort_sim :
     [Hypercube] — only reprices the hops, e.g. when embedding the cube in a
     physical mesh or torus). Default cost model: AP1000. *)
 
+val sort_multicore :
+  ?domains:int -> procs:int -> int array -> int array * Multicore.stats
+(** The same SPMD program body as {!sort_sim}, executed for real on OCaml 5
+    domains ([Machine.Multicore]): identical output, wall-clock stats.
+    [procs] must be a power of two. *)
+
 val sort_sim_traced :
   ?cost:Cost_model.t -> procs:int -> int array -> int array * Sim.stats * (float * int * string) list
 (** Like {!sort_sim} with per-stage trace notes — regenerates the paper's

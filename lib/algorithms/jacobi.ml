@@ -104,7 +104,6 @@ open Machine
 
 let jacobi_program ?(tol = 1e-8) ?(max_iter = 100_000) (f : float array option) ~left ~right
     (comm : Comm.t) : result option =
-  let ctx = Comm.ctx comm in
   let p = Comm.size comm in
   let me = Comm.rank comm in
   let fv = Scl_sim.Dvec.scatter comm ~root:0 f in
@@ -125,7 +124,7 @@ let jacobi_program ?(tol = 1e-8) ?(max_iter = 100_000) (f : float array option) 
       if has_left then hl := Comm.recv comm ~src:(me - 1) ();
       if has_right then hr := Comm.recv comm ~src:(me + 1) ()
     end;
-    Sim.work_flops ctx (Scl_sim.Kernels.stencil_flops ln);
+    Comm.work_flops comm (Scl_sim.Kernels.stencil_flops ln);
     let next =
       Array.init ln (fun j ->
           let lo = if j > 0 then u.(j - 1) else !hl in
@@ -152,4 +151,9 @@ let jacobi_program ?(tol = 1e-8) ?(max_iter = 100_000) (f : float array option) 
 let solve_sim ?(cost = Cost_model.ap1000) ?trace ?(tol = 1e-8) ?(max_iter = 100_000) ~procs
     (f : float array) ~left ~right : result * Sim.stats =
   Scl_sim.Spmd.run_collect ?trace ~cost ~procs (fun comm ->
+      jacobi_program ~tol ~max_iter (if Comm.rank comm = 0 then Some f else None) ~left ~right comm)
+
+let solve_multicore ?domains ?(tol = 1e-8) ?(max_iter = 100_000) ~procs (f : float array)
+    ~left ~right : result * Multicore.stats =
+  Scl_sim.Spmd.run_multicore_collect ?domains ~procs (fun comm ->
       jacobi_program ~tol ~max_iter (if Comm.rank comm = 0 then Some f else None) ~left ~right comm)

@@ -23,6 +23,18 @@ val solve_scl :
     convergence via [fold max], control via [iter_until]. Iteration counts
     match {!solve_seq} exactly. *)
 
+val solve_multicore :
+  ?domains:int ->
+  ?tol:float ->
+  ?max_iter:int ->
+  procs:int ->
+  float array ->
+  left:float ->
+  right:float ->
+  result * Multicore.stats
+(** The same SPMD program on real OCaml 5 domains; the solution and
+    iteration count are identical to {!solve_sim}. *)
+
 val solve_sim :
   ?cost:Cost_model.t ->
   ?trace:Trace.t ->

@@ -125,11 +125,10 @@ open Machine
 
 let kmeans_program ?(tol = 1e-9) ?(max_iter = 200) ~k (points : point array option)
     ~(init : point array) (comm : Comm.t) : result option =
-  let ctx = Comm.ctx comm in
   let dv = Scl_sim.Dvec.scatter comm ~root:0 points in
   let local = Scl_sim.Dvec.local dv in
   let step _i (centroids : point array) =
-    Sim.work_flops ctx (6 * k * max 1 (Array.length local));
+    Comm.work_flops comm (6 * k * max 1 (Array.length local));
     let a = acc_zero k in
     Array.iter (fun p -> acc_add1 a p (nearest centroids p)) local;
     let total = Comm.allreduce comm acc_combine a in
@@ -140,7 +139,7 @@ let kmeans_program ?(tol = 1e-9) ?(max_iter = 200) ~k (points : point array opti
     Scl_sim.Control.iter_until_conv comm ~max_iter ~tol ~step (Array.copy init)
   in
   let centroids = conv.Scl_sim.Control.state in
-  Sim.work_flops ctx (6 * k * max 1 (Array.length local));
+  Comm.work_flops comm (6 * k * max 1 (Array.length local));
   let labels = Array.map (nearest centroids) local in
   match Scl_sim.Dvec.gather ~root:0 (Scl_sim.Dvec.of_local comm labels) with
   | Some assignment ->

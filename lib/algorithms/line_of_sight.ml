@@ -52,7 +52,6 @@ open Machine
 
 let los_program ?(observer_height = 0.0) (terrain : float array option) (comm : Comm.t) :
     bool array option =
-  let ctx = Comm.ctx comm in
   let me = Comm.rank comm and p = Comm.size comm in
   let dv = Scl_sim.Dvec.scatter comm ~root:0 terrain in
   let angles =
@@ -62,7 +61,7 @@ let los_program ?(observer_height = 0.0) (terrain : float array option) (comm : 
   let incoming : float =
     if me = 0 then Float.neg_infinity else Comm.recv comm ~src:(me - 1) ()
   in
-  Sim.work_flops ctx (2 * max 1 (Array.length local));
+  Comm.work_flops comm (2 * max 1 (Array.length local));
   let carry = ref incoming in
   let out =
     Array.mapi

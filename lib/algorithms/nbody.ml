@@ -51,12 +51,11 @@ open Machine
 let flops_per_interaction = 20
 
 let nbody_program (bodies : body array option) (comm : Comm.t) : accel array option =
-  let ctx = Comm.ctx comm in
   let dv = Scl_sim.Dvec.scatter comm ~root:0 bodies in
   (* environment: every processor needs all bodies (brdcast/allgather). *)
   let all = Scl_sim.Dvec.allgather dv in
   let local = Scl_sim.Dvec.local dv in
-  Sim.work_flops ctx (flops_per_interaction * Array.length local * Array.length all);
+  Comm.work_flops comm (flops_per_interaction * Array.length local * Array.length all);
   let acc = Array.map (accumulate all) local in
   Scl_sim.Dvec.gather ~root:0 (Scl_sim.Dvec.of_local comm acc)
 

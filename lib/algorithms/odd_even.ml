@@ -14,7 +14,6 @@ open Machine
 let sentinel = max_int
 
 let sort_program (data : int array option) (comm : Comm.t) : int array option =
-  let ctx = Comm.ctx comm in
   let p = Comm.size comm in
   let me = Comm.rank comm in
   let total = Comm.bcast comm ~root:0 (Option.map Array.length data) in
@@ -24,7 +23,7 @@ let sort_program (data : int array option) (comm : Comm.t) : int array option =
   in
   let dv = Scl_sim.Dvec.scatter comm ~root:0 padded_data in
   let mine = ref (Seq_kernels.quicksort (Scl_sim.Dvec.local dv)) in
-  Sim.work_flops ctx (Scl_sim.Kernels.sort_flops (Array.length !mine));
+  Comm.work_flops comm (Scl_sim.Kernels.sort_flops (Array.length !mine));
   (* P phases; in phase k the pairs (i, i+1) with i ≡ k (mod 2) compare-split:
      the left partner keeps the low half, the right the high half. *)
   for phase = 0 to p - 1 do
@@ -34,7 +33,7 @@ let sort_program (data : int array option) (comm : Comm.t) : int array option =
     in
     if partner >= 0 && partner < p then begin
       let theirs : int array = Comm.exchange comm ~partner !mine in
-      Sim.work_flops ctx (Scl_sim.Kernels.merge_flops (Array.length !mine + Array.length theirs));
+      Comm.work_flops comm (Scl_sim.Kernels.merge_flops (Array.length !mine + Array.length theirs));
       mine := Bitonic.compare_split ~keep_low:(me < partner) !mine theirs
     end
   done;

@@ -63,11 +63,10 @@ let sort_scl ?(exec = Exec.sequential) ~parts (a : int array) : int array =
 open Machine
 
 let psrs_program (data : int array option) (comm : Comm.t) : int array option =
-  let ctx = Comm.ctx comm in
   let p = Comm.size comm in
   let dv = Scl_sim.Dvec.scatter comm ~root:0 data in
   let sorted = Seq_kernels.quicksort (Scl_sim.Dvec.local dv) in
-  Sim.work_flops ctx (Scl_sim.Kernels.sort_flops (Array.length sorted));
+  Comm.work_flops comm (Scl_sim.Kernels.sort_flops (Array.length sorted));
   (* samples to root, splitters back *)
   let samples = regular_samples p sorted in
   let gathered = Comm.gather comm ~root:0 samples in
@@ -76,15 +75,15 @@ let psrs_program (data : int array option) (comm : Comm.t) : int array option =
       (Option.map
          (fun chunks ->
            let all = Array.concat (Array.to_list chunks) in
-           Sim.work_flops ctx (Scl_sim.Kernels.sort_flops (Array.length all));
+           Comm.work_flops comm (Scl_sim.Kernels.sort_flops (Array.length all));
            choose_splitters p all)
          gathered)
   in
-  Sim.work_flops ctx (Scl_sim.Kernels.binary_search_flops (Array.length sorted) * p);
+  Comm.work_flops comm (Scl_sim.Kernels.binary_search_flops (Array.length sorted) * p);
   let buckets = bucketize splitters sorted in
   let received = Comm.alltoall comm buckets in
   let mine = Array.concat (Array.to_list received) in
-  Sim.work_flops ctx (Scl_sim.Kernels.sort_flops (Array.length mine));
+  Comm.work_flops comm (Scl_sim.Kernels.sort_flops (Array.length mine));
   let mine = Seq_kernels.quicksort mine in
   Comm.gather comm ~root:0 mine |> Option.map (fun chunks -> Array.concat (Array.to_list chunks))
 

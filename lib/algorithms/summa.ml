@@ -6,6 +6,17 @@
 
 open Machine
 
+(* One processor's SPMD program: scatter both operands over the q x q grid,
+   run the Dmat SUMMA template, gather C at the root.  Engine-parametric —
+   the same body runs on the simulator and on real domains. *)
+let summa_program ~n (comm : Comm.t) (a : float array array) (b : float array array) :
+    float array array option =
+  let root = Comm.rank comm = 0 in
+  let da = Scl_sim.Dmat.scatter comm ~root:0 (if root then Some a else None) ~n in
+  let db = Scl_sim.Dmat.scatter comm ~root:0 (if root then Some b else None) ~n in
+  let dc = Scl_sim.Dmat.summa da db in
+  Scl_sim.Dmat.gather ~root:0 dc
+
 let multiply_sim ?(cost = Cost_model.ap1000) ?trace ~grid (a : float array array)
     (b : float array array) : float array array * Sim.stats =
   let n = Array.length a in
@@ -16,10 +27,15 @@ let multiply_sim ?(cost = Cost_model.ap1000) ?trace ~grid (a : float array array
   let q = grid in
   Sim.run_collect ?trace
     { Sim.procs = q * q; topology = Topology.Torus2d (q, q); cost }
-    (fun ctx ->
-      let comm = Comm.world ctx in
-      let root = Comm.rank comm = 0 in
-      let da = Scl_sim.Dmat.scatter comm ~root:0 (if root then Some a else None) ~n in
-      let db = Scl_sim.Dmat.scatter comm ~root:0 (if root then Some b else None) ~n in
-      let dc = Scl_sim.Dmat.summa da db in
-      Scl_sim.Dmat.gather ~root:0 dc)
+    (fun ctx -> summa_program ~n (Comm.world (Engine.of_sim ctx)) a b)
+
+let multiply_multicore ?domains ~grid (a : float array array) (b : float array array) :
+    float array array * Multicore.stats =
+  let n = Array.length a in
+  Array.iter (fun r -> if Array.length r <> n then invalid_arg "Summa: non-square matrix") a;
+  Array.iter (fun r -> if Array.length r <> n then invalid_arg "Summa: non-square matrix") b;
+  if Array.length b <> n then invalid_arg "Summa: dimension mismatch";
+  if grid <= 0 || n mod grid <> 0 then invalid_arg "Summa: grid must divide the dimension";
+  let q = grid in
+  Multicore.run_collect ?domains ~topology:(Topology.Torus2d (q, q)) ~procs:(q * q)
+    (fun eng -> summa_program ~n (Comm.world eng) a b)

@@ -15,3 +15,11 @@ val multiply_sim :
 (** C = A·B on a grid×grid torus.
     @raise Invalid_argument unless both matrices are n×n with [grid]
     dividing n. *)
+
+val multiply_multicore :
+  ?domains:int ->
+  grid:int ->
+  float array array ->
+  float array array ->
+  float array array * Multicore.stats
+(** The same SPMD program on real OCaml 5 domains; identical product. *)

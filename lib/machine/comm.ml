@@ -1,5 +1,5 @@
 (* MPI-style communicators and collective operations, built entirely on the
-   simulator's point-to-point sends — exactly the layering the paper relies
+   engine's point-to-point sends — exactly the layering the paper relies
    on ("skeletons can be efficiently implemented as libraries or macros
    defined over base languages and standard communication libraries").
 
@@ -8,21 +8,29 @@
    Nested parallelism (paper Section 2.1: "an element of a nested array
    corresponds to the concept of a group in MPI") is supported via [split].
 
+   The collectives are written once against [Engine.t], so the same
+   program text runs on the discrete-event simulator (where [work] charges
+   simulated time and messages are priced by the cost model) and on the
+   multicore engine (real domains, zero-copy messages, wall-clock time).
+
    Tag discipline: every collective call consumes one sequence number from
    the communicator, and all its internal messages carry a tag derived from
    (sequence, opcode) in a reserved tag space.  Since SPMD members execute
    the same sequence of collectives, the sequence numbers agree across the
    group, so overlapping traffic from adjacent collectives can never be
-   mis-matched, even when some members run ahead. *)
+   mis-matched, even when some members run ahead.  User point-to-point
+   traffic lives in a second reserved space ([user_space]) so tagged
+   sends/receives cannot collide with collective internals either. *)
 
 type t = {
-  ctx : Sim.ctx;
+  eng : Engine.t;
   ranks : int array;  (* global ranks, ordered; my position defines my rank *)
   my_index : int;
   mutable seq : int;
 }
 
 let tag_space = 1 lsl 28
+let user_space = 1 lsl 29
 
 let opcode_barrier = 0
 and opcode_bcast = 1
@@ -34,30 +42,40 @@ and opcode_scan = 6
 and opcode_split = 7
 and opcode_sendrecv = 8
 
-let world ctx =
-  let n = Sim.size ctx in
-  { ctx; ranks = Array.init n Fun.id; my_index = Sim.rank ctx; seq = 0 }
+let world eng =
+  let n = eng.Engine.size in
+  { eng; ranks = Array.init n Fun.id; my_index = eng.Engine.rank; seq = 0 }
 
-let of_ranks ctx ranks =
-  let me = Sim.rank ctx in
+let of_ranks eng ranks =
+  let me = eng.Engine.rank in
   let idx = ref (-1) in
   Array.iteri (fun i r -> if r = me then idx := i) ranks;
   if !idx < 0 then invalid_arg "Comm.of_ranks: calling processor not a member";
-  { ctx; ranks = Array.copy ranks; my_index = !idx; seq = 0 }
+  { eng; ranks = Array.copy ranks; my_index = !idx; seq = 0 }
 
 let rank t = t.my_index
 let size t = Array.length t.ranks
 let global_rank t i = t.ranks.(i)
 let global_ranks t = Array.copy t.ranks
-let ctx t = t.ctx
+let engine t = t.eng
+
+(* Engine conveniences, so programs never need to name the engine. *)
+let work t d = t.eng.Engine.work d
+let work_flops t n = Engine.work_flops t.eng n
+let cost t = t.eng.Engine.cost
+let topology t = t.eng.Engine.topology
+let time t = t.eng.Engine.time ()
+let note t msg = t.eng.Engine.note msg
 
 let fresh_tag t opcode =
   let tag = tag_space lor ((t.seq land 0x3FFFFF) lsl 4) lor opcode in
   t.seq <- t.seq + 1;
   tag
 
-let sendi t ~tag dst_index v = Sim.send t.ctx ~dest:t.ranks.(dst_index) ~tag v
-let recvi : type a. t -> tag:int -> int -> a = fun t ~tag src_index -> Sim.recv t.ctx ~src:t.ranks.(src_index) ~tag ()
+let sendi t ~tag dst_index v = t.eng.Engine.send ~dest:t.ranks.(dst_index) ~tag v
+
+let recvi : type a. t -> tag:int -> int -> a =
+ fun t ~tag src_index -> t.eng.Engine.recv ~src:t.ranks.(src_index) ~tag ()
 
 (* --- barrier: dissemination algorithm, O(log m) rounds ------------------ *)
 
@@ -237,7 +255,7 @@ let scan t op v =
 let split t ~color ~key =
   let tag = fresh_tag t opcode_split in
   ignore tag;
-  let triples = allgather t (color, key, Sim.rank t.ctx) in
+  let triples = allgather t (color, key, t.eng.Engine.rank) in
   let mine =
     triples |> Array.to_list
     |> List.filter (fun (c, _, _) -> c = color)
@@ -245,23 +263,35 @@ let split t ~color ~key =
     |> List.map (fun (_, _, r) -> r)
     |> Array.of_list
   in
-  of_ranks t.ctx mine
+  of_ranks t.eng mine
 
 (* --- point-to-point within a communicator ------------------------------- *)
 
-let send t ~dest v =
+let p2p_tag = function
+  | None -> tag_space lor opcode_sendrecv
+  | Some u ->
+      if u < 0 || u >= user_space then invalid_arg "Comm: user tag out of range";
+      user_space lor u
+
+let send t ~dest ?tag v =
   if dest < 0 || dest >= size t then invalid_arg "Comm.send: bad destination";
-  let tag = tag_space lor opcode_sendrecv in
-  Sim.send t.ctx ~dest:t.ranks.(dest) ~tag v
+  t.eng.Engine.send ~dest:t.ranks.(dest) ~tag:(p2p_tag tag) v
 
-let recv : type a. t -> src:int -> unit -> a =
- fun t ~src () ->
+let recv : type a. t -> src:int -> ?tag:int -> unit -> a =
+ fun t ~src ?tag () ->
   if src < 0 || src >= size t then invalid_arg "Comm.recv: bad source";
-  let tag = tag_space lor opcode_sendrecv in
-  Sim.recv t.ctx ~src:t.ranks.(src) ~tag ()
+  t.eng.Engine.recv ~src:t.ranks.(src) ~tag:(p2p_tag tag) ()
 
-let exchange t ~partner v =
+let recv_any : type a. t -> ?tag:int -> unit -> int * a =
+ fun t ?tag () ->
+  let src, v = t.eng.Engine.recv_any ~tag:(p2p_tag tag) () in
+  let idx = ref (-1) in
+  Array.iteri (fun i r -> if r = src then idx := i) t.ranks;
+  if !idx < 0 then invalid_arg "Comm.recv_any: message from outside the communicator";
+  (!idx, v)
+
+let exchange t ~partner ?tag v =
   (* Symmetric pairwise exchange: both sides send then receive, which is
-     deadlock-free because sends never block in the simulator. *)
-  send t ~dest:partner v;
-  recv t ~src:partner ()
+     deadlock-free because sends never block on either engine. *)
+  send t ~dest:partner ?tag v;
+  recv t ~src:partner ?tag ()

@@ -1,18 +1,20 @@
-(** MPI-style communicators and collectives over the simulator.
+(** MPI-style communicators and collectives over an execution engine.
 
     All collectives are implemented with point-to-point messages (binomial
-    trees, dissemination, Hillis–Steele), so their simulated cost reflects
-    the topology and cost model. Every member of a communicator must call
-    each collective in the same order (SPMD discipline); internal tags make
-    adjacent collectives immune to overtaking. *)
+    trees, dissemination, Hillis–Steele) against {!Engine.t}, so the same
+    program runs on the simulator (where cost reflects the topology and
+    cost model) and on the multicore engine (real domains).  Every member
+    of a communicator must call each collective in the same order (SPMD
+    discipline); internal tags make adjacent collectives immune to
+    overtaking. *)
 
 type t
 (** A communicator: an ordered group of processors. *)
 
-val world : Sim.ctx -> t
+val world : Engine.t -> t
 (** All processors, ranked by global rank. *)
 
-val of_ranks : Sim.ctx -> int array -> t
+val of_ranks : Engine.t -> int array -> t
 (** Communicator over the given global ranks (in the given order). The
     caller must be a member. Every member must construct it consistently. *)
 
@@ -29,12 +31,32 @@ val global_rank : t -> int -> int
 (** Machine rank of communicator member [i]. *)
 
 val global_ranks : t -> int array
-val ctx : t -> Sim.ctx
+
+val engine : t -> Engine.t
+(** The underlying execution engine. *)
+
+(** {1 Engine conveniences} *)
+
+val work : t -> float -> unit
+(** Charge compute seconds (simulated time on the simulator, no-op on the
+    multicore engine). *)
+
+val work_flops : t -> int -> unit
+(** Charge [n] floating-point operations via the engine's cost model. *)
+
+val cost : t -> Cost_model.t
+val topology : t -> Topology.t
+
+val time : t -> float
+(** The engine's clock: simulated seconds or wall seconds. *)
+
+val note : t -> string -> unit
+(** Trace annotation (simulator only; no-op elsewhere). *)
 
 (** {1 Collectives} *)
 
 val barrier : t -> unit
-(** Dissemination barrier over the group (distinct from {!Sim.barrier},
+(** Dissemination barrier over the group (distinct from [Sim.barrier],
     which is machine-global and hardware-priced). *)
 
 val bcast : t -> root:int -> 'a option -> 'a
@@ -61,10 +83,19 @@ val alltoall : t -> 'a array -> 'a array
 val scan : t -> ('a -> 'a -> 'a) -> 'a -> 'a
 (** Inclusive prefix over ranks ([op] associative). *)
 
-(** {1 Point-to-point within the group} *)
+(** {1 Point-to-point within the group}
 
-val send : t -> dest:int -> 'a -> unit
-val recv : t -> src:int -> unit -> 'a
+    [?tag] selects a user tag (in a reserved space disjoint from collective
+    internals); omitted means the untagged p2p channel.  Receives match
+    FIFO per (source, tag). *)
 
-val exchange : t -> partner:int -> 'a -> 'a
+val send : t -> dest:int -> ?tag:int -> 'a -> unit
+val recv : t -> src:int -> ?tag:int -> unit -> 'a
+
+val recv_any : t -> ?tag:int -> unit -> int * 'a
+(** Receive from any member; returns (communicator rank, value). Matches
+    only p2p traffic (with the given user tag, or untagged if omitted) —
+    never collective internals. Deterministic only on the simulator. *)
+
+val exchange : t -> partner:int -> ?tag:int -> 'a -> 'a
 (** Symmetric send-then-receive with [partner]; deadlock-free. *)

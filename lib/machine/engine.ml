@@ -1,0 +1,53 @@
+(* Execution-engine vtable for SPMD programs.
+
+   The paper's point (and Haskell#'s) is that the coordination layer should
+   be retargetable: the same skeleton program must run on different
+   execution media without touching the computation code.  [Comm] therefore
+   writes its collectives once against this record of primitives, and each
+   engine — the discrete-event simulator ([of_sim]) and the real-domain
+   multicore fabric ([Multicore.engine]) — supplies its own implementation.
+
+   A record of explicitly-polymorphic closures is used instead of a functor
+   so that programs keep the plain value type [Comm.t -> 'a option] and a
+   single compiled program body can be handed to either engine at runtime.
+
+   Semantics every engine must provide:
+   - [send] is asynchronous and never blocks; [recv] blocks until a message
+     with the exact (src, tag) is available, FIFO per (source, tag) —
+     MPI's non-overtaking rule.
+   - [recv_any] takes the oldest available message (any source) matching
+     the optional tag; engines may resolve ties differently (the simulator
+     is deterministic, real hardware is not).
+   - [work d] charges [d] seconds of compute: simulated time on the
+     simulator, a no-op on engines where computation costs real time.
+   - [time ()] is the engine's own clock: simulated seconds on the
+     simulator, wall-clock seconds since the run started on real engines. *)
+
+type t = {
+  rank : int;
+  size : int;
+  cost : Cost_model.t;
+  topology : Topology.t;
+  send : 'a. dest:int -> tag:int -> 'a -> unit;
+  recv : 'a. src:int -> tag:int -> unit -> 'a;
+  recv_any : 'a. ?tag:int -> unit -> int * 'a;
+  work : float -> unit;
+  time : unit -> float;
+  note : string -> unit;
+}
+
+let work_flops t n = t.work (Cost_model.flops t.cost n)
+
+let of_sim (ctx : Sim.ctx) : t =
+  {
+    rank = Sim.rank ctx;
+    size = Sim.size ctx;
+    cost = Sim.cost ctx;
+    topology = Sim.topology ctx;
+    send = (fun ~dest ~tag v -> Sim.send ctx ~dest ~tag v);
+    recv = (fun ~src ~tag () -> Sim.recv ctx ~src ~tag ());
+    recv_any = (fun ?tag () -> Sim.recv_any ctx ?tag ());
+    work = (fun d -> Sim.work ctx d);
+    time = (fun () -> Sim.time ctx);
+    note = (fun msg -> Sim.note ctx msg);
+  }

@@ -1,0 +1,34 @@
+(** Execution-engine vtable: the primitives an SPMD program (and the
+    [Comm] collectives) may use, abstracted over the execution medium.
+
+    Two instances exist: {!of_sim} (discrete-event simulator, [work]
+    charges simulated time) and [Multicore.engine] (one OCaml domain per
+    hardware core, zero-copy shared-memory messaging, [work] is a no-op).
+    Programs written against [Comm.t] run unchanged on both. *)
+
+type t = {
+  rank : int;  (** this virtual processor's machine-global rank *)
+  size : int;  (** total number of virtual processors *)
+  cost : Cost_model.t;  (** machine calibration (meaningful on the simulator) *)
+  topology : Topology.t;
+  send : 'a. dest:int -> tag:int -> 'a -> unit;
+      (** Asynchronous tagged send; never blocks. *)
+  recv : 'a. src:int -> tag:int -> unit -> 'a;
+      (** Blocking receive; FIFO per (source, tag). The result type is fixed
+          by the caller: sender and receiver must agree (same discipline as
+          [Sim.recv]). *)
+  recv_any : 'a. ?tag:int -> unit -> int * 'a;
+      (** Blocking receive from any source; returns (source rank, value).
+          Deterministic only on the simulator. *)
+  work : float -> unit;  (** Charge compute seconds (no-op on real engines). *)
+  time : unit -> float;  (** Engine clock: simulated or wall seconds. *)
+  note : string -> unit;  (** Trace annotation (no-op on real engines). *)
+}
+
+val work_flops : t -> int -> unit
+(** [work_flops t n] charges [n] floating-point operations via the engine's
+    cost model. *)
+
+val of_sim : Sim.ctx -> t
+(** The simulator engine: primitives delegate to [Sim] and charge
+    simulated time. *)

@@ -1,0 +1,429 @@
+(* Multicore execution engine: SPMD programs on real OCaml 5 domains.
+
+   This is the "hand-compile to MPI and run it" half of the paper's story:
+   the same [Comm]-level program that the discrete-event simulator prices
+   is executed here for real, one virtual processor ("rank") per fiber,
+   fibers multiplexed over a fixed set of domains (rank r runs on domain
+   r mod D, so a captured continuation is always resumed on the domain
+   that captured it).
+
+   Message fabric:
+   - one tagged mailbox per rank, built on [Runtime.Mpmc_queue]
+     (mutex + condvar FIFO: per-sender push order is preserved);
+   - each rank drains its mailbox into a consumer-local pending list and
+     matches (src, tag) against that list in arrival order, which yields
+     exactly MPI's non-overtaking rule: FIFO per (source, tag);
+   - payloads move zero-copy by reference ([Obj.repr]/[Obj.obj] — the same
+     contract as the simulator's [~bytes] fast path: the sender must not
+     mutate a value after sending it);
+   - blocked receives park the fiber with an effect; when every rank on a
+     domain is parked the domain spins with [Runtime.Backoff], then sleeps
+     on its doorbell (a condvar rung by senders targeting its ranks).
+
+   Deadlock is detected by quiescence, mirroring [Sim.Deadlock]: when every
+   live domain is asleep and no message is in flight, no future progress is
+   possible.  The counters are maintained so that the test is sound:
+   [in_flight] is incremented before a packet is pushed and decremented
+   after it is drained, so "in_flight = 0 and all domains asleep" proves
+   the mailboxes are empty and nobody will ring a doorbell.  The last
+   domain to fall asleep performs the check, as does every domain on exit
+   (covering the case where the only potential sender finishes). *)
+
+exception Deadlock of string
+
+type packet = { pkt_src : int; pkt_tag : int; payload : Obj.t }
+type want = { want_src : int option; want_tag : int option }
+
+type park =
+  | Ready of (unit -> unit)
+  | Running
+  | Waiting of want * (packet, unit) Effect.Deep.continuation
+  | Finished
+
+type rstate = {
+  rk : int;
+  mailbox : packet Runtime.Mpmc_queue.t;
+  mutable pending : packet list;  (* drained, unmatched; arrival order *)
+  mutable park : park;
+  mutable sent : int;  (* single-writer: only this rank's fiber *)
+  mutable received : int;
+}
+
+type doorbell = { mu : Mutex.t; cond : Condition.t; rings : int Atomic.t }
+
+type fabric = {
+  procs : int;
+  ndomains : int;
+  cost : Cost_model.t;
+  topology : Topology.t;
+  ranks : rstate array;
+  bells : doorbell array;
+  in_flight : int Atomic.t;
+  sleepers : int Atomic.t;
+  active_domains : int Atomic.t;
+  sleep_count : int Atomic.t;
+  failure : exn option Atomic.t;
+  start : Runtime.Barrier.t;
+  t0 : int64;
+}
+
+type stats = {
+  wall : float;  (* seconds, fabric creation to last domain joined *)
+  total_msgs : int;
+  total_recvs : int;
+  domains_used : int;
+  sleeps : int;  (* spin-to-sleep transitions across all domains *)
+}
+
+type _ Effect.t += E_wait : want -> packet Effect.t
+
+(* ------------------------------------------------------------ observability *)
+
+let obs_runs = Obs.Counter.make "mc.runs"
+let obs_sends = Obs.Counter.make "mc.sends"
+let obs_recvs = Obs.Counter.make "mc.recvs"
+let obs_parks = Obs.Counter.make "mc.parks"
+let obs_sleeps = Obs.Counter.make "mc.sleeps"
+let obs_barrier_waits = Obs.Counter.make "mc.barrier_waits"
+let obs_wall = Obs.Histogram.make ~unit_:"us" "mc.wall_us"
+let obs_run_span = Obs.Span.make "mc.run_wall"
+
+(* ------------------------------------------------------------ message fabric *)
+
+let matches w pkt =
+  (match w.want_src with None -> true | Some s -> pkt.pkt_src = s)
+  && match w.want_tag with None -> true | Some t -> pkt.pkt_tag = t
+
+(* Remove and return the oldest pending packet matching [w].  Because the
+   pending list is in mailbox (arrival) order and each sender's pushes are
+   ordered, the first match is the oldest from its (source, tag). *)
+let take_pending st w =
+  let rec go acc = function
+    | [] -> None
+    | pkt :: rest when matches w pkt ->
+        st.pending <- List.rev_append acc rest;
+        Some pkt
+    | pkt :: rest -> go (pkt :: acc) rest
+  in
+  go [] st.pending
+
+let drain fab st =
+  let rec go () =
+    match Runtime.Mpmc_queue.try_pop st.mailbox with
+    | Some pkt ->
+        ignore (Atomic.fetch_and_add fab.in_flight (-1));
+        st.pending <- st.pending @ [ pkt ];
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let ring fab dom =
+  let b = fab.bells.(dom) in
+  Mutex.lock b.mu;
+  Atomic.incr b.rings;
+  Condition.broadcast b.cond;
+  Mutex.unlock b.mu
+
+(* First failure wins; everyone else is woken so they can observe it.
+   [except] skips a doorbell whose mutex the caller already holds. *)
+let declare ?except fab e =
+  ignore (Atomic.compare_and_set fab.failure None (Some e));
+  Array.iteri (fun d _ -> if except <> Some d then ring fab d) fab.bells
+
+let failed fab = Atomic.get fab.failure <> None
+
+let describe fab =
+  let buf = Buffer.create 128 in
+  Array.iter
+    (fun st ->
+      let state =
+        match st.park with
+        | Finished -> None
+        | Ready _ -> Some "not started"
+        | Running -> Some "running"
+        | Waiting (w, _) ->
+            Some
+              (Printf.sprintf "recv(src=%s, tag=%s)"
+                 (match w.want_src with None -> "any" | Some s -> string_of_int s)
+                 (match w.want_tag with None -> "any" | Some t -> string_of_int t))
+      in
+      match state with
+      | None -> ()
+      | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf "p%d: %s, %d pending; " st.rk s (List.length st.pending)))
+    fab.ranks;
+  "no runnable processor: " ^ Buffer.contents buf
+
+(* ------------------------------------------------------- program-side engine *)
+
+let send fab st ~dest ~tag v =
+  if dest < 0 || dest >= fab.procs then
+    invalid_arg (Printf.sprintf "Multicore.send: rank %d out of range [0,%d)" dest fab.procs);
+  if dest = st.rk then invalid_arg "Multicore.send: self-send is not supported (use a local value)";
+  Atomic.incr fab.in_flight;
+  Runtime.Mpmc_queue.push fab.ranks.(dest).mailbox
+    { pkt_src = st.rk; pkt_tag = tag; payload = Obj.repr v };
+  st.sent <- st.sent + 1;
+  Obs.Counter.incr obs_sends;
+  ring fab (dest mod fab.ndomains)
+
+let recv_packet fab st w =
+  match take_pending st w with
+  | Some pkt -> pkt
+  | None -> (
+      drain fab st;
+      match take_pending st w with
+      | Some pkt -> pkt
+      | None ->
+          Obs.Counter.incr obs_parks;
+          Effect.perform (E_wait w))
+
+let engine fab st : Engine.t =
+  {
+    Engine.rank = st.rk;
+    size = fab.procs;
+    cost = fab.cost;
+    topology = fab.topology;
+    send = (fun ~dest ~tag v -> send fab st ~dest ~tag v);
+    recv =
+      (fun ~src ~tag () ->
+        if src < 0 || src >= fab.procs then
+          invalid_arg (Printf.sprintf "Multicore.recv: rank %d out of range [0,%d)" src fab.procs);
+        let pkt = recv_packet fab st { want_src = Some src; want_tag = Some tag } in
+        st.received <- st.received + 1;
+        Obs.Counter.incr obs_recvs;
+        Obj.obj pkt.payload);
+    recv_any =
+      (fun ?tag () ->
+        let pkt = recv_packet fab st { want_src = None; want_tag = tag } in
+        st.received <- st.received + 1;
+        Obs.Counter.incr obs_recvs;
+        (pkt.pkt_src, Obj.obj pkt.payload));
+    work = (fun d -> if d < 0.0 then invalid_arg "Multicore.work: negative duration");
+    time = (fun () -> Obs.Clock.ns_to_s (Obs.Clock.ns_since fab.t0));
+    note = (fun _ -> ());
+  }
+
+(* -------------------------------------------------------- per-domain scheduler *)
+
+let handler fab st : (unit, unit) Effect.Deep.handler =
+  {
+    Effect.Deep.retc = (fun () -> st.park <- Finished);
+    exnc =
+      (fun e ->
+        st.park <- Finished;
+        declare fab e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_wait w ->
+            Some (fun (k : (a, unit) Effect.Deep.continuation) -> st.park <- Waiting (w, k))
+        | _ -> None);
+  }
+
+let run_rank fab st =
+  match st.park with
+  | Ready thunk ->
+      st.park <- Running;
+      Effect.Deep.match_with thunk () (handler fab st)
+  | Waiting (w, k) -> (
+      match take_pending st w with
+      | Some pkt ->
+          st.park <- Running;
+          (* receive counters are bumped by the engine-side [recv] wrapper
+             when [recv_packet] returns into the resumed fiber *)
+          Effect.Deep.continue k pkt
+      | None -> assert false)
+  | Running | Finished -> assert false
+
+let domain_main fab d (my : rstate array) =
+  Obs.Counter.incr obs_barrier_waits;
+  Runtime.Barrier.await fab.start;
+  let bell = fab.bells.(d) in
+  let backoff = Runtime.Backoff.create () in
+  let find_runnable () =
+    let found = ref None in
+    let n = Array.length my in
+    let i = ref 0 in
+    while Option.is_none !found && !i < n do
+      let st = my.(!i) in
+      (match st.park with
+      | Ready _ -> found := Some st
+      | Waiting (w, _) ->
+          drain fab st;
+          if List.exists (matches w) st.pending then found := Some st
+      | Finished -> ()
+      | Running -> assert false);
+      incr i
+    done;
+    !found
+  in
+  let all_finished () =
+    Array.for_all (fun st -> match st.park with Finished -> true | _ -> false) my
+  in
+  (* Spin-then-sleep.  The ring counter is read BEFORE the final sweep: a
+     sender always pushes first and rings second, so if a packet arrived
+     after our sweep, [rings] has moved past [seen] and the sleep loop
+     falls through — no lost wakeup. *)
+  let wait_for_mail () =
+    let spins = ref 0 in
+    Runtime.Backoff.reset backoff;
+    let rec wait () =
+      let seen = Atomic.get bell.rings in
+      match find_runnable () with
+      | Some _ -> ()
+      | None ->
+          if failed fab || all_finished () then ()
+          else if !spins < 16 then begin
+            incr spins;
+            Runtime.Backoff.once backoff;
+            wait ()
+          end
+          else begin
+            Atomic.incr fab.sleep_count;
+            Obs.Counter.incr obs_sleeps;
+            Mutex.lock bell.mu;
+            while Atomic.get bell.rings = seen && not (failed fab) do
+              let s = 1 + Atomic.fetch_and_add fab.sleepers 1 in
+              if s >= Atomic.get fab.active_domains && Atomic.get fab.in_flight = 0 then begin
+                ignore (Atomic.fetch_and_add fab.sleepers (-1));
+                (* quiescent: every live domain asleep, mailboxes empty *)
+                declare ~except:d fab (Deadlock (describe fab))
+              end
+              else begin
+                Condition.wait bell.cond bell.mu;
+                ignore (Atomic.fetch_and_add fab.sleepers (-1))
+              end
+            done;
+            Mutex.unlock bell.mu;
+            spins := 0;
+            wait ()
+          end
+    in
+    wait ()
+  in
+  let rec loop () =
+    if failed fab then ()
+    else
+      match find_runnable () with
+      | Some st ->
+          run_rank fab st;
+          loop ()
+      | None -> if all_finished () then () else begin wait_for_mail (); loop () end
+  in
+  (try loop () with e -> declare fab e);
+  (* Exit: if everyone still alive is already asleep with nothing in
+     flight, nobody is left to ring their doorbells. *)
+  let remaining = Atomic.fetch_and_add fab.active_domains (-1) - 1 in
+  if
+    (not (failed fab))
+    && remaining > 0
+    && Atomic.get fab.sleepers >= remaining
+    && Atomic.get fab.in_flight = 0
+  then declare fab (Deadlock (describe fab))
+
+(* ------------------------------------------------------------------- runners *)
+
+let default_domains procs = max 1 (min procs (Domain.recommended_domain_count ()))
+let default_topology procs = if Topology.is_power_of_two procs then Topology.Hypercube else Topology.Complete
+
+let run_each ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
+    (program : int -> Engine.t -> unit) : stats =
+  if procs <= 0 then invalid_arg "Multicore.run_each: procs must be positive";
+  let ndomains =
+    match domains with
+    | None -> default_domains procs
+    | Some d ->
+        if d <= 0 then invalid_arg "Multicore.run_each: domains must be positive";
+        min d procs
+  in
+  let topology = match topology with Some t -> t | None -> default_topology procs in
+  Topology.validate topology ~procs;
+  Obs.Span.timed obs_run_span (fun () ->
+      let fab =
+        {
+          procs;
+          ndomains;
+          cost;
+          topology;
+          ranks =
+            Array.init procs (fun rk ->
+                {
+                  rk;
+                  mailbox = Runtime.Mpmc_queue.create ();
+                  pending = [];
+                  park = Finished;
+                  sent = 0;
+                  received = 0;
+                });
+          bells =
+            Array.init ndomains (fun _ ->
+                { mu = Mutex.create (); cond = Condition.create (); rings = Atomic.make 0 });
+          in_flight = Atomic.make 0;
+          sleepers = Atomic.make 0;
+          active_domains = Atomic.make ndomains;
+          sleep_count = Atomic.make 0;
+          failure = Atomic.make None;
+          start = Runtime.Barrier.create ndomains;
+          t0 = Obs.Clock.now_ns ();
+        }
+      in
+      Array.iter
+        (fun st -> st.park <- Ready (fun () -> program st.rk (engine fab st)))
+        fab.ranks;
+      let my_ranks d =
+        Array.of_list
+          (List.filter (fun st -> st.rk mod ndomains = d) (Array.to_list fab.ranks))
+      in
+      let doms =
+        Array.init ndomains (fun d ->
+            let my = my_ranks d in
+            Domain.spawn (fun () -> domain_main fab d my))
+      in
+      Array.iter Domain.join doms;
+      (match Atomic.get fab.failure with Some e -> raise e | None -> ());
+      (* Undelivered messages after a clean finish indicate a protocol bug
+         worth surfacing (same check as the simulator). *)
+      Array.iter
+        (fun st ->
+          drain fab st;
+          match st.pending with
+          | [] -> ()
+          | pkt :: _ ->
+              raise
+                (Deadlock
+                   (Printf.sprintf
+                      "processor %d finished with %d undelivered message(s); first from p%d tag %d"
+                      st.rk (List.length st.pending) pkt.pkt_src pkt.pkt_tag)))
+        fab.ranks;
+      let wall = Obs.Clock.ns_to_s (Obs.Clock.ns_since fab.t0) in
+      let stats =
+        {
+          wall;
+          total_msgs = Array.fold_left (fun acc st -> acc + st.sent) 0 fab.ranks;
+          total_recvs = Array.fold_left (fun acc st -> acc + st.received) 0 fab.ranks;
+          domains_used = ndomains;
+          sleeps = Atomic.get fab.sleep_count;
+        }
+      in
+      if Obs.enabled () then begin
+        Obs.Counter.incr obs_runs;
+        Obs.Histogram.record obs_wall (int_of_float (wall *. 1e6))
+      end;
+      stats)
+
+let run ?domains ?cost ?topology ~procs program =
+  run_each ?domains ?cost ?topology ~procs (fun _rank eng -> program eng)
+
+let run_collect (type a) ?domains ?cost ?topology ~procs (program : Engine.t -> a option) :
+    a * stats =
+  let result : a option Atomic.t = Atomic.make None in
+  let stats =
+    run_each ?domains ?cost ?topology ~procs (fun _rank eng ->
+        match program eng with Some v -> Atomic.set result (Some v) | None -> ())
+  in
+  match Atomic.get result with
+  | Some v -> (v, stats)
+  | None -> invalid_arg "Multicore.run_collect: no processor produced a result"

@@ -51,6 +51,7 @@ type t = {
   ext_steals : int Atomic.t;
   ext_inject : int Atomic.t;
   submitted : int Atomic.t;  (* total tasks ever scheduled *)
+  task_exceptions : int Atomic.t;  (* bare tasks that raised (promise-less) *)
 }
 
 let next_pool_id = Atomic.make 0
@@ -138,10 +139,13 @@ let has_work t =
   (not (Mpmc_queue.is_empty t.inject))
   || Array.exists (fun w -> not (Ws_deque.is_empty w.deque)) t.workers
 
-let run_task task =
-  (* Individual task exceptions are captured inside promise-wrapping; a bare
-     task that raises would otherwise kill its worker domain, so guard. *)
-  try task () with _ -> ()
+let run_task t task =
+  (* Promise-wrapped tasks capture their own exceptions ([async] stores them
+     in the promise); a bare task that raises would otherwise kill its worker
+     domain, so guard — but count, so the failure is visible in [stats] and
+     the [pool.task_exceptions] obs counter instead of vanishing. *)
+  try task ()
+  with _ -> Atomic.incr t.task_exceptions
 
 let sleep t =
   Mutex.lock t.sleep_mutex;
@@ -158,7 +162,7 @@ let worker_loop t w () =
       match find_task t (Some w) with
       | Some task ->
           Backoff.reset backoff;
-          run_task task;
+          run_task t task;
           loop ()
       | None ->
           (* Spin briefly before sleeping: tasks usually arrive in bursts. *)
@@ -166,7 +170,7 @@ let worker_loop t w () =
           (match find_task t (Some w) with
           | Some task ->
               Backoff.reset backoff;
-              run_task task
+              run_task t task
           | None -> sleep t);
           loop ()
     end
@@ -206,6 +210,7 @@ let create ?num_domains () =
       ext_steals = Atomic.make 0;
       ext_inject = Atomic.make 0;
       submitted = Atomic.make 0;
+      task_exceptions = Atomic.make 0;
     }
   in
   t.domains <- Array.map (fun w -> Domain.spawn (worker_loop t w)) workers;
@@ -221,6 +226,7 @@ type stats = {
   external_inject_pops : int;
   total_submitted : int;
   total_tasks : int;  (* = sum of all pops + steals + inject pops *)
+  task_exceptions : int;  (* bare tasks whose exception the pool swallowed *)
 }
 
 let worker_stats_of w =
@@ -243,6 +249,7 @@ let stats t =
     total_tasks =
       Array.fold_left (fun acc ws -> acc + ws.tasks) 0 per_worker
       + external_steals + external_inject_pops;
+    task_exceptions = Atomic.get t.task_exceptions;
   }
 
 (* Global obs counters, fed when a pool is torn down (never on the hot
@@ -251,6 +258,7 @@ let obs_tasks = Obs.Counter.make "pool.tasks"
 let obs_steals = Obs.Counter.make "pool.steals"
 let obs_inject = Obs.Counter.make "pool.inject_pops"
 let obs_submitted = Obs.Counter.make "pool.submitted"
+let obs_task_exceptions = Obs.Counter.make "pool.task_exceptions"
 
 let publish_obs t =
   let s = stats t in
@@ -259,7 +267,8 @@ let publish_obs t =
     (Array.fold_left (fun acc ws -> acc + ws.steals) s.external_steals s.per_worker);
   Obs.Counter.add obs_inject
     (Array.fold_left (fun acc ws -> acc + ws.inject_pops) s.external_inject_pops s.per_worker);
-  Obs.Counter.add obs_submitted s.total_submitted
+  Obs.Counter.add obs_submitted s.total_submitted;
+  Obs.Counter.add obs_task_exceptions s.task_exceptions
 
 let teardown t =
   if Atomic.get t.alive then begin
@@ -289,13 +298,17 @@ let rec await t p =
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending ->
       (match find_task t (my_worker t) with
-      | Some task -> run_task task
+      | Some task -> run_task t task
       | None -> Domain.cpu_relax ());
       await t p
 
 let run t f =
   let p = async t f in
   await t p
+
+let spawn t task =
+  if not (Atomic.get t.alive) then invalid_arg "Pool.spawn: pool is shut down";
+  schedule t task
 
 (* Size-aware grain heuristic, shared by every data-parallel loop in the
    system (the loop primitives below and Exec's backend chunking).  Two

@@ -38,6 +38,10 @@ type stats = {
   external_inject_pops : int;
   total_submitted : int;
   total_tasks : int;
+  task_exceptions : int;
+      (** bare (promise-less) tasks that raised: the pool swallows the
+          exception to keep the worker domain alive, but counts it here and
+          in the [pool.task_exceptions] obs counter *)
 }
 
 val stats : t -> stats
@@ -55,6 +59,13 @@ val await : t -> 'a promise -> 'a
 
 val run : t -> (unit -> 'a) -> 'a
 (** [run t f] = [await t (async t f)]. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Fire-and-forget: submit a bare task with no promise. An exception
+    raised by the task cannot be re-raised anywhere, so the pool swallows
+    it to keep the worker domain alive — but counts it in
+    [stats.task_exceptions] and the [pool.task_exceptions] obs counter
+    rather than losing it silently. *)
 
 val grain_for : t -> int -> int
 (** [grain_for t n] is the size-aware grain heuristic shared by the loop

@@ -82,12 +82,12 @@ let with_block t block =
   { t with block }
 
 let map ~flops f t =
-  Sim.work_flops (Comm.ctx t.comm) flops;
+  Comm.work_flops t.comm flops;
   { t with block = Array.map (Array.map f) t.block }
 
 let zip_with ~flops f a b =
   if a.n <> b.n || a.q <> b.q then invalid_arg "Dmat.zip_with: shape mismatch";
-  Sim.work_flops (Comm.ctx a.comm) flops;
+  Comm.work_flops a.comm flops;
   { a with block = Array.mapi (fun i row -> Array.mapi (fun j v -> f v b.block.(i).(j)) row) a.block }
 
 (* Transpose: block (i,j) swaps with block (j,i), then each block is
@@ -103,7 +103,7 @@ let transpose t =
     end
   in
   let bs = t.n / t.q in
-  Sim.work_flops (Comm.ctx t.comm) (bs * bs);
+  Comm.work_flops t.comm (bs * bs);
   { t with block = Array.init bs (fun x -> Array.init bs (fun y -> mine.(y).(x))) }
 
 (* --- halo exchange: the 2-D stencil communication pattern ----------------
@@ -158,7 +158,6 @@ let summa (a : t) (b : t) : t =
   if a.n <> b.n || a.q <> b.q then invalid_arg "Dmat.summa: shape mismatch";
   let q = a.q and n = a.n in
   let bs = n / q in
-  let ctx = Comm.ctx a.comm in
   let i, j = grid_coords a in
   let c = ref (Array.init bs (fun _ -> Array.make bs 0.0)) in
   for k = 0 to q - 1 do
@@ -170,7 +169,7 @@ let summa (a : t) (b : t) : t =
     let b_k =
       Comm.bcast a.col_comm ~root:k (if i = k then Some b.block else None)
     in
-    Sim.work_flops ctx (Kernels.matmul_flops bs);
+    Comm.work_flops a.comm (Kernels.matmul_flops bs);
     let prod = local_matmul a_k b_k in
     c := Array.mapi (fun x row -> Array.mapi (fun y v -> v +. prod.(x).(y)) row) !c
   done;

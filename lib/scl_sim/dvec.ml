@@ -34,13 +34,13 @@ let block_bounds ~total ~parts =
 let owner_of ~total ~parts g =
   Scl.Partition.assign (block_pattern parts) ~n:total g
 
-let charge t flops = Sim.work_flops (Comm.ctx t.comm) flops
+let charge t flops = Comm.work_flops t.comm flops
 
 (* An elementwise skeleton pass also streams its chunk through memory; this
    is what map fusion saves, so it must be priced. *)
 let charge_pass t elems =
-  let cm = Sim.cost (Comm.ctx t.comm) in
-  Sim.work (Comm.ctx t.comm) (float_of_int elems *. cm.Machine.Cost_model.mem_time)
+  let cm = Comm.cost t.comm in
+  Comm.work t.comm (float_of_int elems *. cm.Machine.Cost_model.mem_time)
 
 let of_local comm local =
   let lens = Comm.allgather comm (Array.length local) in

@@ -1,4 +1,7 @@
-(* Convenience runner for SPMD skeleton programs on the simulated machine. *)
+(* Convenience runners for SPMD skeleton programs: the same
+   [Comm.t -> 'a option] program body runs on the simulated machine
+   ([run] / [run_collect]) or on real OCaml 5 domains
+   ([run_multicore] / [run_multicore_collect]). *)
 
 open Machine
 
@@ -6,11 +9,12 @@ let default_topology procs =
   if Topology.is_power_of_two procs then Topology.Hypercube else Topology.Complete
 
 (* Observability: the simulator itself records messages/bytes/barriers and
-   the simulated makespan (see Machine.Sim).  Here we add the host side of
-   the "simulated vs wall" comparison: a span for the wall-clock cost of
-   running each SPMD program, and the aggregate simulated seconds, both
-   under spmd.* names. *)
+   the simulated makespan (see Machine.Sim), and the multicore fabric its
+   own mc.* counters.  Here we add the host side of the "simulated vs wall"
+   comparison: a span for the wall-clock cost of running each SPMD program,
+   and the aggregate simulated seconds, both under spmd.* names. *)
 let obs_runs = Obs.Counter.make "spmd.runs"
+let obs_mc_runs = Obs.Counter.make "spmd.multicore_runs"
 let obs_wall = Obs.Span.make "spmd.run_wall"
 let obs_sim_us = Obs.Histogram.make ~unit_:"us" "spmd.sim_makespan_us"
 
@@ -25,13 +29,31 @@ let run ?trace ?(cost = Cost_model.ap1000) ?topology ~procs (program : Comm.t ->
     Sim.stats =
   Obs.Span.timed obs_wall (fun () ->
       let topology = match topology with Some t -> t | None -> default_topology procs in
-      observe (Sim.run ?trace { Sim.procs; topology; cost } (fun ctx -> program (Comm.world ctx))))
+      observe
+        (Sim.run ?trace { Sim.procs; topology; cost } (fun ctx ->
+             program (Comm.world (Engine.of_sim ctx)))))
 
 let run_collect ?trace ?(cost = Cost_model.ap1000) ?topology ~procs
     (program : Comm.t -> 'a option) : 'a * Sim.stats =
   Obs.Span.timed obs_wall (fun () ->
       let topology = match topology with Some t -> t | None -> default_topology procs in
       let v, stats =
-        Sim.run_collect ?trace { Sim.procs; topology; cost } (fun ctx -> program (Comm.world ctx))
+        Sim.run_collect ?trace { Sim.procs; topology; cost } (fun ctx ->
+            program (Comm.world (Engine.of_sim ctx)))
       in
       (v, observe stats))
+
+let run_multicore ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
+    (program : Comm.t -> unit) : Multicore.stats =
+  Obs.Span.timed obs_wall (fun () ->
+      let topology = match topology with Some t -> t | None -> default_topology procs in
+      if Obs.enabled () then Obs.Counter.incr obs_mc_runs;
+      Multicore.run ?domains ~cost ~topology ~procs (fun eng -> program (Comm.world eng)))
+
+let run_multicore_collect ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
+    (program : Comm.t -> 'a option) : 'a * Multicore.stats =
+  Obs.Span.timed obs_wall (fun () ->
+      let topology = match topology with Some t -> t | None -> default_topology procs in
+      if Obs.enabled () then Obs.Counter.incr obs_mc_runs;
+      Multicore.run_collect ?domains ~cost ~topology ~procs (fun eng ->
+          program (Comm.world eng)))

@@ -1,4 +1,5 @@
-(** Run SPMD skeleton programs on the simulated machine. *)
+(** Run SPMD skeleton programs — on the simulated machine or on real
+    OCaml 5 domains. The same program body works on both engines. *)
 
 open Machine
 
@@ -12,8 +13,8 @@ val run :
   procs:int ->
   (Comm.t -> unit) ->
   Sim.stats
-(** Run the program on every processor with a world communicator; the cost
-    model defaults to the AP1000 calibration. *)
+(** Run the program on every simulated processor with a world communicator;
+    the cost model defaults to the AP1000 calibration. *)
 
 val run_collect :
   ?trace:Trace.t ->
@@ -24,3 +25,23 @@ val run_collect :
   'a * Sim.stats
 (** Like {!run} for programs that produce a value at (at least) one
     processor. *)
+
+val run_multicore :
+  ?domains:int ->
+  ?cost:Cost_model.t ->
+  ?topology:Topology.t ->
+  procs:int ->
+  (Comm.t -> unit) ->
+  Multicore.stats
+(** Run the same program for real: each rank on an OCaml domain (ranks
+    beyond [?domains] are multiplexed), zero-copy messaging, [Comm.work]
+    a no-op. *)
+
+val run_multicore_collect :
+  ?domains:int ->
+  ?cost:Cost_model.t ->
+  ?topology:Topology.t ->
+  procs:int ->
+  (Comm.t -> 'a option) ->
+  'a * Multicore.stats
+(** Like {!run_multicore} for programs that produce a value. *)

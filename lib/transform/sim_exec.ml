@@ -29,7 +29,6 @@ let rec exec (comm : Comm.t) (e : Ast.expr) (st : state) : state =
       st'
 
 and exec_prim (comm : Comm.t) (e : Ast.expr) (st : state) : state =
-  let ctx = Comm.ctx comm in
   let the_vec = function
     | V dv -> dv
     | S _ -> Value.type_error "pipeline applies an array skeleton to a scalar"
@@ -57,7 +56,7 @@ and exec_prim (comm : Comm.t) (e : Ast.expr) (st : state) : state =
         match all with
         | Some a ->
             if Array.length a = 0 then Value.type_error "foldr: empty array";
-            Sim.work_flops ctx (Array.length a * (f.Fn.cost2 + g.Fn.cost));
+            Comm.work_flops comm (Array.length a * (f.Fn.cost2 + g.Fn.cost));
             let acc = ref (g.Fn.apply a.(Array.length a - 1)) in
             for i = Array.length a - 2 downto 0 do
               acc := f.Fn.apply2 (g.Fn.apply a.(i)) !acc

@@ -311,7 +311,7 @@ let test_sim_hypercube_transfer_hops_priced () =
 (* --- Collectives ------------------------------------------------------------ *)
 
 let run_world ?procs ?topology ?cost f =
-  Sim.run (cfg ?procs ?topology ?cost ()) (fun ctx -> f (Comm.world ctx))
+  Sim.run (cfg ?procs ?topology ?cost ()) (fun ctx -> f (Comm.world (Engine.of_sim ctx)))
 
 let test_comm_bcast () =
   let seen = Array.make 8 (-1) in
@@ -448,7 +448,7 @@ let test_comm_barrier () =
   (* Group barrier must synchronise clocks at least to the slowest member. *)
   let stats =
     Sim.run (cfg ~procs:4 ()) (fun ctx ->
-        let c = Comm.world ctx in
+        let c = Comm.world (Engine.of_sim ctx) in
         Sim.work ctx (float_of_int (Sim.rank ctx) *. 10.0);
         Comm.barrier c)
   in
@@ -490,7 +490,7 @@ let prop_collectives_arbitrary_sizes =
       let scans = Array.make procs (-1) in
       let _ =
         Sim.run (cfg ~procs ()) (fun ctx ->
-            let c = Comm.world ctx in
+            let c = Comm.world (Engine.of_sim ctx) in
             (match Comm.reduce c ~root:0 ( + ) (Comm.rank c) with
             | Some v -> sum := v
             | None -> ());
@@ -577,7 +577,7 @@ let test_comm_of_ranks_requires_membership () =
     (try
        ignore
          (Sim.run (cfg ~procs:4 ()) (fun ctx ->
-              if Sim.rank ctx = 3 then ignore (Comm.of_ranks ctx [| 0; 1 |])));
+              if Sim.rank ctx = 3 then ignore (Comm.of_ranks (Engine.of_sim ctx) [| 0; 1 |])));
        false
      with Invalid_argument _ -> true)
 
@@ -587,7 +587,7 @@ let test_comm_singleton () =
   let _ =
     Sim.run (cfg ~procs:3 ()) (fun ctx ->
         if Sim.rank ctx = 0 then begin
-          let c = Comm.of_ranks ctx [| 0 |] in
+          let c = Comm.of_ranks (Engine.of_sim ctx) [| 0 |] in
           Comm.barrier c;
           let v = Comm.bcast c ~root:0 (Some 9) in
           let r = Comm.allreduce c ( + ) 5 in
@@ -603,7 +603,7 @@ let test_comm_nested_split_hierarchy () =
   let results = Array.make 8 0 in
   let _ =
     Sim.run (cfg ~procs:8 ()) (fun ctx ->
-        let w = Comm.world ctx in
+        let w = Comm.world (Engine.of_sim ctx) in
         let half = Comm.split w ~color:(Comm.rank w / 4) ~key:(Comm.rank w) in
         let quarter = Comm.split half ~color:(Comm.rank half / 2) ~key:(Comm.rank half) in
         results.(Comm.rank w) <- Comm.allreduce quarter ( + ) (Comm.rank w))
@@ -645,7 +645,7 @@ let prop_bcast_any_root_any_size =
       let seen = Array.make procs (-1) in
       let _ =
         Sim.run (cfg ~procs ()) (fun ctx ->
-            let c = Comm.world ctx in
+            let c = Comm.world (Engine.of_sim ctx) in
             seen.(Comm.rank c) <-
               Comm.bcast c ~root (if Comm.rank c = root then Some (root * 31) else None))
       in
@@ -658,7 +658,7 @@ let prop_alltoall_transpose =
       let ok = ref true in
       let _ =
         Sim.run (cfg ~procs ()) (fun ctx ->
-            let c = Comm.world ctx in
+            let c = Comm.world (Engine.of_sim ctx) in
             let me = Comm.rank c in
             let out = Comm.alltoall c (Array.init procs (fun j -> (me * 100) + j)) in
             Array.iteri (fun j v -> if v <> (j * 100) + me then ok := false) out)

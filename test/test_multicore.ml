@@ -1,0 +1,351 @@
+(* Tests for the multicore execution engine: the mailbox fabric (tag
+   discipline, per-(source, tag) FIFO, doorbell sleep/wake), quiescence
+   deadlock detection, rank multiplexing, and sim-vs-multicore engine
+   equivalence of the Comm collectives and the ported algorithms. *)
+
+open Machine
+module Spmd = Scl_sim.Spmd
+
+let contains msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
+
+(* --- fabric basics ------------------------------------------------------ *)
+
+let test_single_rank () =
+  let v, stats = Multicore.run_collect ~procs:1 (fun eng -> Some (eng.Engine.rank + 41)) in
+  Alcotest.(check int) "value" 41 v;
+  Alcotest.(check int) "no messages" 0 stats.Multicore.total_msgs
+
+let test_ping_pong () =
+  let v, stats =
+    Multicore.run_collect ~procs:2 ~domains:2 (fun eng ->
+        if eng.Engine.rank = 0 then begin
+          eng.Engine.send ~dest:1 ~tag:5 "ping";
+          let (s : string) = eng.Engine.recv ~src:1 ~tag:6 () in
+          Some s
+        end
+        else begin
+          let (s : string) = eng.Engine.recv ~src:0 ~tag:5 () in
+          eng.Engine.send ~dest:0 ~tag:6 (s ^ "-pong");
+          None
+        end)
+  in
+  Alcotest.(check string) "round trip" "ping-pong" v;
+  Alcotest.(check int) "two messages" 2 stats.Multicore.total_msgs
+
+(* Receiving tags out of send order must work: the pending stash holds the
+   earlier message until it is asked for. *)
+let test_tag_discipline_out_of_order () =
+  let v, _ =
+    Multicore.run_collect ~procs:2 ~domains:2 (fun eng ->
+        if eng.Engine.rank = 0 then begin
+          eng.Engine.send ~dest:1 ~tag:1 10;
+          eng.Engine.send ~dest:1 ~tag:2 20;
+          None
+        end
+        else begin
+          let (b : int) = eng.Engine.recv ~src:0 ~tag:2 () in
+          let (a : int) = eng.Engine.recv ~src:0 ~tag:1 () in
+          Some (a, b)
+        end)
+  in
+  Alcotest.(check (pair int int)) "tags matched, not arrival order" (10, 20) v
+
+let test_self_send_rejected () =
+  Alcotest.check_raises "self send" (Invalid_argument "Multicore.send: self-send is not supported (use a local value)")
+    (fun () ->
+      ignore (Multicore.run ~procs:2 (fun eng ->
+          if eng.Engine.rank = 0 then eng.Engine.send ~dest:0 ~tag:0 ())))
+
+(* Zero-copy: a large array must arrive as the same physical object. *)
+let test_zero_copy_identity () =
+  let shared = Array.init 1024 Fun.id in
+  let v, _ =
+    Multicore.run_collect ~procs:2 ~domains:2 (fun eng ->
+        if eng.Engine.rank = 0 then begin
+          eng.Engine.send ~dest:1 ~tag:0 shared;
+          None
+        end
+        else begin
+          let (a : int array) = eng.Engine.recv ~src:0 ~tag:0 () in
+          Some (a == shared)
+        end)
+  in
+  Alcotest.(check bool) "physically equal" true v
+
+(* --- deadlock detection by quiescence ----------------------------------- *)
+
+let test_deadlock_mutual_recv () =
+  match
+    Multicore.run ~procs:2 ~domains:2 (fun eng ->
+        let peer = 1 - eng.Engine.rank in
+        let (_ : unit) = eng.Engine.recv ~src:peer ~tag:0 () in
+        ())
+  with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Multicore.Deadlock msg ->
+      Alcotest.(check bool) "describes blocked ranks" true
+        (contains msg "no runnable processor" && contains msg "recv(src=")
+
+(* Deadlock where a message exists but can never match (wrong tag): the
+   in-flight counter must not keep the detector from firing. *)
+let test_deadlock_unmatched_tag () =
+  match
+    Multicore.run ~procs:2 ~domains:2 (fun eng ->
+        if eng.Engine.rank = 0 then begin
+          eng.Engine.send ~dest:1 ~tag:7 ();
+          let (_ : unit) = eng.Engine.recv ~src:1 ~tag:8 () in
+          ()
+        end
+        else
+          let (_ : unit) = eng.Engine.recv ~src:0 ~tag:9 () in
+          ())
+  with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Multicore.Deadlock _ -> ()
+
+(* One rank exits while another still waits for it: quiescence must also be
+   detected when the only potential sender is gone. *)
+let test_deadlock_sender_finished () =
+  match
+    Multicore.run ~procs:2 ~domains:2 (fun eng ->
+        if eng.Engine.rank = 1 then
+          let (_ : unit) = eng.Engine.recv ~src:0 ~tag:0 () in
+          ())
+  with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Multicore.Deadlock _ -> ()
+
+let test_undelivered_message () =
+  match
+    Multicore.run ~procs:2 ~domains:2 (fun eng ->
+        if eng.Engine.rank = 0 then eng.Engine.send ~dest:1 ~tag:3 42)
+  with
+  | _ -> Alcotest.fail "expected undelivered-message failure"
+  | exception Multicore.Deadlock msg ->
+      Alcotest.(check bool) "mentions undelivered" true (contains msg "undelivered")
+
+let test_rank_exception_propagates () =
+  match Multicore.run ~procs:4 ~domains:2 (fun eng -> if eng.Engine.rank = 2 then failwith "boom") with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg
+
+(* --- seeded multi-domain stress ------------------------------------------ *)
+
+(* Three senders push [msgs] tagged messages each into rank 0's mailbox from
+   their own domains; rank 0 drains them grouped by (source, tag) in an
+   order unrelated to arrival.  Checks: per-(source, tag) FIFO, multiset
+   integrity (count and sum), and that the stash never loses a message. *)
+let fabric_stress seed () =
+  let msgs = 500 in
+  let ntags = 3 in
+  let tags_for src =
+    let rng = Runtime.Xoshiro.of_seed (seed + src) in
+    Array.init msgs (fun _ -> Runtime.Xoshiro.int rng ntags)
+  in
+  let v, _ =
+    Multicore.run_collect ~procs:4 ~domains:4 (fun eng ->
+        let me = eng.Engine.rank in
+        if me > 0 then begin
+          let tags = tags_for me in
+          Array.iteri (fun i tag -> eng.Engine.send ~dest:0 ~tag (me * 1_000_000 + i)) tags;
+          None
+        end
+        else begin
+          let ok = ref true in
+          let received = ref 0 in
+          let sum = ref 0 in
+          (* group order deliberately different from arrival order *)
+          for tag = ntags - 1 downto 0 do
+            for src = 3 downto 1 do
+              let expected = tags_for src in
+              let last = ref (-1) in
+              Array.iteri
+                (fun i t ->
+                  if t = tag then begin
+                    let (v : int) = eng.Engine.recv ~src ~tag () in
+                    incr received;
+                    sum := !sum + v;
+                    let seq = v mod 1_000_000 in
+                    if v / 1_000_000 <> src || seq <> i || seq <= !last then ok := false;
+                    last := seq
+                  end)
+                expected
+            done
+          done;
+          let expected_sum =
+            let s = ref 0 in
+            for src = 1 to 3 do
+              for i = 0 to msgs - 1 do
+                s := !s + (src * 1_000_000) + i
+              done
+            done;
+            !s
+          in
+          Some (!ok && !received = 3 * msgs && !sum = expected_sum)
+        end)
+  in
+  Alcotest.(check bool) "per-(src,tag) FIFO and multiset intact" true v
+
+(* 1000 rounds of the dissemination barrier over the fabric with a shared
+   counter: after round r every rank must observe all p increments of round
+   r before any rank starts round r+1 — the sense-reversal property. *)
+let test_barrier_rounds () =
+  let p = 4 in
+  let rounds = 1000 in
+  let counter = Atomic.make 0 in
+  let v, _ =
+    Spmd.run_multicore_collect ~procs:p ~domains:4 (fun comm ->
+        let ok = ref true in
+        for r = 1 to rounds do
+          Atomic.incr counter;
+          Comm.barrier comm;
+          if Atomic.get counter < r * p then ok := false;
+          Comm.barrier comm
+        done;
+        if Comm.rank comm = 0 then Some !ok else None)
+  in
+  Alcotest.(check bool) "all increments visible each round" true v;
+  Alcotest.(check int) "final count" (rounds * 4) (Atomic.get counter)
+
+(* Ranks beyond the domain count are multiplexed: 8 ranks on 2 domains, with
+   blocking traffic crossing domain and fiber boundaries. *)
+let test_multiplexed_ranks () =
+  let p = 8 in
+  let v, stats =
+    Spmd.run_multicore_collect ~procs:p ~domains:2 (fun comm ->
+        let me = Comm.rank comm in
+        let s = Comm.allreduce comm ( + ) me in
+        let next = (me + 1) mod p in
+        let prev = (me + p - 1) mod p in
+        Comm.send comm ~dest:next me;
+        let (from_prev : int) = Comm.recv comm ~src:prev () in
+        if me = 0 then Some (s, from_prev) else None)
+  in
+  Alcotest.(check (pair int int)) "ring + allreduce over 2 domains" (28, 7) v;
+  Alcotest.(check int) "two domains" 2 stats.Multicore.domains_used
+
+(* --- engine equivalence: same program, identical values ------------------ *)
+
+let collective_program (comm : Comm.t) =
+  let p = Comm.size comm in
+  let me = Comm.rank comm in
+  let reduced = Comm.allreduce comm ( + ) (me + 1) in
+  let scanned = Comm.scan comm ( + ) (me + 1) in
+  let gathered = Comm.allgather comm (me * me) in
+  let transposed = Comm.alltoall comm (Array.init p (fun j -> (me * 100) + j)) in
+  let sub = Comm.split comm ~color:(me mod 2) ~key:me in
+  let sub_sum = Comm.allreduce sub ( + ) me in
+  let everything = (reduced, scanned, gathered, transposed, sub_sum) in
+  match Comm.gather comm ~root:0 everything with
+  | Some all -> Some (Array.to_list all)
+  | None -> None
+
+let test_engine_equivalence_collectives () =
+  List.iter
+    (fun procs ->
+      let sim, _ = Spmd.run_collect ~procs collective_program in
+      let mc, _ = Spmd.run_multicore_collect ~procs collective_program in
+      Alcotest.(check bool)
+        (Printf.sprintf "collectives agree at p=%d" procs)
+        true (sim = mc))
+    [ 1; 2; 4 ]
+
+let test_engine_equivalence_hyperquicksort () =
+  let rng = Runtime.Xoshiro.of_seed 1995 in
+  let data = Array.init 800 (fun _ -> Runtime.Xoshiro.int rng 10_000) in
+  let reference = Array.copy data in
+  Array.sort compare reference;
+  List.iter
+    (fun procs ->
+      let sim, _ = Algorithms.Hyperquicksort.sort_sim ~procs data in
+      let mc, _ = Algorithms.Hyperquicksort.sort_multicore ~procs data in
+      Alcotest.(check bool)
+        (Printf.sprintf "sim output sorted at p=%d" procs)
+        true (sim = reference);
+      Alcotest.(check bool)
+        (Printf.sprintf "multicore output identical at p=%d" procs)
+        true (mc = sim))
+    [ 1; 2; 4 ]
+
+let test_engine_equivalence_cannon_summa () =
+  let n = 12 in
+  let a = Algorithms.Cannon.random_matrix ~seed:7 n in
+  let b = Algorithms.Cannon.random_matrix ~seed:8 n in
+  let sim_c, _ = Algorithms.Cannon.multiply_sim ~grid:2 a b in
+  let mc_c, _ = Algorithms.Cannon.multiply_multicore ~grid:2 a b in
+  Alcotest.(check bool) "cannon blocks agree" true (sim_c = mc_c);
+  let sim_s, _ = Algorithms.Summa.multiply_sim ~grid:2 a b in
+  let mc_s, _ = Algorithms.Summa.multiply_multicore ~grid:2 a b in
+  Alcotest.(check bool) "summa blocks agree" true (sim_s = mc_s);
+  Alcotest.(check bool) "cannon = summa" true (sim_c = sim_s)
+
+let test_engine_equivalence_solvers () =
+  (* jacobi / heat2d / cg: bitwise-identical fixed points on both engines —
+     same program body, same collective trees, same float operation order *)
+  let f = Array.make 32 1.0 in
+  let j_sim, _ = Algorithms.Jacobi.solve_sim ~procs:4 ~tol:1e-6 ~max_iter:500 f ~left:0.0 ~right:1.0 in
+  let j_mc, _ = Algorithms.Jacobi.solve_multicore ~procs:4 ~tol:1e-6 ~max_iter:500 f ~left:0.0 ~right:1.0 in
+  Alcotest.(check bool) "jacobi solutions identical" true
+    (j_sim.Algorithms.Jacobi.solution = j_mc.Algorithms.Jacobi.solution);
+  Alcotest.(check int) "jacobi same iteration count" j_sim.Algorithms.Jacobi.iterations
+    j_mc.Algorithms.Jacobi.iterations;
+  let hf = Algorithms.Heat2d.manufactured_f 12 in
+  let h_sim, _ = Algorithms.Heat2d.solve_sim ~procs:4 ~tol:1e-4 ~max_iter:300 hf in
+  let h_mc, _ = Algorithms.Heat2d.solve_multicore ~procs:4 ~tol:1e-4 ~max_iter:300 hf in
+  Alcotest.(check bool) "heat2d fields identical" true
+    (h_sim.Algorithms.Heat2d.solution = h_mc.Algorithms.Heat2d.solution);
+  let b = Array.init 64 (fun i -> float_of_int (i mod 7) /. 7.0) in
+  let c_sim, _ = Algorithms.Cg.solve_sim ~procs:4 ~tol:1e-8 ~max_iter:200 b in
+  let c_mc, _ = Algorithms.Cg.solve_multicore ~procs:4 ~tol:1e-8 ~max_iter:200 b in
+  Alcotest.(check bool) "cg solutions identical" true
+    (c_sim.Algorithms.Cg.solution = c_mc.Algorithms.Cg.solution);
+  Alcotest.(check int) "cg same iteration count" c_sim.Algorithms.Cg.iterations
+    c_mc.Algorithms.Cg.iterations
+
+let test_farm_on_multicore () =
+  (* dynamic farm exercises recv_any on the multicore fabric; results are
+     indexed, so the nondeterministic interleaving does not show *)
+  let spec = Algorithms.Farm_sim.skewed_spec ~njobs:40 ~skew:8 in
+  let expected = Array.init 40 (fun i -> i * i) in
+  let got, _ = Algorithms.Farm_sim.dynamic_multicore ~procs:4 ~domains:4 spec in
+  Alcotest.(check bool) "all jobs done once" true (got = expected)
+
+let suite =
+  [
+    ( "fabric",
+      [
+        Alcotest.test_case "single rank" `Quick test_single_rank;
+        Alcotest.test_case "ping pong" `Quick test_ping_pong;
+        Alcotest.test_case "tag discipline out of order" `Quick test_tag_discipline_out_of_order;
+        Alcotest.test_case "self send rejected" `Quick test_self_send_rejected;
+        Alcotest.test_case "zero copy identity" `Quick test_zero_copy_identity;
+      ] );
+    ( "deadlock",
+      [
+        Alcotest.test_case "mutual recv" `Quick test_deadlock_mutual_recv;
+        Alcotest.test_case "unmatched tag" `Quick test_deadlock_unmatched_tag;
+        Alcotest.test_case "sender finished" `Quick test_deadlock_sender_finished;
+        Alcotest.test_case "undelivered message" `Quick test_undelivered_message;
+        Alcotest.test_case "rank exception propagates" `Quick test_rank_exception_propagates;
+      ] );
+    ( "stress",
+      [
+        Alcotest.test_case "seeded fabric stress (42)" `Slow (fabric_stress 42);
+        Alcotest.test_case "seeded fabric stress (1337)" `Slow (fabric_stress 1337);
+        Alcotest.test_case "barrier 1000 rounds" `Slow test_barrier_rounds;
+        Alcotest.test_case "8 ranks on 2 domains" `Quick test_multiplexed_ranks;
+      ] );
+    ( "engine-equivalence",
+      [
+        Alcotest.test_case "collectives p=1/2/4" `Quick test_engine_equivalence_collectives;
+        Alcotest.test_case "hyperquicksort p=1/2/4" `Quick test_engine_equivalence_hyperquicksort;
+        Alcotest.test_case "cannon and summa" `Quick test_engine_equivalence_cannon_summa;
+        Alcotest.test_case "jacobi/heat2d/cg" `Slow test_engine_equivalence_solvers;
+        Alcotest.test_case "dynamic farm (recv_any)" `Quick test_farm_on_multicore;
+      ] );
+  ]
+
+let () = Alcotest.run "multicore" suite

@@ -302,6 +302,32 @@ let test_pool_after_teardown () =
   Alcotest.check_raises "async rejected" (Invalid_argument "Pool.async: pool is shut down")
     (fun () -> ignore (Pool.async pool (fun () -> ())))
 
+let test_pool_spawn_counts_exceptions () =
+  (* A bare (promise-less) task that raises must not kill its worker, and
+     the swallowed exception must show up in stats rather than vanish. *)
+  with_pool ~num_domains:2 (fun pool ->
+      let ran = Atomic.make 0 in
+      for i = 0 to 15 do
+        Pool.spawn pool (fun () ->
+            Atomic.incr ran;
+            if i mod 2 = 0 then failwith "task bug")
+      done;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Atomic.get ran < 16 && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check int) "all tasks ran" 16 (Atomic.get ran);
+      (* the raising half is counted once the workers are done with them;
+         the non-atomic window between [Atomic.incr ran] and the counter
+         update is closed by polling the stat itself *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while (Pool.stats pool).Pool.task_exceptions < 8 && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check int) "raising tasks counted" 8 (Pool.stats pool).Pool.task_exceptions;
+      (* workers survived: the pool still runs work *)
+      Alcotest.(check int) "pool still alive" 7 (Pool.run pool (fun () -> 3 + 4)))
+
 let test_pool_actually_parallel () =
   (* With 3 workers + helping caller, 4 tasks spinning on a shared countdown
      can only finish if they run concurrently. *)
@@ -585,6 +611,7 @@ let suite =
         Alcotest.test_case "init_array" `Quick test_pool_init_array;
         Alcotest.test_case "zero workers" `Quick test_pool_zero_workers;
         Alcotest.test_case "teardown semantics" `Quick test_pool_after_teardown;
+        Alcotest.test_case "spawn counts exceptions" `Quick test_pool_spawn_counts_exceptions;
         Alcotest.test_case "true parallelism" `Slow test_pool_actually_parallel;
         prop_parallel_reduce_matches_seq;
       ] );

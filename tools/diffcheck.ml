@@ -22,6 +22,17 @@
                             (each also with ~optimize:true), and Sim_exec
                             at procs 1/2/4 (flat pipelines only); all must
                             agree.
+     5. engine equivalence — [--engine-cases] seeded inputs per program:
+                            hyperquicksort, Cannon, and a collective
+                            battery (allreduce/scan/allgather) must
+                            produce identical values on the simulator and
+                            on the real-domain multicore engine at
+                            p ∈ {1, 2, 4} (grids 1 and 2 for Cannon).
+     6. topology cost     — for a hypercube-exchange program
+                            (hyperquicksort), the simulated makespan on a
+                            Hypercube must not exceed the makespan on a
+                            Ring (where cube neighbours are multi-hop), at
+                            p ∈ {4, 8} over fixed seeds.
 
    On failure: prints the shrunk counterexample (Ast.to_string + input +
    seed + case index), optionally writes it to --out, exits 1.
@@ -29,7 +40,7 @@
 
 let usage =
   "diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N] [--fused-cases N] \
-   [--tolerance F] [--no-pool] [--out FILE]"
+   [--engine-cases N] [--tolerance F] [--no-pool] [--out FILE]"
 
 let failures : string list ref = ref []
 
@@ -39,6 +50,31 @@ let record_failure ~phase print (f : _ Prop.Runner.failure) =
   in
   Printf.printf "FAIL  %s\n%s\n" phase text;
   failures := text :: !failures
+
+(* Hand-rolled check for the non-Runner phases (5 and 6): [cases] is a list
+   of (label, thunk) pairs; a thunk returns None on success and a
+   counterexample description on divergence. *)
+let report_checks ~phase (cases : (string * (unit -> string option)) list) : bool =
+  let bad =
+    List.filter_map
+      (fun (label, check) ->
+        match check () with
+        | None -> None
+        | Some detail -> Some (Printf.sprintf "%s: %s" label detail)
+        | exception e -> Some (Printf.sprintf "%s: raised %s" label (Printexc.to_string e)))
+      cases
+  in
+  match bad with
+  | [] ->
+      Printf.printf "ok    %-40s %d cases (0 discarded)\n%!" phase (List.length cases);
+      true
+  | _ ->
+      let text =
+        Printf.sprintf "phase: %s\n%s" phase (String.concat "\n" bad)
+      in
+      Printf.printf "FAIL  %s\n%s\n" phase text;
+      failures := text :: !failures;
+      false
 
 let report ~phase print outcome =
   match outcome with
@@ -58,6 +94,7 @@ let () =
   let rule_cases = ref 100 in
   let cost_cases = ref 100 in
   let fused_cases = ref 200 in
+  let engine_cases = ref 3 in
   let tolerance = ref 1.25 in
   let no_pool = ref false in
   let out = ref "" in
@@ -68,6 +105,9 @@ let () =
       ("--rule-cases", Arg.Set_int rule_cases, "N firing cases per rule (default 100)");
       ("--cost-cases", Arg.Set_int cost_cases, "N cost-consistency cases (default 100)");
       ("--fused-cases", Arg.Set_int fused_cases, "N fused-primitive cases (default 200)");
+      ( "--engine-cases",
+        Arg.Set_int engine_cases,
+        "N seeded inputs per engine-equivalence program (default 3)" );
       ( "--tolerance",
         Arg.Set_float tolerance,
         "F allowed simulated-makespan regression factor (default 1.25)" );
@@ -123,7 +163,89 @@ let () =
   Printf.printf "differential: %d compared, %d on simulator, %d sim-skipped (nested)\n%!"
     stats.Prop.Oracle.compared stats.Prop.Oracle.sim_ran stats.Prop.Oracle.sim_skipped;
 
-  if ok_rules && ok_cost && ok_fused && ok_diff then begin
+  (* phase 5: engine equivalence — identical values from the simulator and
+     the real-domain multicore engine for the same SPMD program. *)
+  let ok_engine =
+    let open Machine in
+    let collective_battery (comm : Comm.t) =
+      let p = Comm.size comm in
+      let me = Comm.rank comm in
+      let reduced = Comm.allreduce comm ( + ) (me + 1) in
+      let scanned = Comm.scan comm ( + ) (me + 1) in
+      let gathered = Comm.allgather comm (me * me) in
+      let transposed = Comm.alltoall comm (Array.init p (fun j -> (me * 100) + j)) in
+      Option.map Array.to_list
+        (Comm.gather comm ~root:0 (reduced, scanned, gathered, transposed))
+    in
+    let cases = ref [] in
+    let add label f = cases := (label, f) :: !cases in
+    for k = 0 to !engine_cases - 1 do
+      let case_seed = !seed + (1009 * k) in
+      List.iter
+        (fun procs ->
+          add
+            (Printf.sprintf "hyperquicksort p=%d seed=%d" procs case_seed)
+            (fun () ->
+              let rng = Runtime.Xoshiro.of_seed case_seed in
+              let data = Runtime.Xoshiro.int_array rng ~len:512 ~bound:100_000 in
+              let s, _ = Algorithms.Hyperquicksort.sort_sim ~procs data in
+              let m, _ = Algorithms.Hyperquicksort.sort_multicore ~procs data in
+              if s = m then None else Some "sim and multicore outputs differ");
+          add
+            (Printf.sprintf "collectives p=%d seed=%d" procs case_seed)
+            (fun () ->
+              let s, _ = Scl_sim.Spmd.run_collect ~procs collective_battery in
+              let m, _ = Scl_sim.Spmd.run_multicore_collect ~procs collective_battery in
+              if s = m then None else Some "collective values differ"))
+        [ 1; 2; 4 ];
+      List.iter
+        (fun grid ->
+          add
+            (Printf.sprintf "cannon grid=%d seed=%d" grid case_seed)
+            (fun () ->
+              let n = 4 * grid in
+              let a = Algorithms.Cannon.random_matrix ~seed:case_seed n in
+              let b = Algorithms.Cannon.random_matrix ~seed:(case_seed + 1) n in
+              let s, _ = Algorithms.Cannon.multiply_sim ~grid a b in
+              let m, _ = Algorithms.Cannon.multiply_multicore ~grid a b in
+              if s = m then None else Some "cannon products differ"))
+        [ 1; 2 ]
+    done;
+    report_checks ~phase:"engine-equivalence" (List.rev !cases)
+  in
+
+  (* phase 6: topology cost — hyperquicksort's messages all travel between
+     hypercube neighbours (XOR partners), so pricing the run on a Ring
+     (where those partners are multi-hop) must never be cheaper than on the
+     Hypercube. *)
+  let ok_topo =
+    let open Machine in
+    let cases =
+      List.concat_map
+        (fun procs ->
+          List.init 2 (fun k ->
+              let case_seed = !seed + (77 * k) in
+              ( Printf.sprintf "hyperquicksort p=%d seed=%d" procs case_seed,
+                fun () ->
+                  let rng = Runtime.Xoshiro.of_seed case_seed in
+                  let data = Runtime.Xoshiro.int_array rng ~len:1024 ~bound:100_000 in
+                  let _, cube =
+                    Algorithms.Hyperquicksort.sort_sim ~topology:Topology.Hypercube ~procs data
+                  in
+                  let _, ring =
+                    Algorithms.Hyperquicksort.sort_sim ~topology:Topology.Ring ~procs data
+                  in
+                  if cube.Sim.makespan <= ring.Sim.makespan *. (1.0 +. 1e-9) then None
+                  else
+                    Some
+                      (Printf.sprintf "hypercube makespan %.9g > ring %.9g" cube.Sim.makespan
+                         ring.Sim.makespan) )))
+        [ 4; 8 ]
+    in
+    report_checks ~phase:"topology-cost (hypercube <= ring)" cases
+  in
+
+  if ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo then begin
     Printf.printf "diffcheck: all oracles agree (seed %d)\n" !seed;
     exit 0
   end
