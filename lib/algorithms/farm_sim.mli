@@ -14,14 +14,39 @@ type 'r job_spec = {
 val static : ?cost:Cost_model.t -> procs:int -> 'r job_spec -> 'r array * Sim.stats
 (** Jobs block-scattered up front; no scheduling traffic. *)
 
-val dynamic : ?cost:Cost_model.t -> procs:int -> 'r job_spec -> 'r array * Sim.stats
+val dynamic :
+  ?cost:Cost_model.t ->
+  ?grace:float ->
+  ?chaos:Chaos.spec ->
+  procs:int ->
+  'r job_spec ->
+  'r array * Sim.stats
 (** Master (rank 0) deals jobs on request; [procs - 1] workers.
+
+    The protocol is at-least-once with job-id dedup: when fresh jobs run
+    out, outstanding (dealt-but-unfinished) jobs are re-dealt to idle
+    requesters — so a crashed or stalling worker cannot strand a job — and
+    duplicate results are dropped (counters ["farm.retries"] /
+    ["farm.reassignments"]).
+
+    [~grace] (engine-clock seconds) arms the master's failure detector: it
+    must exceed the longest single job's duration plus a round trip. Any
+    worker silent that long is presumed dead; if ALL un-released workers go
+    silent while jobs remain, the farm fails loudly. Without [~grace], a
+    worker crash leaves the master blocked (ending in the engine's
+    [Deadlock]). [~chaos] wraps every rank's engine in the fault injector.
     @raise Invalid_argument if [procs < 2]. *)
 
-val dynamic_multicore : ?domains:int -> procs:int -> 'r job_spec -> 'r array * Multicore.stats
+val dynamic_multicore :
+  ?domains:int ->
+  ?grace:float ->
+  ?chaos:Chaos.spec ->
+  procs:int ->
+  'r job_spec ->
+  'r array * Multicore.stats
 (** The dynamic farm on real OCaml 5 domains: genuinely concurrent
     workers, nondeterministic request interleaving at the master, same
-    indexed results.
+    indexed results. [~grace] is wall-clock seconds here.
     @raise Invalid_argument if [procs < 2]. *)
 
 val skewed_spec : njobs:int -> skew:int -> int job_spec

@@ -1,0 +1,57 @@
+(** Deterministic, seeded fault injection as an {!Engine.t} wrapper.
+
+    Chaos perturbs an SPMD program's communication without touching its
+    code: sends may be held back and released later (delay/reordering
+    within the documented per-(src,tag) FIFO relaxation), ranks may pay a
+    straggler tax before every communication operation, and a rank may
+    fail-stop ({!Fault.Crashed}) at a scheduled point.  Every decision is
+    a pure function of (spec, rank, that rank's own operation count) via a
+    per-rank splittable PRNG stream — so a perturbed simulator run is
+    reproducible bit-for-bit from its seed, and on the multicore engine
+    the injected faults (though not the real-time interleaving) replay
+    exactly.
+
+    What survives what (see README, "Fault model"): collectives are
+    value-identical under any crash-free schedule; the dynamic farm
+    additionally completes under a single worker crash. *)
+
+type spec = {
+  seed : int;  (** master seed; each rank draws from [nth_child seed rank] *)
+  delay_prob : float;  (** probability in [0,1] that a send is held back *)
+  max_hold : int;
+      (** a held send is released after 1..max_hold further communication
+          operations of its sender (or at the next blocking receive /
+          program end, whichever comes first) *)
+  stalls : (int * float) list;
+      (** per-rank straggler tax, charged before every communication
+          operation: simulated seconds on the simulator, real sleep on the
+          multicore engine *)
+  crashes : (int * int) list;
+      (** [(rank, n)]: rank fail-stops just before its [n]-th (1-based)
+          communication operation; held sends are lost with it *)
+}
+
+val none : spec
+(** The zero-fault schedule. Wrapping with it still routes every operation
+    through the wrapper (that's what the overhead bench measures) but
+    injects nothing: simulated runs are bit-identical to unwrapped runs. *)
+
+val delays : ?seed:int -> ?prob:float -> ?max_hold:int -> unit -> spec
+(** Delay/reorder-only schedule (defaults: seed 1, prob 0.25, max_hold 3). *)
+
+type state
+(** Per-rank wrapper state (operation counter, PRNG, held sends). *)
+
+val wrap : spec -> Engine.t -> Engine.t * state
+(** Wrap one rank's engine. The caller must {!finalize} after the program
+    body so trailing held sends are released (skipped if the rank crashed).
+    @raise Invalid_argument on malformed specs (probability outside [0,1],
+    non-positive hold/crash indices, negative stalls). *)
+
+val finalize : state -> unit
+(** Release any still-held sends (a no-op for most programs, which end in
+    receives/collectives that already flushed). *)
+
+val run : spec -> (Engine.t -> 'a) -> Engine.t -> 'a
+(** [run spec program eng]: wrap, run, finalize. Counters:
+    ["chaos.faults_injected"] counts every hold, stall and crash. *)

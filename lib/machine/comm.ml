@@ -25,6 +25,7 @@
 type t = {
   eng : Engine.t;
   ranks : int array;  (* global ranks, ordered; my position defines my rank *)
+  rank_index : int array;  (* global rank -> index in [ranks]; -1 = not a member *)
   my_index : int;
   mutable seq : int;
 }
@@ -44,14 +45,28 @@ and opcode_sendrecv = 8
 
 let world eng =
   let n = eng.Engine.size in
-  { eng; ranks = Array.init n Fun.id; my_index = eng.Engine.rank; seq = 0 }
+  {
+    eng;
+    ranks = Array.init n Fun.id;
+    rank_index = Array.init n Fun.id;
+    my_index = eng.Engine.rank;
+    seq = 0;
+  }
 
 let of_ranks eng ranks =
+  (* One pass builds the reverse map (global rank -> index), which also
+     finds the caller's index and rejects duplicates — [recv_any] then maps
+     sources in O(1) instead of rescanning [ranks] per message. *)
   let me = eng.Engine.rank in
-  let idx = ref (-1) in
-  Array.iteri (fun i r -> if r = me then idx := i) ranks;
-  if !idx < 0 then invalid_arg "Comm.of_ranks: calling processor not a member";
-  { eng; ranks = Array.copy ranks; my_index = !idx; seq = 0 }
+  let rank_index = Array.make eng.Engine.size (-1) in
+  Array.iteri
+    (fun i r ->
+      if r < 0 || r >= eng.Engine.size then invalid_arg "Comm.of_ranks: rank out of range";
+      if rank_index.(r) >= 0 then invalid_arg "Comm.of_ranks: duplicate rank";
+      rank_index.(r) <- i)
+    ranks;
+  if rank_index.(me) < 0 then invalid_arg "Comm.of_ranks: calling processor not a member";
+  { eng; ranks = Array.copy ranks; rank_index; my_index = rank_index.(me); seq = 0 }
 
 let rank t = t.my_index
 let size t = Array.length t.ranks
@@ -67,10 +82,29 @@ let topology t = t.eng.Engine.topology
 let time t = t.eng.Engine.time ()
 let note t msg = t.eng.Engine.note msg
 
+(* 24 bits of sequence + 4 of opcode keeps every collective tag inside
+   [tag_space, user_space).  Aliasing a live collective's tag would be a
+   silent-corruption bug, so genuine exhaustion fails loudly instead of
+   wrapping — 2^24 collectives is far beyond any single communicator's
+   realistic lifetime, and [split] hands out fresh communicators anyway. *)
+let max_seq = 1 lsl 24
+
 let fresh_tag t opcode =
-  let tag = tag_space lor ((t.seq land 0x3FFFFF) lsl 4) lor opcode in
+  if t.seq >= max_seq then
+    invalid_arg
+      (Printf.sprintf "Comm.fresh_tag: collective sequence exhausted (%d tags); split or rebuild \
+                       the communicator"
+         max_seq);
+  let tag = tag_space lor (t.seq lsl 4) lor opcode in
   t.seq <- t.seq + 1;
   tag
+
+(* Test-only: jump the sequence counter to probe the overflow boundary
+   without issuing 2^24 collectives.  All members must agree, as with any
+   collective-order obligation. *)
+let unsafe_set_seq t seq =
+  if seq < 0 then invalid_arg "Comm.unsafe_set_seq: negative";
+  t.seq <- seq
 
 let sendi t ~tag dst_index v = t.eng.Engine.send ~dest:t.ranks.(dst_index) ~tag v
 
@@ -117,28 +151,41 @@ let bcast (type a) t ~root (v : a option) : a =
   | Some v -> v
   | None -> assert false (* m = 1 and not root is impossible *)
 
-(* --- reduce: binomial tree; combination order follows virtual rank ------ *)
+(* --- reduce: binomial tree in true rank order ---------------------------
+   The tree is always rooted at member 0, so partial results combine as
+   (v0·v1)·(v2·v3)·… — associativity-only, valid for non-commutative
+   operators at EVERY root.  Rooting the tree at [root] instead (the
+   obvious "rotate by root" trick bcast uses) would fold in virtual-rank
+   order v_root·…·v_{m-1}·v_0·…, a rotated product.  For root ≠ 0 the
+   result takes one extra hop from member 0 to the root; root = 0 (and
+   hence allreduce) is byte-for-byte the same traffic as before. *)
 
 let reduce t ~root op v =
   let m = size t in
   if root < 0 || root >= m then invalid_arg "Comm.reduce: bad root";
   let tag = fresh_tag t opcode_reduce in
-  let vr = vrank t ~root in
+  let i = t.my_index in
   let acc = ref v in
   let rec go mask =
     if mask < m then
-      if vr land mask <> 0 then sendi t ~tag (unvrank t ~root (vr - mask)) !acc
+      if i land mask <> 0 then sendi t ~tag (i - mask) !acc
       else begin
-        let partner = vr + mask in
+        let partner = i + mask in
         if partner < m then begin
-          let w = recvi t ~tag (unvrank t ~root partner) in
+          let w = recvi t ~tag partner in
           acc := op !acc w
         end;
         go (mask lsl 1)
       end
   in
   go 1;
-  if t.my_index = root then Some !acc else None
+  if root = 0 then if i = 0 then Some !acc else None
+  else if i = 0 then begin
+    sendi t ~tag root !acc;
+    None
+  end
+  else if i = root then Some (recvi t ~tag 0)
+  else None
 
 let allreduce t op v =
   match reduce t ~root:0 op v with
@@ -277,18 +324,17 @@ let send t ~dest ?tag v =
   if dest < 0 || dest >= size t then invalid_arg "Comm.send: bad destination";
   t.eng.Engine.send ~dest:t.ranks.(dest) ~tag:(p2p_tag tag) v
 
-let recv : type a. t -> src:int -> ?tag:int -> unit -> a =
- fun t ~src ?tag () ->
+let recv : type a. t -> src:int -> ?tag:int -> ?timeout:float -> unit -> a =
+ fun t ~src ?tag ?timeout () ->
   if src < 0 || src >= size t then invalid_arg "Comm.recv: bad source";
-  t.eng.Engine.recv ~src:t.ranks.(src) ~tag:(p2p_tag tag) ()
+  t.eng.Engine.recv ?timeout ~src:t.ranks.(src) ~tag:(p2p_tag tag) ()
 
-let recv_any : type a. t -> ?tag:int -> unit -> int * a =
- fun t ?tag () ->
-  let src, v = t.eng.Engine.recv_any ~tag:(p2p_tag tag) () in
-  let idx = ref (-1) in
-  Array.iteri (fun i r -> if r = src then idx := i) t.ranks;
-  if !idx < 0 then invalid_arg "Comm.recv_any: message from outside the communicator";
-  (!idx, v)
+let recv_any : type a. t -> ?tag:int -> ?timeout:float -> unit -> int * a =
+ fun t ?tag ?timeout () ->
+  let src, v = t.eng.Engine.recv_any ?timeout ~tag:(p2p_tag tag) () in
+  let idx = t.rank_index.(src) in
+  if idx < 0 then invalid_arg "Comm.recv_any: message from outside the communicator";
+  (idx, v)
 
 let exchange t ~partner ?tag v =
   (* Symmetric pairwise exchange: both sides send then receive, which is

@@ -63,9 +63,11 @@ val bcast : t -> root:int -> 'a option -> 'a
 (** Binomial broadcast; the root passes [Some v], others [None]. *)
 
 val reduce : t -> root:int -> ('a -> 'a -> 'a) -> 'a -> 'a option
-(** Binomial reduction; [op] must be associative. Combination order follows
-    ranks (rotated to the root), so non-commutative [op] is safe only with
-    [root = 0]. Returns [Some] at the root. *)
+(** Binomial reduction; [op] must be associative (commutativity is NOT
+    required). Partial results always combine in true communicator-rank
+    order [v0·v1·…·v(m-1)], whatever the [root]; for [root <> 0] the result
+    takes one extra hop from member 0 to the root. Returns [Some] at the
+    root. *)
 
 val allreduce : t -> ('a -> 'a -> 'a) -> 'a -> 'a
 
@@ -90,12 +92,25 @@ val scan : t -> ('a -> 'a -> 'a) -> 'a -> 'a
     FIFO per (source, tag). *)
 
 val send : t -> dest:int -> ?tag:int -> 'a -> unit
-val recv : t -> src:int -> ?tag:int -> unit -> 'a
 
-val recv_any : t -> ?tag:int -> unit -> int * 'a
+val recv : t -> src:int -> ?tag:int -> ?timeout:float -> unit -> 'a
+(** With [?timeout] (engine-clock seconds), raises {!Fault.Timeout} if no
+    matching message is available before the deadline; the run continues
+    and the caller may retry. *)
+
+val recv_any : t -> ?tag:int -> ?timeout:float -> unit -> int * 'a
 (** Receive from any member; returns (communicator rank, value). Matches
     only p2p traffic (with the given user tag, or untagged if omitted) —
-    never collective internals. Deterministic only on the simulator. *)
+    never collective internals. Deterministic only on the simulator.
+    [?timeout] as in {!recv}. *)
 
 val exchange : t -> partner:int -> ?tag:int -> 'a -> 'a
 (** Symmetric send-then-receive with [partner]; deadlock-free. *)
+
+(** {1 Internals exposed for tests} *)
+
+val unsafe_set_seq : t -> int -> unit
+(** Test-only: jump the collective sequence counter (e.g. to probe the
+    2^24 overflow boundary without issuing that many collectives). All
+    members must set the same value, like any collective-order obligation.
+    @raise Invalid_argument if negative. *)

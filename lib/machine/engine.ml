@@ -18,19 +18,26 @@
    - [recv_any] takes the oldest available message (any source) matching
      the optional tag; engines may resolve ties differently (the simulator
      is deterministic, real hardware is not).
+   - [recv]/[recv_any] with [?timeout] raise [Fault.Timeout] once the
+     deadline (engine-clock seconds from the call) elapses with no matching
+     message — a local, recoverable condition, unlike the engines' global
+     [Deadlock].
    - [work d] charges [d] seconds of compute: simulated time on the
      simulator, a no-op on engines where computation costs real time.
    - [time ()] is the engine's own clock: simulated seconds on the
-     simulator, wall-clock seconds since the run started on real engines. *)
+     simulator, wall-clock seconds since the run started on real engines.
+     [real_time] says which: fault injectors (Chaos) use it to decide
+     whether a straggler stall must burn wall time or simulated time. *)
 
 type t = {
   rank : int;
   size : int;
   cost : Cost_model.t;
   topology : Topology.t;
+  real_time : bool;
   send : 'a. dest:int -> tag:int -> 'a -> unit;
-  recv : 'a. src:int -> tag:int -> unit -> 'a;
-  recv_any : 'a. ?tag:int -> unit -> int * 'a;
+  recv : 'a. ?timeout:float -> src:int -> tag:int -> unit -> 'a;
+  recv_any : 'a. ?timeout:float -> ?tag:int -> unit -> int * 'a;
   work : float -> unit;
   time : unit -> float;
   note : string -> unit;
@@ -44,9 +51,10 @@ let of_sim (ctx : Sim.ctx) : t =
     size = Sim.size ctx;
     cost = Sim.cost ctx;
     topology = Sim.topology ctx;
+    real_time = false;
     send = (fun ~dest ~tag v -> Sim.send ctx ~dest ~tag v);
-    recv = (fun ~src ~tag () -> Sim.recv ctx ~src ~tag ());
-    recv_any = (fun ?tag () -> Sim.recv_any ctx ?tag ());
+    recv = (fun ?timeout ~src ~tag () -> Sim.recv ctx ~src ~tag ?timeout ());
+    recv_any = (fun ?timeout ?tag () -> Sim.recv_any ctx ?tag ?timeout ());
     work = (fun d -> Sim.work ctx d);
     time = (fun () -> Sim.time ctx);
     note = (fun msg -> Sim.note ctx msg);

@@ -11,15 +11,20 @@ type t = {
   size : int;  (** total number of virtual processors *)
   cost : Cost_model.t;  (** machine calibration (meaningful on the simulator) *)
   topology : Topology.t;
+  real_time : bool;
+      (** [true] when [work]/[time] are wall-clock (multicore engine),
+          [false] when simulated. Chaos uses this to pick how a straggler
+          stall is charged. *)
   send : 'a. dest:int -> tag:int -> 'a -> unit;
       (** Asynchronous tagged send; never blocks. *)
-  recv : 'a. src:int -> tag:int -> unit -> 'a;
+  recv : 'a. ?timeout:float -> src:int -> tag:int -> unit -> 'a;
       (** Blocking receive; FIFO per (source, tag). The result type is fixed
           by the caller: sender and receiver must agree (same discipline as
-          [Sim.recv]). *)
-  recv_any : 'a. ?tag:int -> unit -> int * 'a;
+          [Sim.recv]). With [?timeout] (engine-clock seconds), raises
+          {!Fault.Timeout} if no matching message is available in time. *)
+  recv_any : 'a. ?timeout:float -> ?tag:int -> unit -> int * 'a;
       (** Blocking receive from any source; returns (source rank, value).
-          Deterministic only on the simulator. *)
+          Deterministic only on the simulator. [?timeout] as in [recv]. *)
   work : float -> unit;  (** Charge compute seconds (no-op on real engines). *)
   time : unit -> float;  (** Engine clock: simulated or wall seconds. *)
   note : string -> unit;  (** Trace annotation (no-op on real engines). *)

@@ -1,0 +1,32 @@
+(* Typed fault exceptions shared by both execution engines.
+
+   The taxonomy matters (see DESIGN.md, "Timeout vs Deadlock"):
+
+   - [Timeout] is a *local, recoverable* condition: one receive's deadline
+     elapsed before a matching message was available.  The receiver's
+     program observes it at the [recv] call site and can retry, re-dispatch
+     or give up — the rest of the machine keeps running.
+
+   - [Deadlock] (each engine's own exception) is a *global, fatal*
+     condition: the engine has proved no processor can ever make progress.
+     It aborts the whole run.
+
+   - [Crashed] models a fail-stop processor: raising it inside a rank's
+     program (the only sanctioned use is [Chaos]'s scheduled crashes)
+     terminates that rank silently — no result, no further sends, messages
+     already addressed to it left undelivered — while the survivors keep
+     running.  Recovery is the *protocol's* job (e.g. the dynamic farm's
+     job reassignment), which is exactly the paper's stance that the
+     coordination layer, not the user's computation, owns such concerns. *)
+
+exception Timeout of string
+(* A [recv ~timeout] deadline elapsed with no matching message. *)
+
+exception Crashed of int
+(* Fail-stop: the given rank stops executing at the raise point. *)
+
+let () =
+  Printexc.register_printer (function
+    | Timeout msg -> Some (Printf.sprintf "Machine.Fault.Timeout(%s)" msg)
+    | Crashed rank -> Some (Printf.sprintf "Machine.Fault.Crashed(rank %d)" rank)
+    | _ -> None)

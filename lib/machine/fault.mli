@@ -1,0 +1,19 @@
+(** Typed fault exceptions shared by both execution engines.
+
+    [Timeout] is local and recoverable (one receive gave up waiting);
+    [Deadlock] — each engine's own exception — is global and fatal (the
+    engine proved no progress is possible).  [Crashed] makes a rank
+    fail-stop: it terminates that rank's program without failing the run,
+    leaving recovery to the protocol (see {!Chaos} and the dynamic farm). *)
+
+exception Timeout of string
+(** Raised by [recv ~timeout] / [recv_any ~timeout] on either engine when
+    the deadline elapses before a matching message is available.  Catch it
+    at the receive site to retry or re-dispatch; the run continues. *)
+
+exception Crashed of int
+(** [Crashed rank] fail-stops processor [rank]: its program ends at the
+    raise point, it sends nothing further, and messages already addressed
+    to it are discarded without tripping the undelivered-message check.
+    Other processors are unaffected (a blocking receive from a crashed
+    rank without a timeout will end in the engine's [Deadlock]). *)

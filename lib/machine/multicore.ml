@@ -37,7 +37,8 @@ type want = { want_src : int option; want_tag : int option }
 type park =
   | Ready of (unit -> unit)
   | Running
-  | Waiting of want * (packet, unit) Effect.Deep.continuation
+  | Waiting of want * float option * (packet, unit) Effect.Deep.continuation
+      (* the float is an absolute wall-clock deadline (seconds since t0) *)
   | Finished
 
 type rstate = {
@@ -45,6 +46,7 @@ type rstate = {
   mailbox : packet Runtime.Mpmc_queue.t;
   mutable pending : packet list;  (* drained, unmatched; arrival order *)
   mutable park : park;
+  mutable crashed : bool;  (* fail-stopped via Fault.Crashed *)
   mutable sent : int;  (* single-writer: only this rank's fiber *)
   mutable received : int;
 }
@@ -75,7 +77,7 @@ type stats = {
   sleeps : int;  (* spin-to-sleep transitions across all domains *)
 }
 
-type _ Effect.t += E_wait : want -> packet Effect.t
+type _ Effect.t += E_wait : want * float option -> packet Effect.t
 
 (* ------------------------------------------------------------ observability *)
 
@@ -142,11 +144,12 @@ let describe fab =
         | Finished -> None
         | Ready _ -> Some "not started"
         | Running -> Some "running"
-        | Waiting (w, _) ->
+        | Waiting (w, dl, _) ->
             Some
-              (Printf.sprintf "recv(src=%s, tag=%s)"
+              (Printf.sprintf "recv(src=%s, tag=%s%s)"
                  (match w.want_src with None -> "any" | Some s -> string_of_int s)
-                 (match w.want_tag with None -> "any" | Some t -> string_of_int t))
+                 (match w.want_tag with None -> "any" | Some t -> string_of_int t)
+                 (match dl with None -> "" | Some d -> Printf.sprintf ", deadline=%.3f" d))
       in
       match state with
       | None -> ()
@@ -158,27 +161,50 @@ let describe fab =
 
 (* ------------------------------------------------------- program-side engine *)
 
+let now fab = Obs.Clock.ns_to_s (Obs.Clock.ns_since fab.t0)
+
 let send fab st ~dest ~tag v =
   if dest < 0 || dest >= fab.procs then
     invalid_arg (Printf.sprintf "Multicore.send: rank %d out of range [0,%d)" dest fab.procs);
   if dest = st.rk then invalid_arg "Multicore.send: self-send is not supported (use a local value)";
-  Atomic.incr fab.in_flight;
-  Runtime.Mpmc_queue.push fab.ranks.(dest).mailbox
-    { pkt_src = st.rk; pkt_tag = tag; payload = Obj.repr v };
   st.sent <- st.sent + 1;
   Obs.Counter.incr obs_sends;
-  ring fab (dest mod fab.ndomains)
+  if fab.ranks.(dest).crashed then
+    (* fail-stop: traffic to a dead rank is lost, not queued (keeping
+       [in_flight] exact so quiescence detection stays sound) *)
+    ()
+  else begin
+    Atomic.incr fab.in_flight;
+    Runtime.Mpmc_queue.push fab.ranks.(dest).mailbox
+      { pkt_src = st.rk; pkt_tag = tag; payload = Obj.repr v };
+    ring fab (dest mod fab.ndomains)
+  end
 
-let recv_packet fab st w =
+let timeout_exn st w =
+  Fault.Timeout
+    (Printf.sprintf "p%d: recv(src=%s, tag=%s) deadline elapsed" st.rk
+       (match w.want_src with None -> "any" | Some s -> string_of_int s)
+       (match w.want_tag with None -> "any" | Some t -> string_of_int t))
+
+let recv_packet fab st w deadline =
   match take_pending st w with
   | Some pkt -> pkt
   | None -> (
       drain fab st;
       match take_pending st w with
       | Some pkt -> pkt
-      | None ->
-          Obs.Counter.incr obs_parks;
-          Effect.perform (E_wait w))
+      | None -> (
+          match deadline with
+          | Some d when now fab >= d -> raise (timeout_exn st w)
+          | _ ->
+              Obs.Counter.incr obs_parks;
+              Effect.perform (E_wait (w, deadline))))
+
+let deadline_of fab name = function
+  | None -> None
+  | Some timeout ->
+      if timeout < 0.0 then invalid_arg (Printf.sprintf "Multicore.%s: negative timeout" name);
+      Some (now fab +. timeout)
 
 let engine fab st : Engine.t =
   {
@@ -186,23 +212,26 @@ let engine fab st : Engine.t =
     size = fab.procs;
     cost = fab.cost;
     topology = fab.topology;
+    real_time = true;
     send = (fun ~dest ~tag v -> send fab st ~dest ~tag v);
     recv =
-      (fun ~src ~tag () ->
+      (fun ?timeout ~src ~tag () ->
         if src < 0 || src >= fab.procs then
           invalid_arg (Printf.sprintf "Multicore.recv: rank %d out of range [0,%d)" src fab.procs);
-        let pkt = recv_packet fab st { want_src = Some src; want_tag = Some tag } in
+        let deadline = deadline_of fab "recv" timeout in
+        let pkt = recv_packet fab st { want_src = Some src; want_tag = Some tag } deadline in
         st.received <- st.received + 1;
         Obs.Counter.incr obs_recvs;
         Obj.obj pkt.payload);
     recv_any =
-      (fun ?tag () ->
-        let pkt = recv_packet fab st { want_src = None; want_tag = tag } in
+      (fun ?timeout ?tag () ->
+        let deadline = deadline_of fab "recv_any" timeout in
+        let pkt = recv_packet fab st { want_src = None; want_tag = tag } deadline in
         st.received <- st.received + 1;
         Obs.Counter.incr obs_recvs;
         (pkt.pkt_src, Obj.obj pkt.payload));
     work = (fun d -> if d < 0.0 then invalid_arg "Multicore.work: negative duration");
-    time = (fun () -> Obs.Clock.ns_to_s (Obs.Clock.ns_since fab.t0));
+    time = (fun () -> now fab);
     note = (fun _ -> ());
   }
 
@@ -213,13 +242,23 @@ let handler fab st : (unit, unit) Effect.Deep.handler =
     Effect.Deep.retc = (fun () -> st.park <- Finished);
     exnc =
       (fun e ->
-        st.park <- Finished;
-        declare fab e);
+        match e with
+        | Fault.Crashed _ ->
+            (* fail-stop: this rank ends here without failing the run; its
+               pending traffic is discarded and future senders drop *)
+            st.crashed <- true;
+            st.park <- Finished;
+            st.pending <- [];
+            drain fab st;
+            st.pending <- []
+        | e ->
+            st.park <- Finished;
+            declare fab e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
-        | E_wait w ->
-            Some (fun (k : (a, unit) Effect.Deep.continuation) -> st.park <- Waiting (w, k))
+        | E_wait (w, dl) ->
+            Some (fun (k : (a, unit) Effect.Deep.continuation) -> st.park <- Waiting (w, dl, k))
         | _ -> None);
   }
 
@@ -228,14 +267,21 @@ let run_rank fab st =
   | Ready thunk ->
       st.park <- Running;
       Effect.Deep.match_with thunk () (handler fab st)
-  | Waiting (w, k) -> (
+  | Waiting (w, dl, k) -> (
       match take_pending st w with
       | Some pkt ->
           st.park <- Running;
           (* receive counters are bumped by the engine-side [recv] wrapper
              when [recv_packet] returns into the resumed fiber *)
           Effect.Deep.continue k pkt
-      | None -> assert false)
+      | None -> (
+          (* runnable without a matching packet only because the deadline
+             elapsed; delivery always wins when both are possible *)
+          match dl with
+          | Some d when now fab >= d ->
+              st.park <- Running;
+              Effect.Deep.discontinue k (timeout_exn st w)
+          | _ -> assert false))
   | Running | Finished -> assert false
 
 let domain_main fab d (my : rstate array) =
@@ -251,14 +297,36 @@ let domain_main fab d (my : rstate array) =
       let st = my.(!i) in
       (match st.park with
       | Ready _ -> found := Some st
-      | Waiting (w, _) ->
+      | Waiting (w, dl, _) ->
           drain fab st;
           if List.exists (matches w) st.pending then found := Some st
-      | Finished -> ()
+          else (
+            match dl with
+            | Some d when now fab >= d -> found := Some st
+            | _ -> ())
+      | Finished ->
+          (* a crashed rank keeps absorbing (and discarding) traffic so the
+             in-flight count cannot wedge quiescence detection *)
+          if st.crashed then begin
+            drain fab st;
+            st.pending <- []
+          end
       | Running -> assert false);
       incr i
     done;
     !found
+  in
+  (* Earliest receive deadline among my parked ranks, if any: while one is
+     pending this domain must poll rather than sleep indefinitely on its
+     doorbell — a timeout needs no sender to ring us awake. *)
+  let nearest_deadline () =
+    Array.fold_left
+      (fun acc st ->
+        match st.park with
+        | Waiting (_, Some d, _) -> (
+            match acc with Some d0 when d0 <= d -> acc | _ -> Some d)
+        | _ -> acc)
+      None my
   in
   let all_finished () =
     Array.for_all (fun st -> match st.park with Finished -> true | _ -> false) my
@@ -279,6 +347,17 @@ let domain_main fab d (my : rstate array) =
           else if !spins < 16 then begin
             incr spins;
             Runtime.Backoff.once backoff;
+            wait ()
+          end
+          else if nearest_deadline () <> None then begin
+            (* poll: never park in Condition.wait while a deadline is
+               pending (and never count as a sleeper — a polling domain
+               still makes progress, so quiescence must not fire) *)
+            (match nearest_deadline () with
+            | Some d ->
+                let remaining = d -. now fab in
+                if remaining > 0.0 then Unix.sleepf (Float.min remaining 2e-4)
+            | None -> ());
             wait ()
           end
           else begin
@@ -314,8 +393,16 @@ let domain_main fab d (my : rstate array) =
       | None -> if all_finished () then () else begin wait_for_mail (); loop () end
   in
   (try loop () with e -> declare fab e);
-  (* Exit: if everyone still alive is already asleep with nothing in
-     flight, nobody is left to ring their doorbells. *)
+  (* Exit: absorb any last-gasp traffic to crashed ranks we own, then — if
+     everyone still alive is already asleep with nothing in flight — nobody
+     is left to ring their doorbells. *)
+  Array.iter
+    (fun st ->
+      if st.crashed then begin
+        drain fab st;
+        st.pending <- []
+      end)
+    my;
   let remaining = Atomic.fetch_and_add fab.active_domains (-1) - 1 in
   if
     (not (failed fab))
@@ -355,6 +442,7 @@ let run_each ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
                   mailbox = Runtime.Mpmc_queue.create ();
                   pending = [];
                   park = Finished;
+                  crashed = false;
                   sent = 0;
                   received = 0;
                 });
@@ -385,12 +473,14 @@ let run_each ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
       Array.iter Domain.join doms;
       (match Atomic.get fab.failure with Some e -> raise e | None -> ());
       (* Undelivered messages after a clean finish indicate a protocol bug
-         worth surfacing (same check as the simulator). *)
+         worth surfacing (same check as the simulator) — except at a
+         crashed rank, where lost traffic is the fail-stop contract. *)
       Array.iter
         (fun st ->
           drain fab st;
           match st.pending with
           | [] -> ()
+          | _ when st.crashed -> ()
           | pkt :: _ ->
               raise
                 (Deadlock

@@ -41,7 +41,12 @@ type packet = {
 
 type blocked =
   | Not_blocked
-  | On_recv of { want_src : int option; want_tag : int option; k : (packet, unit) Effect.Deep.continuation }
+  | On_recv of {
+      want_src : int option;
+      want_tag : int option;
+      deadline : float option;  (* absolute simulated time; None = wait forever *)
+      k : (packet, unit) Effect.Deep.continuation;
+    }
   | On_barrier of (unit, unit) Effect.Deep.continuation
 
 type proc = {
@@ -51,6 +56,7 @@ type proc = {
   mutable blocked : blocked;
   mutable thunk : (unit -> unit) option;
   mutable finished : bool;
+  mutable crashed : bool;  (* fail-stopped via Fault.Crashed *)
   mutable work_time : float;
   mutable msgs_sent : int;
   mutable bytes_sent : int;
@@ -77,7 +83,12 @@ type stats = {
 }
 
 type _ Effect.t +=
-  | E_recv : { want_src : int option; want_tag : int option } -> packet Effect.t
+  | E_recv : {
+      want_src : int option;
+      want_tag : int option;
+      deadline : float option;
+    }
+      -> packet Effect.t
   | E_barrier : unit Effect.t
 
 (* --- program-side API ------------------------------------------------- *)
@@ -137,8 +148,11 @@ let matches ~want_src ~want_tag pkt =
 (* MPI non-overtaking: per source, only the oldest (lowest send sequence)
    matching packet is eligible.  Among those per-source heads, pick the
    earliest arrival (ties by sequence) — a deterministic resolution of
-   any-source receives. *)
-let find_match p ~want_src ~want_tag =
+   any-source receives.  With a [deadline], a head arriving later than the
+   deadline is not eligible — and neither is any younger packet from the
+   same source, even one arriving in time, because delivering it would
+   violate non-overtaking. *)
+let find_match p ~want_src ~want_tag ~deadline =
   let heads = Hashtbl.create 8 in
   List.iter
     (fun pkt ->
@@ -147,11 +161,14 @@ let find_match p ~want_src ~want_tag =
         | Some h when h.pkt_seq <= pkt.pkt_seq -> ()
         | Some _ | None -> Hashtbl.replace heads pkt.pkt_src pkt)
     p.inbox;
+  let in_time pkt = match deadline with None -> true | Some d -> pkt.arrival <= d in
   Hashtbl.fold
     (fun _ pkt acc ->
-      match acc with
-      | Some b when (b.arrival, b.pkt_seq) <= (pkt.arrival, pkt.pkt_seq) -> acc
-      | _ -> Some pkt)
+      if not (in_time pkt) then acc
+      else
+        match acc with
+        | Some b when (b.arrival, b.pkt_seq) <= (pkt.arrival, pkt.pkt_seq) -> acc
+        | _ -> Some pkt)
     heads None
 
 let remove_packet p pkt = p.inbox <- List.filter (fun q -> q.pkt_seq <> pkt.pkt_seq) p.inbox
@@ -167,23 +184,31 @@ let decode : type a. packet -> a =
  fun pkt ->
   if pkt.marshalled then Marshal.from_bytes (Obj.obj pkt.payload : bytes) 0 else Obj.obj pkt.payload
 
-let recv_packet ctx ~want_src ~want_tag =
+let deadline_of ctx name = function
+  | None -> None
+  | Some timeout ->
+      if timeout < 0.0 then invalid_arg (Printf.sprintf "Sim.%s: negative timeout" name);
+      Some (ctx.me.clock +. timeout)
+
+let recv_packet ctx ~want_src ~want_tag ~deadline =
   (* Fast path: the packet is already in the inbox; no need to suspend. *)
-  match find_match ctx.me ~want_src ~want_tag with
+  match find_match ctx.me ~want_src ~want_tag ~deadline with
   | Some pkt ->
       deliver ctx.sim ctx.me pkt;
       pkt
-  | None -> Effect.perform (E_recv { want_src; want_tag })
+  | None -> Effect.perform (E_recv { want_src; want_tag; deadline })
 
-let recv : type a. ctx -> src:int -> ?tag:int -> unit -> a =
- fun ctx ~src ?tag () ->
+let recv : type a. ctx -> src:int -> ?tag:int -> ?timeout:float -> unit -> a =
+ fun ctx ~src ?tag ?timeout () ->
   check_dest ctx src "recv";
-  let pkt = recv_packet ctx ~want_src:(Some src) ~want_tag:tag in
+  let deadline = deadline_of ctx "recv" timeout in
+  let pkt = recv_packet ctx ~want_src:(Some src) ~want_tag:tag ~deadline in
   decode pkt
 
-let recv_any : type a. ctx -> ?tag:int -> unit -> int * a =
- fun ctx ?tag () ->
-  let pkt = recv_packet ctx ~want_src:None ~want_tag:tag in
+let recv_any : type a. ctx -> ?tag:int -> ?timeout:float -> unit -> int * a =
+ fun ctx ?tag ?timeout () ->
+  let deadline = deadline_of ctx "recv_any" timeout in
+  let pkt = recv_packet ctx ~want_src:None ~want_tag:tag ~deadline in
   (pkt.pkt_src, decode pkt)
 
 let barrier ctx =
@@ -200,44 +225,62 @@ let make_handler sim p : (unit, unit) Effect.Deep.handler =
       (fun () ->
         p.finished <- true;
         Trace.record sim.trace ~time:p.clock ~proc:p.rank Trace.Finish);
-    exnc = (fun e -> raise e);
+    exnc =
+      (fun e ->
+        match e with
+        | Fault.Crashed _ ->
+            (* fail-stop: this rank ends here; the run continues *)
+            p.finished <- true;
+            p.crashed <- true;
+            Trace.record sim.trace ~time:p.clock ~proc:p.rank (Trace.Note "crashed");
+            Trace.record sim.trace ~time:p.clock ~proc:p.rank Trace.Finish
+        | e -> raise e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
-        | E_recv { want_src; want_tag } ->
+        | E_recv { want_src; want_tag; deadline } ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
-                p.blocked <- On_recv { want_src; want_tag; k })
+                p.blocked <- On_recv { want_src; want_tag; deadline; k })
         | E_barrier -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> p.blocked <- On_barrier k)
         | _ -> None)
   }
 
-type action = Start of proc | Deliver of proc * packet
+type action = Start of proc | Deliver of proc * packet | Expire of proc * float
 
+(* Candidates are ordered by (event time, rank): Start/Deliver happen at the
+   processor's clock, a timeout expiry at its deadline.  Expiring only when
+   the deadline is the globally smallest pending event time is what makes
+   timeouts sound: every processor that could still produce a matching send
+   has clock >= the deadline by then, so no message can arrive in time. *)
 let choose sim =
   let best = ref None in
-  let better p =
+  let consider p time act =
     match !best with
-    | None -> true
-    | Some (q, _) -> (p.clock, p.rank) < (q.clock, q.rank)
+    | Some (q, t0, _) when (t0, q.rank) <= (time, p.rank) -> ()
+    | _ -> best := Some (p, time, act)
   in
   Array.iter
     (fun p ->
       if not p.finished then
         match p.thunk with
-        | Some _ -> if better p then best := Some (p, `Start)
+        | Some _ -> consider p p.clock `Start
         | None -> (
             match p.blocked with
-            | On_recv { want_src; want_tag; _ } -> (
-                match find_match p ~want_src ~want_tag with
-                | Some pkt -> if better p then best := Some (p, `Deliver pkt)
-                | None -> ())
+            | On_recv { want_src; want_tag; deadline; _ } -> (
+                match find_match p ~want_src ~want_tag ~deadline with
+                | Some pkt -> consider p p.clock (`Deliver pkt)
+                | None -> (
+                    match deadline with
+                    | Some d -> consider p (Float.max p.clock d) `Expire
+                    | None -> ()))
             | On_barrier _ | Not_blocked -> ()))
     sim.procs;
   match !best with
   | None -> None
-  | Some (p, `Start) -> Some (Start p)
-  | Some (p, `Deliver pkt) -> Some (Deliver (p, pkt))
+  | Some (p, _, `Start) -> Some (Start p)
+  | Some (p, _, `Deliver pkt) -> Some (Deliver (p, pkt))
+  | Some (p, t, `Expire) -> Some (Expire (p, t))
 
 let describe_blocked sim =
   let buf = Buffer.create 128 in
@@ -284,6 +327,22 @@ let schedule sim =
         deliver sim p pkt;
         Effect.Deep.continue k pkt;
         loop ()
+    | Some (Expire (p, t)) ->
+        let k, want_src, want_tag =
+          match p.blocked with
+          | On_recv { k; want_src; want_tag; _ } -> (k, want_src, want_tag)
+          | _ -> assert false
+        in
+        p.blocked <- Not_blocked;
+        p.clock <- t;
+        Trace.record sim.trace ~time:p.clock ~proc:p.rank (Trace.Note "recv timeout");
+        Effect.Deep.discontinue k
+          (Fault.Timeout
+             (Printf.sprintf "p%d: recv(src=%s, tag=%s) deadline %.6f elapsed" p.rank
+                (match want_src with None -> "any" | Some s -> string_of_int s)
+                (match want_tag with None -> "any" | Some t -> string_of_int t)
+                t));
+        loop ()
     | None ->
         if Array.for_all (fun p -> p.finished) sim.procs then ()
         else begin
@@ -314,6 +373,7 @@ let fresh_proc rank =
     blocked = Not_blocked;
     thunk = None;
     finished = false;
+    crashed = false;
     work_time = 0.0;
     msgs_sent = 0;
     bytes_sent = 0;
@@ -362,11 +422,14 @@ let run_each ?trace cfg program =
           p.thunk <- Some (fun () -> Effect.Deep.match_with (program p.rank) ctx (make_handler sim p)))
         sim.procs;
       schedule sim;
-      (* Undelivered messages indicate a protocol bug worth surfacing. *)
+      (* Undelivered messages indicate a protocol bug worth surfacing —
+         except in the inbox of a crashed processor: losing in-flight
+         traffic is exactly what fail-stop means. *)
       Array.iter
         (fun p ->
           match p.inbox with
           | [] -> ()
+          | _ when p.crashed -> ()
           | pkt :: _ ->
               raise
                 (Deadlock

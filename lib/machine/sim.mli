@@ -50,14 +50,22 @@ val send : ctx -> dest:int -> ?tag:int -> ?bytes:int -> 'a -> unit
     charged the given size — the caller must not mutate it afterwards.
     Self-sends are rejected. *)
 
-val recv : ctx -> src:int -> ?tag:int -> unit -> 'a
+val recv : ctx -> src:int -> ?tag:int -> ?timeout:float -> unit -> 'a
 (** Blocking receive from [src]; FIFO per (source, tag). The type is fixed
     by the call site and must match what the sender sent (the invariant all
-    skeleton templates maintain). *)
+    skeleton templates maintain).
 
-val recv_any : ctx -> ?tag:int -> unit -> int * 'a
+    With [~timeout] (simulated seconds), raises {!Fault.Timeout} at
+    [clock + timeout] if no matching message has arrived by then — the
+    expiry is itself a deterministic simulation event, chosen only once no
+    in-time delivery is possible. Per-source FIFO is never violated: a
+    younger packet that would arrive in time cannot overtake an older one
+    that would not. *)
+
+val recv_any : ctx -> ?tag:int -> ?timeout:float -> unit -> int * 'a
 (** Receive from any source: earliest arrival first, ties to the lowest
-    source rank (a deterministic resolution of MPI's nondeterminism). *)
+    source rank (a deterministic resolution of MPI's nondeterminism).
+    [~timeout] as in {!recv}. *)
 
 val barrier : ctx -> unit
 (** Global barrier over all processors. *)
@@ -68,7 +76,11 @@ val note : ctx -> string -> unit
 (** {1 Running} *)
 
 val run : ?trace:Trace.t -> config -> (ctx -> unit) -> stats
-(** Run the same program on every processor. @raise Deadlock. *)
+(** Run the same program on every processor. @raise Deadlock.
+
+    A processor whose program raises {!Fault.Crashed} fail-stops: it is
+    marked finished, its undelivered inbox is discarded, and the rest of
+    the machine keeps running. Any other exception aborts the run. *)
 
 val run_each : ?trace:Trace.t -> config -> (int -> ctx -> unit) -> stats
 (** Per-rank programs (rank is applied before the simulation starts). *)

@@ -25,35 +25,43 @@ let observe stats =
   end;
   stats
 
-let run ?trace ?(cost = Cost_model.ap1000) ?topology ~procs (program : Comm.t -> unit) :
-    Sim.stats =
+(* With [?chaos], each rank's engine is wrapped in the fault injector
+   before the communicator is built — the program body is untouched, which
+   is the whole point (coordination-layer faults, not user-code faults). *)
+let with_chaos chaos program eng =
+  match chaos with
+  | None -> program (Comm.world eng)
+  | Some spec -> Chaos.run spec (fun e -> program (Comm.world e)) eng
+
+let run ?trace ?(cost = Cost_model.ap1000) ?topology ?chaos ~procs
+    (program : Comm.t -> unit) : Sim.stats =
   Obs.Span.timed obs_wall (fun () ->
       let topology = match topology with Some t -> t | None -> default_topology procs in
       observe
         (Sim.run ?trace { Sim.procs; topology; cost } (fun ctx ->
-             program (Comm.world (Engine.of_sim ctx)))))
+             with_chaos chaos program (Engine.of_sim ctx))))
 
-let run_collect ?trace ?(cost = Cost_model.ap1000) ?topology ~procs
+let run_collect ?trace ?(cost = Cost_model.ap1000) ?topology ?chaos ~procs
     (program : Comm.t -> 'a option) : 'a * Sim.stats =
   Obs.Span.timed obs_wall (fun () ->
       let topology = match topology with Some t -> t | None -> default_topology procs in
       let v, stats =
         Sim.run_collect ?trace { Sim.procs; topology; cost } (fun ctx ->
-            program (Comm.world (Engine.of_sim ctx)))
+            with_chaos chaos program (Engine.of_sim ctx))
       in
       (v, observe stats))
 
-let run_multicore ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
+let run_multicore ?domains ?(cost = Cost_model.ap1000) ?topology ?chaos ~procs
     (program : Comm.t -> unit) : Multicore.stats =
   Obs.Span.timed obs_wall (fun () ->
       let topology = match topology with Some t -> t | None -> default_topology procs in
       if Obs.enabled () then Obs.Counter.incr obs_mc_runs;
-      Multicore.run ?domains ~cost ~topology ~procs (fun eng -> program (Comm.world eng)))
+      Multicore.run ?domains ~cost ~topology ~procs (fun eng -> with_chaos chaos program eng))
 
-let run_multicore_collect ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
+let run_multicore_collect ?domains ?(cost = Cost_model.ap1000) ?topology ?chaos ~procs
     (program : Comm.t -> 'a option) : 'a * Multicore.stats =
   Obs.Span.timed obs_wall (fun () ->
       let topology = match topology with Some t -> t | None -> default_topology procs in
       if Obs.enabled () then Obs.Counter.incr obs_mc_runs;
       Multicore.run_collect ?domains ~cost ~topology ~procs (fun eng ->
-          program (Comm.world eng)))
+          with_chaos chaos program eng))

@@ -10,16 +10,20 @@ val run :
   ?trace:Trace.t ->
   ?cost:Cost_model.t ->
   ?topology:Topology.t ->
+  ?chaos:Chaos.spec ->
   procs:int ->
   (Comm.t -> unit) ->
   Sim.stats
 (** Run the program on every simulated processor with a world communicator;
-    the cost model defaults to the AP1000 calibration. *)
+    the cost model defaults to the AP1000 calibration. With [?chaos], each
+    rank's engine is wrapped in the fault injector (see {!Machine.Chaos})
+    before the communicator is built — the program body is untouched. *)
 
 val run_collect :
   ?trace:Trace.t ->
   ?cost:Cost_model.t ->
   ?topology:Topology.t ->
+  ?chaos:Chaos.spec ->
   procs:int ->
   (Comm.t -> 'a option) ->
   'a * Sim.stats
@@ -30,17 +34,19 @@ val run_multicore :
   ?domains:int ->
   ?cost:Cost_model.t ->
   ?topology:Topology.t ->
+  ?chaos:Chaos.spec ->
   procs:int ->
   (Comm.t -> unit) ->
   Multicore.stats
 (** Run the same program for real: each rank on an OCaml domain (ranks
     beyond [?domains] are multiplexed), zero-copy messaging, [Comm.work]
-    a no-op. *)
+    a no-op. [?chaos] as in {!run} (stalls become real sleeps). *)
 
 val run_multicore_collect :
   ?domains:int ->
   ?cost:Cost_model.t ->
   ?topology:Topology.t ->
+  ?chaos:Chaos.spec ->
   procs:int ->
   (Comm.t -> 'a option) ->
   'a * Multicore.stats

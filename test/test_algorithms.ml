@@ -551,6 +551,52 @@ let test_farm_zero_jobs () =
   Alcotest.(check (array int)) "static empty" [||] r1;
   Alcotest.(check (array int)) "dynamic empty" [||] r2
 
+let test_farm_grace_is_free_when_fault_free () =
+  (* arming the failure detector must not change a healthy run's results *)
+  let spec = Farm_sim.skewed_spec ~njobs:48 ~skew:10 in
+  let r0, _ = Farm_sim.dynamic ~procs:6 spec in
+  let r1, _ = Farm_sim.dynamic ~procs:6 ~grace:0.5 spec in
+  Alcotest.(check bool) "same results" true (r0 = r1)
+
+let test_farm_survives_worker_crash_sim () =
+  (* rank 2 fail-stops mid-job: the master re-deals the stranded job and the
+     result set is still complete, with at least one reassignment counted *)
+  let njobs = 30 in
+  let spec = Farm_sim.skewed_spec ~njobs ~skew:6 in
+  let expected = Array.init njobs (fun i -> i * i) in
+  let reassign = Obs.Counter.make "farm.reassignments" in
+  Obs.enable ();
+  let before = Obs.Counter.value reassign in
+  let chaos = { Machine.Chaos.none with Machine.Chaos.crashes = [ (2, 5) ] } in
+  let got, _ = Farm_sim.dynamic ~procs:4 ~grace:0.5 ~chaos spec in
+  let after = Obs.Counter.value reassign in
+  Obs.disable ();
+  Alcotest.(check bool) "all jobs done exactly once" true (got = expected);
+  Alcotest.(check bool) "stranded job re-dealt" true (after > before)
+
+let test_farm_straggler_redispatch_sim () =
+  (* a stalling (not crashed) worker: results are identical; any duplicate
+     results from re-dealt jobs are deduplicated, not double-counted *)
+  let njobs = 24 in
+  let spec = Farm_sim.skewed_spec ~njobs ~skew:4 in
+  let expected = Array.init njobs (fun i -> i * i) in
+  let chaos = { Machine.Chaos.none with Machine.Chaos.stalls = [ (3, 0.002) ] } in
+  let got, _ = Farm_sim.dynamic ~procs:4 ~grace:0.5 ~chaos spec in
+  Alcotest.(check bool) "straggler does not corrupt results" true (got = expected)
+
+let test_farm_all_workers_lost_fails_loudly () =
+  (* every worker crashes before finishing: the master must abort with a
+     clear error instead of hanging or reporting partial results *)
+  let spec = Farm_sim.skewed_spec ~njobs:16 ~skew:2 in
+  let chaos = { Machine.Chaos.none with Machine.Chaos.crashes = [ (1, 3); (2, 3) ] } in
+  Alcotest.(check bool) "loud failure" true
+    (try
+       ignore (Farm_sim.dynamic ~procs:3 ~grace:0.05 ~chaos spec);
+       false
+     with Failure msg ->
+       let n = String.length "Farm_sim.dynamic" in
+       String.length msg >= n && String.sub msg 0 n = "Farm_sim.dynamic")
+
 (* --- fft ------------------------------------------------------------------------- *)
 
 let prop_fft_matches_dft =
@@ -861,6 +907,11 @@ let () =
           Alcotest.test_case "static wins when uniform" `Quick test_farm_static_wins_uniform;
           Alcotest.test_case "dynamic needs 2 procs" `Quick test_farm_dynamic_needs_two_procs;
           Alcotest.test_case "zero jobs" `Quick test_farm_zero_jobs;
+          Alcotest.test_case "grace free when fault-free" `Quick test_farm_grace_is_free_when_fault_free;
+          Alcotest.test_case "survives worker crash" `Quick test_farm_survives_worker_crash_sim;
+          Alcotest.test_case "straggler redispatch" `Quick test_farm_straggler_redispatch_sim;
+          Alcotest.test_case "all workers lost fails loudly" `Quick
+            test_farm_all_workers_lost_fails_loudly;
         ] );
       ( "fft",
         [

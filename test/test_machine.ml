@@ -692,6 +692,294 @@ let test_imbalance_metric () =
   in
   Alcotest.(check bool) "pp mentions imbalance" true (contains s "imbalance")
 
+(* --- reduce root sweep (the rotated-root ordering bug) ---------------------- *)
+
+let test_comm_reduce_root_sweep () =
+  (* String concat is associative but NOT commutative: every root must see
+     the members' values folded in true rank order, not rotated by root. *)
+  List.iter
+    (fun procs ->
+      let expected = String.concat "" (List.init procs string_of_int) in
+      for root = 0 to procs - 1 do
+        let got = Array.make procs None in
+        let _ =
+          run_world ~procs (fun c ->
+              got.(Comm.rank c) <- Comm.reduce c ~root ( ^ ) (string_of_int (Comm.rank c)))
+        in
+        Array.iteri
+          (fun i v ->
+            let name = Printf.sprintf "p=%d root=%d rank=%d" procs root i in
+            if i = root then Alcotest.(check (option string)) name (Some expected) v
+            else Alcotest.(check (option string)) name None v)
+          got
+      done)
+    [ 2; 3; 5; 8 ]
+
+let test_comm_allreduce_scan_order_sweep () =
+  (* allreduce and scan with a non-commutative operator at every size *)
+  for procs = 1 to 8 do
+    let full = String.concat "" (List.init procs string_of_int) in
+    let ars = Array.make procs "" in
+    let scans = Array.make procs "" in
+    let _ =
+      run_world ~procs (fun c ->
+          let me = Comm.rank c in
+          ars.(me) <- Comm.allreduce c ( ^ ) (string_of_int me);
+          scans.(me) <- Comm.scan c ( ^ ) (string_of_int me))
+    in
+    Array.iter (fun v -> Alcotest.(check string) "allreduce rank order" full v) ars;
+    Array.iteri
+      (fun i v -> Alcotest.(check string) "scan prefix" (String.sub full 0 (i + 1)) v)
+      scans
+  done
+
+let test_comm_fresh_tag_boundary () =
+  (* the last valid sequence number still works... *)
+  let ok = ref false in
+  let _ =
+    run_world ~procs:2 (fun c ->
+        Comm.unsafe_set_seq c ((1 lsl 24) - 1);
+        Comm.barrier c;
+        if Comm.rank c = 0 then ok := true)
+  in
+  Alcotest.(check bool) "seq 2^24 - 1 works" true !ok;
+  (* ...and the next one fails loudly instead of wrapping into live tags *)
+  Alcotest.(check bool) "seq 2^24 raises" true
+    (try
+       ignore (run_world ~procs:2 (fun c ->
+           Comm.unsafe_set_seq c (1 lsl 24);
+           Comm.barrier c));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- recv deadlines (Fault.Timeout) ----------------------------------------- *)
+
+let test_sim_recv_timeout_fires () =
+  (* nobody ever sends: the receiver must time out at exactly t = deadline *)
+  let caught = ref false in
+  let stats =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 1 then
+          try ignore (Sim.recv ctx ~src:0 ~timeout:5.0 () : int)
+          with Fault.Timeout _ -> caught := true)
+  in
+  Alcotest.(check bool) "Timeout raised" true !caught;
+  check_float "expired exactly at the deadline" 5.0 stats.Sim.finish_times.(1)
+
+let test_sim_recv_timeout_not_taken_when_in_time () =
+  (* arrival (t=5) beats the deadline (t=50): the value is delivered and the
+     receiver's clock is the arrival time, not the deadline *)
+  let got = ref None in
+  let stats =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.work ctx 3.0;
+          Sim.send ctx ~dest:1 ~bytes:0 99
+        end
+        else got := Some (Sim.recv ctx ~src:0 ~timeout:50.0 () : int))
+  in
+  Alcotest.(check (option int)) "delivered" (Some 99) !got;
+  check_float "clock = arrival, not deadline" 5.0 stats.Sim.finish_times.(1)
+
+let test_sim_recv_timeout_boundary_is_delivery () =
+  (* arrival exactly AT the deadline counts as in time *)
+  let got = ref None in
+  let _ =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.work ctx 3.0;
+          Sim.send ctx ~dest:1 ~bytes:0 7 (* arrival = 3 + alpha 1 + hop 1 = 5 *)
+        end
+        else got := Some (Sim.recv ctx ~src:0 ~timeout:5.0 () : int))
+  in
+  Alcotest.(check (option int)) "arrival == deadline delivers" (Some 7) !got
+
+let test_sim_recv_timeout_retry_succeeds () =
+  (* timeout/retry: first recv expires at t=1, the retry gets the message at
+     its real arrival time t=5 — the packet is not lost by the timeout *)
+  let got = ref None in
+  let stats =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.work ctx 3.0;
+          Sim.send ctx ~dest:1 ~bytes:0 123
+        end
+        else begin
+          (try ignore (Sim.recv ctx ~src:0 ~timeout:1.0 () : int)
+           with Fault.Timeout _ -> ());
+          got := Some (Sim.recv ctx ~src:0 ~timeout:10.0 () : int)
+        end)
+  in
+  Alcotest.(check (option int)) "retry delivered" (Some 123) !got;
+  check_float "clock = arrival" 5.0 stats.Sim.finish_times.(1)
+
+let test_sim_negative_timeout_rejected () =
+  Alcotest.(check bool) "negative timeout" true
+    (try
+       ignore (Sim.run (cfg ~procs:2 ()) (fun ctx ->
+           if Sim.rank ctx = 1 then ignore (Sim.recv ctx ~src:0 ~timeout:(-1.0) () : int)));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- fail-stop crashes (Fault.Crashed) -------------------------------------- *)
+
+let test_sim_crash_is_fail_stop () =
+  (* a crashed rank takes its undelivered inbox with it; live ranks finish *)
+  let stats =
+    Sim.run (cfg ~procs:3 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.send ctx ~dest:1 42;
+          (* dies with the crash *)
+          Sim.work ctx 1.0
+        end
+        else if Sim.rank ctx = 1 then raise (Fault.Crashed 1)
+        else Sim.work ctx 2.0)
+  in
+  check_float "live ranks finish" 2.0 stats.Sim.makespan
+
+let test_sim_timeout_survives_peer_crash () =
+  (* recv ~timeout from a crashed peer is a Timeout, not a Deadlock *)
+  let caught = ref false in
+  let _ =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then raise (Fault.Crashed 0)
+        else
+          try ignore (Sim.recv ctx ~src:0 ~timeout:2.0 () : int)
+          with Fault.Timeout _ -> caught := true)
+  in
+  Alcotest.(check bool) "timeout, not deadlock" true !caught
+
+(* --- chaos: deterministic fault injection ------------------------------------ *)
+
+module Spmd = Scl_sim.Spmd
+
+(* Collective battery used for fault-free equivalence: every collective,
+   with reduce swept over ALL roots using a non-commutative operator. *)
+let chaos_battery c =
+  let p = Comm.size c in
+  let me = Comm.rank c in
+  let reduces = List.init p (fun root -> Comm.reduce c ~root ( ^ ) (string_of_int me)) in
+  let ar = Comm.allreduce c ( ^ ) (string_of_int me) in
+  let sc = Comm.scan c ( ^ ) (string_of_int me) in
+  let ag = Comm.allgather c (me * me) in
+  let at = Comm.alltoall c (Array.init p (fun j -> (me * 100) + j)) in
+  match Comm.gather c ~root:0 (reduces, ar, sc, ag, at) with
+  | Some all -> Some (Array.to_list all)
+  | None -> None
+
+let test_chaos_zero_fault_bit_identical () =
+  (* wrapping with the zero-fault schedule must not change ANY simulated
+     number: same values, same makespan bit-for-bit, same message count *)
+  let v0, s0 = Spmd.run_collect ~procs:4 chaos_battery in
+  let v1, s1 = Spmd.run_collect ~procs:4 ~chaos:Chaos.none chaos_battery in
+  Alcotest.(check bool) "values equal" true (v0 = v1);
+  Alcotest.(check bool) "makespan bit-identical" true (s0.Sim.makespan = s1.Sim.makespan);
+  Alcotest.(check int) "msgs identical" s0.Sim.total_msgs s1.Sim.total_msgs;
+  Alcotest.(check int) "bytes identical" s0.Sim.total_bytes s1.Sim.total_bytes
+
+let test_chaos_delays_value_identical () =
+  (* delay/reordering within the FIFO relaxation never changes values *)
+  List.iter
+    (fun procs ->
+      let bare, _ = Spmd.run_collect ~procs chaos_battery in
+      List.iter
+        (fun seed ->
+          let spec = Chaos.delays ~seed ~prob:0.5 ~max_hold:3 () in
+          let perturbed, _ = Spmd.run_collect ~procs ~chaos:spec chaos_battery in
+          Alcotest.(check bool)
+            (Printf.sprintf "p=%d seed=%d" procs seed)
+            true (perturbed = bare))
+        [ 1; 7; 42 ])
+    [ 2; 4; 8 ]
+
+let test_chaos_delays_are_deterministic () =
+  (* same seed: bit-identical simulated stats; the perturbation replays *)
+  let spec = Chaos.delays ~seed:9 ~prob:0.5 () in
+  let v1, s1 = Spmd.run_collect ~procs:4 ~chaos:spec chaos_battery in
+  let v2, s2 = Spmd.run_collect ~procs:4 ~chaos:spec chaos_battery in
+  Alcotest.(check bool) "values replay" true (v1 = v2);
+  Alcotest.(check bool) "makespan replays" true (s1.Sim.makespan = s2.Sim.makespan);
+  Alcotest.(check int) "msgs replay" s1.Sim.total_msgs s2.Sim.total_msgs
+
+let test_chaos_straggler_slows_but_preserves () =
+  (* a per-rank stall tax changes timing, never values *)
+  let spec = { Chaos.none with Chaos.stalls = [ (1, 0.005) ] } in
+  let bare, s0 = Spmd.run_collect ~procs:4 chaos_battery in
+  let slow, s1 = Spmd.run_collect ~procs:4 ~chaos:spec chaos_battery in
+  Alcotest.(check bool) "values identical" true (bare = slow);
+  Alcotest.(check bool) "straggler visible in makespan" true (s1.Sim.makespan > s0.Sim.makespan)
+
+let test_chaos_spec_validated () =
+  let bad spec =
+    try
+      ignore (Spmd.run ~procs:2 ~chaos:spec (fun c -> Comm.barrier c));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "probability > 1" true
+    (bad { Chaos.none with Chaos.delay_prob = 1.5 });
+  Alcotest.(check bool) "crash index 0" true
+    (bad { Chaos.none with Chaos.crashes = [ (0, 0) ] });
+  Alcotest.(check bool) "negative stall" true
+    (bad { Chaos.none with Chaos.stalls = [ (1, -0.1) ] })
+
+let test_chaos_crash_counts_faults () =
+  (* a scheduled crash fires Fault.Crashed and bumps the fault counter *)
+  let c = Obs.Counter.make "chaos.faults_injected" in
+  Obs.enable ();
+  let before = Obs.Counter.value c in
+  let spec = { Chaos.none with Chaos.crashes = [ (1, 1) ] } in
+  let stats =
+    Spmd.run ~procs:2 ~chaos:spec (fun comm ->
+        if Comm.rank comm = 1 then begin
+          Comm.send comm ~dest:0 ();
+          failwith "unreachable: rank 1 crashes on its first operation"
+        end
+        else
+          try ignore (Comm.recv comm ~src:1 ~timeout:1.0 () : unit)
+          with Fault.Timeout _ -> ())
+  in
+  let after = Obs.Counter.value c in
+  Obs.disable ();
+  Alcotest.(check bool) "fault counted" true (after > before);
+  Alcotest.(check bool) "run completed" true (stats.Sim.makespan >= 1.0)
+
+(* Seeded, shrinkable property: all collectives under any delay/reorder
+   chaos schedule are value-identical to the fault-free run. *)
+let test_prop_chaos_value_identity () =
+  let gen =
+    Prop.Gen.pair
+      (Prop.Gen.pair (Prop.Gen.int_range 0 1_000_000) (Prop.Gen.int_range 2 8))
+      (Prop.Gen.pair (Prop.Gen.int_range 0 10) (Prop.Gen.int_range 1 4))
+  in
+  let shrink =
+    Prop.Shrink.pair
+      (Prop.Shrink.pair Prop.Shrink.int (Prop.Shrink.int_toward 2))
+      (Prop.Shrink.pair Prop.Shrink.int (Prop.Shrink.int_toward 1))
+  in
+  let prop ((seed, procs), (prob10, max_hold)) =
+    if procs < 2 || procs > 8 || prob10 < 0 || prob10 > 10 || max_hold < 1 then
+      Prop.Runner.Skip_case
+    else begin
+      let spec = Chaos.delays ~seed ~prob:(float_of_int prob10 /. 10.0) ~max_hold () in
+      let bare, _ = Spmd.run_collect ~procs chaos_battery in
+      let perturbed, _ = Spmd.run_collect ~procs ~chaos:spec chaos_battery in
+      if perturbed = bare then Prop.Runner.Pass_case
+      else Prop.Runner.Fail_case "chaos changed collective values"
+    end
+  in
+  let config = { Prop.Runner.default with Prop.Runner.count = 40; seed = 1995 } in
+  match Prop.Runner.check ~config ~shrink ~gen ~prop () with
+  | Prop.Runner.Pass _ -> ()
+  | Prop.Runner.Fail f ->
+      Alcotest.failf "chaos value-identity failed: seed=%d procs=%d prob10=%d hold=%d (%s)"
+        (fst (fst f.Prop.Runner.shrunk))
+        (snd (fst f.Prop.Runner.shrunk))
+        (fst (snd f.Prop.Runner.shrunk))
+        (snd (snd f.Prop.Runner.shrunk))
+        f.Prop.Runner.message
+  | Prop.Runner.Gave_up _ -> Alcotest.fail "property gave up"
+
 let suite =
   [
     ( "topology",
@@ -772,6 +1060,34 @@ let suite =
         Alcotest.test_case "nested splits" `Quick test_comm_nested_split_hierarchy;
         prop_bcast_any_root_any_size;
         prop_alltoall_transpose;
+        Alcotest.test_case "reduce root sweep (non-commutative)" `Quick test_comm_reduce_root_sweep;
+        Alcotest.test_case "allreduce/scan order sweep" `Quick test_comm_allreduce_scan_order_sweep;
+        Alcotest.test_case "fresh_tag overflow boundary" `Quick test_comm_fresh_tag_boundary;
+      ] );
+    ( "faults",
+      [
+        Alcotest.test_case "recv timeout fires at deadline" `Quick test_sim_recv_timeout_fires;
+        Alcotest.test_case "in-time delivery beats deadline" `Quick
+          test_sim_recv_timeout_not_taken_when_in_time;
+        Alcotest.test_case "arrival at deadline delivers" `Quick
+          test_sim_recv_timeout_boundary_is_delivery;
+        Alcotest.test_case "timeout then retry succeeds" `Quick test_sim_recv_timeout_retry_succeeds;
+        Alcotest.test_case "negative timeout rejected" `Quick test_sim_negative_timeout_rejected;
+        Alcotest.test_case "crash is fail-stop" `Quick test_sim_crash_is_fail_stop;
+        Alcotest.test_case "timeout survives peer crash" `Quick test_sim_timeout_survives_peer_crash;
+      ] );
+    ( "chaos",
+      [
+        Alcotest.test_case "zero-fault wrap is bit-identical" `Quick
+          test_chaos_zero_fault_bit_identical;
+        Alcotest.test_case "delays preserve collective values" `Quick
+          test_chaos_delays_value_identical;
+        Alcotest.test_case "same seed replays exactly" `Quick test_chaos_delays_are_deterministic;
+        Alcotest.test_case "stragglers slow but preserve" `Quick
+          test_chaos_straggler_slows_but_preserves;
+        Alcotest.test_case "spec validation" `Quick test_chaos_spec_validated;
+        Alcotest.test_case "scheduled crash counted" `Quick test_chaos_crash_counts_faults;
+        Alcotest.test_case "property: chaos value identity" `Slow test_prop_chaos_value_identity;
       ] );
   ]
 

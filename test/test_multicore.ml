@@ -313,6 +313,83 @@ let test_farm_on_multicore () =
   let got, _ = Algorithms.Farm_sim.dynamic_multicore ~procs:4 ~domains:4 spec in
   Alcotest.(check bool) "all jobs done once" true (got = expected)
 
+(* --- faults: timeouts, crashes, chaos on real domains --------------------- *)
+
+let test_mc_reduce_root_sweep () =
+  (* the rotated-root ordering bug, on the real engine: every root must see
+     values folded in true rank order *)
+  let procs = 4 in
+  let expected = String.concat "" (List.init procs string_of_int) in
+  for root = 0 to procs - 1 do
+    let v, _ =
+      Spmd.run_multicore_collect ~procs ~domains:4 (fun c ->
+          Comm.reduce c ~root ( ^ ) (string_of_int (Comm.rank c)))
+    in
+    Alcotest.(check string) (Printf.sprintf "root=%d" root) expected v
+  done
+
+let test_mc_recv_timeout_fires () =
+  (* nobody sends: the receiver must get Fault.Timeout, not hang or Deadlock *)
+  let v, _ =
+    Multicore.run_collect ~procs:2 ~domains:2 (fun eng ->
+        if eng.Engine.rank = 1 then
+          match (eng.Engine.recv ~timeout:0.05 ~src:0 ~tag:0 () : int) with
+          | _ -> Some false
+          | exception Fault.Timeout _ -> Some true
+        else None)
+  in
+  Alcotest.(check bool) "Timeout raised" true v
+
+let test_mc_recv_timeout_in_time () =
+  (* a message that arrives promptly beats a generous deadline *)
+  let v, _ =
+    Multicore.run_collect ~procs:2 ~domains:2 (fun eng ->
+        if eng.Engine.rank = 0 then begin
+          eng.Engine.send ~dest:1 ~tag:0 77;
+          None
+        end
+        else Some (eng.Engine.recv ~timeout:10.0 ~src:0 ~tag:0 () : int))
+  in
+  Alcotest.(check int) "delivered" 77 v
+
+let test_mc_crash_is_fail_stop () =
+  (* a crashed rank must not fail the run nor leak its undelivered inbox *)
+  let v, _ =
+    Multicore.run_collect ~procs:3 ~domains:3 (fun eng ->
+        match eng.Engine.rank with
+        | 0 ->
+            eng.Engine.send ~dest:1 ~tag:0 42;
+            (* dies with the crash *)
+            None
+        | 1 -> raise (Fault.Crashed 1)
+        | _ -> Some "alive")
+  in
+  Alcotest.(check string) "live ranks finish" "alive" v
+
+let test_mc_chaos_delays_value_identical () =
+  (* delay/reorder chaos on real domains: collective values unchanged *)
+  let bare, _ = Spmd.run_multicore_collect ~procs:4 ~domains:4 collective_program in
+  List.iter
+    (fun seed ->
+      let spec = Chaos.delays ~seed ~prob:0.5 ~max_hold:3 () in
+      let v, _ =
+        Spmd.run_multicore_collect ~procs:4 ~domains:4 ~chaos:spec collective_program
+      in
+      Alcotest.(check bool) (Printf.sprintf "seed=%d" seed) true (v = bare))
+    [ 1; 7; 42 ]
+
+let test_mc_farm_survives_worker_crash () =
+  (* rank 2 fail-stops on its 5th communication op (mid-job); with a grace
+     the master re-deals its job and the result set is still complete *)
+  let njobs = 30 in
+  let spec = Algorithms.Farm_sim.skewed_spec ~njobs ~skew:6 in
+  let expected = Array.init njobs (fun i -> i * i) in
+  let chaos = { Chaos.none with Chaos.crashes = [ (2, 5) ] } in
+  let got, _ =
+    Algorithms.Farm_sim.dynamic_multicore ~procs:4 ~domains:4 ~grace:0.5 ~chaos spec
+  in
+  Alcotest.(check bool) "all jobs done exactly once" true (got = expected)
+
 let suite =
   [
     ( "fabric",
@@ -345,6 +422,16 @@ let suite =
         Alcotest.test_case "cannon and summa" `Quick test_engine_equivalence_cannon_summa;
         Alcotest.test_case "jacobi/heat2d/cg" `Slow test_engine_equivalence_solvers;
         Alcotest.test_case "dynamic farm (recv_any)" `Quick test_farm_on_multicore;
+      ] );
+    ( "faults",
+      [
+        Alcotest.test_case "reduce root sweep" `Quick test_mc_reduce_root_sweep;
+        Alcotest.test_case "recv timeout fires" `Quick test_mc_recv_timeout_fires;
+        Alcotest.test_case "in-time delivery beats deadline" `Quick test_mc_recv_timeout_in_time;
+        Alcotest.test_case "crash is fail-stop" `Quick test_mc_crash_is_fail_stop;
+        Alcotest.test_case "chaos delays preserve values" `Quick
+          test_mc_chaos_delays_value_identical;
+        Alcotest.test_case "farm survives worker crash" `Quick test_mc_farm_survives_worker_crash;
       ] );
   ]
 

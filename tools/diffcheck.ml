@@ -33,6 +33,21 @@
                             Hypercube must not exceed the makespan on a
                             Ring (where cube neighbours are multi-hop), at
                             p ∈ {4, 8} over fixed seeds.
+     7. fault injection   — [--fault-cases] seeded chaos schedules: the
+                            collective battery (with reduce swept over all
+                            roots, non-commutative op) under delay/reorder
+                            and straggler chaos must be value-identical to
+                            the fault-free run at p ∈ {2, 4, 8} on the
+                            simulator (plus one delay case on the real
+                            multicore engine); a single worker crash
+                            mid-farm must still yield the complete result
+                            set; and the zero-fault chaos wrapper must be
+                            bit-identical to the unwrapped simulated run.
+
+   Workload parameters in phases 5–7 (input lengths, value bounds, matrix
+   sizes, chaos probabilities, crash points) are derived from the case
+   seed, so a nightly run with a random --seed explores different
+   workloads, not merely different data for a fixed shape.
 
    On failure: prints the shrunk counterexample (Ast.to_string + input +
    seed + case index), optionally writes it to --out, exits 1.
@@ -40,7 +55,7 @@
 
 let usage =
   "diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N] [--fused-cases N] \
-   [--engine-cases N] [--tolerance F] [--no-pool] [--out FILE]"
+   [--engine-cases N] [--fault-cases N] [--tolerance F] [--no-pool] [--out FILE]"
 
 let failures : string list ref = ref []
 
@@ -95,6 +110,7 @@ let () =
   let cost_cases = ref 100 in
   let fused_cases = ref 200 in
   let engine_cases = ref 3 in
+  let fault_cases = ref 3 in
   let tolerance = ref 1.25 in
   let no_pool = ref false in
   let out = ref "" in
@@ -108,6 +124,9 @@ let () =
       ( "--engine-cases",
         Arg.Set_int engine_cases,
         "N seeded inputs per engine-equivalence program (default 3)" );
+      ( "--fault-cases",
+        Arg.Set_int fault_cases,
+        "N seeded chaos schedules for the fault-injection phase (default 3)" );
       ( "--tolerance",
         Arg.Set_float tolerance,
         "F allowed simulated-makespan regression factor (default 1.25)" );
@@ -181,13 +200,20 @@ let () =
     let add label f = cases := (label, f) :: !cases in
     for k = 0 to !engine_cases - 1 do
       let case_seed = !seed + (1009 * k) in
+      (* workload shape derived from the seed too: a nightly run with a
+         random seed explores different lengths/bounds/matrix sizes, not
+         merely different data for one fixed shape *)
+      let shape = Runtime.Xoshiro.of_seed (case_seed lxor 0x5eed) in
+      let len = 64 * (4 + Runtime.Xoshiro.int shape 12) (* 256..1024, all p divide *) in
+      let bound = 1_000 + Runtime.Xoshiro.int shape 99_000 in
+      let blk = 3 + Runtime.Xoshiro.int shape 6 (* cannon block edge 3..8 *) in
       List.iter
         (fun procs ->
           add
-            (Printf.sprintf "hyperquicksort p=%d seed=%d" procs case_seed)
+            (Printf.sprintf "hyperquicksort p=%d len=%d bound=%d seed=%d" procs len bound case_seed)
             (fun () ->
               let rng = Runtime.Xoshiro.of_seed case_seed in
-              let data = Runtime.Xoshiro.int_array rng ~len:512 ~bound:100_000 in
+              let data = Runtime.Xoshiro.int_array rng ~len ~bound in
               let s, _ = Algorithms.Hyperquicksort.sort_sim ~procs data in
               let m, _ = Algorithms.Hyperquicksort.sort_multicore ~procs data in
               if s = m then None else Some "sim and multicore outputs differ");
@@ -201,9 +227,9 @@ let () =
       List.iter
         (fun grid ->
           add
-            (Printf.sprintf "cannon grid=%d seed=%d" grid case_seed)
+            (Printf.sprintf "cannon grid=%d n=%d seed=%d" grid (blk * grid) case_seed)
             (fun () ->
-              let n = 4 * grid in
+              let n = blk * grid in
               let a = Algorithms.Cannon.random_matrix ~seed:case_seed n in
               let b = Algorithms.Cannon.random_matrix ~seed:(case_seed + 1) n in
               let s, _ = Algorithms.Cannon.multiply_sim ~grid a b in
@@ -245,7 +271,84 @@ let () =
     report_checks ~phase:"topology-cost (hypercube <= ring)" cases
   in
 
-  if ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo then begin
+  (* phase 7: fault injection — chaos schedules must never change values,
+     and the crash-tolerant farm must complete under a single worker
+     crash.  All chaos parameters derive from the case seed. *)
+  let ok_fault =
+    let open Machine in
+    (* every collective, with reduce swept over ALL roots using a
+       non-commutative operator — the rotated-root ordering trap *)
+    let chaos_battery (comm : Comm.t) =
+      let p = Comm.size comm in
+      let me = Comm.rank comm in
+      let reduces = List.init p (fun root -> Comm.reduce comm ~root ( ^ ) (string_of_int me)) in
+      let ar = Comm.allreduce comm ( ^ ) (string_of_int me) in
+      let sc = Comm.scan comm ( ^ ) (string_of_int me) in
+      let ag = Comm.allgather comm (me * me) in
+      let at = Comm.alltoall comm (Array.init p (fun j -> (me * 100) + j)) in
+      Option.map Array.to_list (Comm.gather comm ~root:0 (reduces, ar, sc, ag, at))
+    in
+    let cases = ref [] in
+    let add label f = cases := (label, f) :: !cases in
+    for k = 0 to !fault_cases - 1 do
+      let case_seed = !seed + (1013 * k) in
+      let shape = Runtime.Xoshiro.of_seed (case_seed lxor 0xfa17) in
+      let prob = 0.1 +. (0.8 *. Runtime.Xoshiro.float shape 1.0) in
+      let max_hold = 1 + Runtime.Xoshiro.int shape 4 in
+      let stall = 1e-4 +. Runtime.Xoshiro.float shape 1e-3 in
+      let crash_op = 1 + Runtime.Xoshiro.int shape 10 in
+      List.iter
+        (fun procs ->
+          add
+            (Printf.sprintf "chaos-delay p=%d prob=%.2f hold=%d seed=%d" procs prob max_hold
+               case_seed)
+            (fun () ->
+              let bare, _ = Scl_sim.Spmd.run_collect ~procs chaos_battery in
+              let spec = Chaos.delays ~seed:case_seed ~prob ~max_hold () in
+              let v, _ = Scl_sim.Spmd.run_collect ~procs ~chaos:spec chaos_battery in
+              if v = bare then None else Some "delay chaos changed collective values");
+          add
+            (Printf.sprintf "chaos-straggler p=%d stall=%.2gs seed=%d" procs stall case_seed)
+            (fun () ->
+              let bare, _ = Scl_sim.Spmd.run_collect ~procs chaos_battery in
+              let straggler = 1 + Runtime.Xoshiro.int shape (procs - 1) in
+              let spec = { Chaos.none with Chaos.stalls = [ (straggler, stall) ] } in
+              let v, _ = Scl_sim.Spmd.run_collect ~procs ~chaos:spec chaos_battery in
+              if v = bare then None else Some "straggler chaos changed collective values"))
+        [ 2; 4; 8 ];
+      add
+        (Printf.sprintf "chaos-delay multicore p=4 seed=%d" case_seed)
+        (fun () ->
+          let bare, _ = Scl_sim.Spmd.run_multicore_collect ~procs:4 chaos_battery in
+          let spec = Chaos.delays ~seed:case_seed ~prob ~max_hold () in
+          let v, _ = Scl_sim.Spmd.run_multicore_collect ~procs:4 ~chaos:spec chaos_battery in
+          if v = bare then None else Some "delay chaos changed multicore values");
+      add
+        (Printf.sprintf "farm worker crash op=%d seed=%d" crash_op case_seed)
+        (fun () ->
+          let njobs = 24 + Runtime.Xoshiro.int shape 24 in
+          let spec = Algorithms.Farm_sim.skewed_spec ~njobs ~skew:6 in
+          let victim = 1 + Runtime.Xoshiro.int shape 3 in
+          let chaos = { Chaos.none with Chaos.crashes = [ (victim, crash_op) ] } in
+          let got, _ = Algorithms.Farm_sim.dynamic ~procs:4 ~grace:0.5 ~chaos spec in
+          if got = Array.init njobs (fun i -> i * i) then None
+          else Some "farm lost or corrupted results under a worker crash");
+      add
+        (Printf.sprintf "zero-fault wrap bit-identical seed=%d" case_seed)
+        (fun () ->
+          let bare, s0 = Scl_sim.Spmd.run_collect ~procs:4 chaos_battery in
+          let v, s1 = Scl_sim.Spmd.run_collect ~procs:4 ~chaos:Chaos.none chaos_battery in
+          if v = bare && s0.Sim.makespan = s1.Sim.makespan && s0.Sim.total_msgs = s1.Sim.total_msgs
+          then None
+          else
+            Some
+              (Printf.sprintf "wrapped run diverged: makespan %.9g vs %.9g, msgs %d vs %d"
+                 s0.Sim.makespan s1.Sim.makespan s0.Sim.total_msgs s1.Sim.total_msgs))
+    done;
+    report_checks ~phase:"fault-injection" (List.rev !cases)
+  in
+
+  if ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo && ok_fault then begin
     Printf.printf "diffcheck: all oracles agree (seed %d)\n" !seed;
     exit 0
   end
