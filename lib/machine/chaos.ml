@@ -36,9 +36,16 @@ type spec = {
   max_hold : int;  (* max comm ops a held send waits; >= 1 when delaying *)
   stalls : (int * float) list;  (* rank -> straggler seconds per comm op *)
   crashes : (int * int) list;  (* rank -> fail-stop before its n-th comm op (1-based) *)
+  crashes_at : (int * float) list;
+      (* rank -> fail-stop at the first comm op at-or-after this engine-clock
+         time (seconds).  Op-count crashes pin a protocol step; time crashes
+         model membership churn in long-lived services, where "worker dies
+         two seconds in" is the scenario of interest regardless of how many
+         messages it got through first. *)
 }
 
-let none = { seed = 0; delay_prob = 0.0; max_hold = 0; stalls = []; crashes = [] }
+let none =
+  { seed = 0; delay_prob = 0.0; max_hold = 0; stalls = []; crashes = []; crashes_at = [] }
 let delays ?(seed = 1) ?(prob = 0.25) ?(max_hold = 3) () = { none with seed; delay_prob = prob; max_hold }
 
 type held = {
@@ -54,6 +61,7 @@ type state = {
   base : Engine.t;
   my_stall : float;
   crash_at : int option;
+  crash_at_time : float option;
   mutable ops : int;  (* this rank's communication-operation count *)
   mutable outbox : held list;  (* held sends, oldest first *)
 }
@@ -100,11 +108,14 @@ let flush_channel st dest tag =
    scheduled, charge the straggler tax, age the outbox. *)
 let tick st =
   st.ops <- st.ops + 1;
-  (match st.crash_at with
-  | Some n when st.ops >= n ->
-      Obs.Counter.incr obs_faults;
-      st.outbox <- [];  (* fail-stop: held traffic dies with the rank *)
-      raise (Fault.Crashed st.base.Engine.rank)
+  let fail_stop () =
+    Obs.Counter.incr obs_faults;
+    st.outbox <- [];  (* fail-stop: held traffic dies with the rank *)
+    raise (Fault.Crashed st.base.Engine.rank)
+  in
+  (match st.crash_at with Some n when st.ops >= n -> fail_stop () | _ -> ());
+  (match st.crash_at_time with
+  | Some t when st.base.Engine.time () >= t -> fail_stop ()
   | _ -> ());
   if st.my_stall > 0.0 then begin
     Obs.Counter.incr obs_faults;
@@ -124,6 +135,9 @@ let wrap spec (eng : Engine.t) : Engine.t * state =
   List.iter
     (fun (_, n) -> if n < 1 then invalid_arg "Chaos.wrap: crash op index must be >= 1")
     spec.crashes;
+  List.iter
+    (fun (_, t) -> if t < 0.0 then invalid_arg "Chaos.wrap: crash time must be >= 0")
+    spec.crashes_at;
   let rank = eng.Engine.rank in
   let st =
     {
@@ -132,6 +146,7 @@ let wrap spec (eng : Engine.t) : Engine.t * state =
       base = eng;
       my_stall = (match List.assoc_opt rank spec.stalls with Some s -> s | None -> 0.0);
       crash_at = List.assoc_opt rank spec.crashes;
+      crash_at_time = List.assoc_opt rank spec.crashes_at;
       ops = 0;
       outbox = [];
     }

@@ -29,6 +29,13 @@ type spec = {
   crashes : (int * int) list;
       (** [(rank, n)]: rank fail-stops just before its [n]-th (1-based)
           communication operation; held sends are lost with it *)
+  crashes_at : (int * float) list;
+      (** [(rank, t)]: rank fail-stops at its first communication operation
+          at-or-after engine-clock time [t] (simulated seconds on the
+          simulator, wall seconds on the multicore engine). Membership
+          churn for long-lived services: "this worker dies two seconds in",
+          independent of how many messages it handled first. A rank that
+          stops communicating never observes its scheduled time. *)
 }
 
 val none : spec

@@ -77,6 +77,7 @@ let engine t = t.eng
 (* Engine conveniences, so programs never need to name the engine. *)
 let work t d = t.eng.Engine.work d
 let work_flops t n = Engine.work_flops t.eng n
+let sleep t d = t.eng.Engine.sleep d
 let cost t = t.eng.Engine.cost
 let topology t = t.eng.Engine.topology
 let time t = t.eng.Engine.time ()

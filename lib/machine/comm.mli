@@ -44,6 +44,12 @@ val work : t -> float -> unit
 val work_flops : t -> int -> unit
 (** Charge [n] floating-point operations via the engine's cost model. *)
 
+val sleep : t -> float -> unit
+(** Idle for [d] engine-clock seconds without charging compute: the
+    simulated clock advances (outside [work_times]); on the multicore
+    engine the rank parks while other ranks keep running. For paced
+    arrival processes and membership away-time. *)
+
 val cost : t -> Cost_model.t
 val topology : t -> Topology.t
 

@@ -24,6 +24,13 @@
      [Deadlock].
    - [work d] charges [d] seconds of compute: simulated time on the
      simulator, a no-op on engines where computation costs real time.
+   - [sleep d] idles for [d] engine-clock seconds: the rank's clock
+     advances but no compute is charged (simulated work_times and the
+     imbalance diagnostics are untouched); on real engines it is an actual
+     sleep.  Long-lived programs (pacing an arrival process, a departed
+     worker waiting to rejoin) need idling that both engines price in
+     their own clock — [work] cannot express it because it is free on
+     real engines and counts as compute on the simulator.
    - [time ()] is the engine's own clock: simulated seconds on the
      simulator, wall-clock seconds since the run started on real engines.
      [real_time] says which: fault injectors (Chaos) use it to decide
@@ -39,6 +46,7 @@ type t = {
   recv : 'a. ?timeout:float -> src:int -> tag:int -> unit -> 'a;
   recv_any : 'a. ?timeout:float -> ?tag:int -> unit -> int * 'a;
   work : float -> unit;
+  sleep : float -> unit;
   time : unit -> float;
   note : string -> unit;
 }
@@ -56,6 +64,7 @@ let of_sim (ctx : Sim.ctx) : t =
     recv = (fun ?timeout ~src ~tag () -> Sim.recv ctx ~src ~tag ?timeout ());
     recv_any = (fun ?timeout ?tag () -> Sim.recv_any ctx ?tag ?timeout ());
     work = (fun d -> Sim.work ctx d);
+    sleep = (fun d -> Sim.sleep ctx d);
     time = (fun () -> Sim.time ctx);
     note = (fun msg -> Sim.note ctx msg);
   }

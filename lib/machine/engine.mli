@@ -26,6 +26,12 @@ type t = {
       (** Blocking receive from any source; returns (source rank, value).
           Deterministic only on the simulator. [?timeout] as in [recv]. *)
   work : float -> unit;  (** Charge compute seconds (no-op on real engines). *)
+  sleep : float -> unit;
+      (** Idle for [d] engine-clock seconds: the clock advances but no
+          compute is charged — simulated [work_times] (and the imbalance
+          diagnostics built on them) are untouched; a real sleep on the
+          multicore engine. For pacing arrival processes and membership
+          away-time in long-lived programs. *)
   time : unit -> float;  (** Engine clock: simulated or wall seconds. *)
   note : string -> unit;  (** Trace annotation (no-op on real engines). *)
 }

@@ -180,6 +180,10 @@ let send fab st ~dest ~tag v =
     ring fab (dest mod fab.ndomains)
   end
 
+(* Tag reserved for [sleep]: no sender ever uses it, so a wait on it can
+   only end by deadline expiry. *)
+let sleep_tag = min_int
+
 let timeout_exn st w =
   Fault.Timeout
     (Printf.sprintf "p%d: recv(src=%s, tag=%s) deadline elapsed" st.rk
@@ -231,6 +235,21 @@ let engine fab st : Engine.t =
         Obs.Counter.incr obs_recvs;
         (pkt.pkt_src, Obj.obj pkt.payload));
     work = (fun d -> if d < 0.0 then invalid_arg "Multicore.work: negative duration");
+    sleep =
+      (fun d ->
+        if d < 0.0 then invalid_arg "Multicore.sleep: negative duration";
+        (* A plain [Unix.sleepf] would stall every rank multiplexed on this
+           domain. Park through the deadline machinery instead: wait on a
+           tag no message can carry, and swallow the inevitable expiry —
+           other fibers keep running, and a deadline-parked rank never
+           counts towards quiescence. *)
+        if d > 0.0 then
+          try
+            ignore
+              (recv_packet fab st
+                 { want_src = None; want_tag = Some sleep_tag }
+                 (Some (now fab +. d)))
+          with Fault.Timeout _ -> ());
     time = (fun () -> now fab);
     note = (fun _ -> ());
   }

@@ -1,10 +1,11 @@
 (* Deterministic discrete-event simulator of a distributed-memory machine.
 
    Each virtual processor is a coroutine (an OCaml 5 fiber).  Non-blocking
-   actions (send, work, time, note) mutate the simulator state directly;
-   the two blocking actions (recv on a message not yet present, barrier)
-   are performed as effects so the scheduler can capture the continuation
-   and resume it later.
+   actions (send, work, sleep, time, note) mutate the simulator state
+   directly; the blocking actions (recv — always, even when a matching
+   packet is already buffered — and barrier) are performed as effects so
+   the scheduler can capture the continuation and arbitrate globally over
+   who acts next.
 
    Timing model (all per-processor clocks, in seconds):
    - [work d]            : clock += d
@@ -107,6 +108,12 @@ let work ctx d =
 
 let work_flops ctx n = work ctx (Cost_model.flops ctx.sim.cfg.cost n)
 
+(* Idle time: the clock moves but [work_time] does not, so imbalance
+   diagnostics keep meaning "compute skew", not "who slept". *)
+let sleep ctx d =
+  if d < 0.0 then invalid_arg "Sim.sleep: negative duration";
+  ctx.me.clock <- ctx.me.clock +. d
+
 let note ctx msg = Trace.record ctx.sim.trace ~time:ctx.me.clock ~proc:ctx.me.rank (Trace.Note msg)
 
 let check_dest ctx dest name =
@@ -190,13 +197,16 @@ let deadline_of ctx name = function
       if timeout < 0.0 then invalid_arg (Printf.sprintf "Sim.%s: negative timeout" name);
       Some (ctx.me.clock +. timeout)
 
-let recv_packet ctx ~want_src ~want_tag ~deadline =
-  (* Fast path: the packet is already in the inbox; no need to suspend. *)
-  match find_match ctx.me ~want_src ~want_tag ~deadline with
-  | Some pkt ->
-      deliver ctx.sim ctx.me pkt;
-      pkt
-  | None -> Effect.perform (E_recv { want_src; want_tag; deadline })
+(* Every receive suspends into the scheduler, even when a matching packet
+   is already in the inbox.  Delivering eagerly here would be unsound: a
+   processor whose clock is still *behind* the packet's arrival may not
+   have run yet, and could still produce an earlier-arriving match — the
+   scheduler's global (event time, rank) order is what arbitrates that
+   (see [choose]).  The classic symptom of the eager path was a receiver
+   racing through a pre-filled inbox in one scheduling quantum while a
+   lower-clock sender sat unstarted. *)
+let recv_packet _ctx ~want_src ~want_tag ~deadline =
+  Effect.perform (E_recv { want_src; want_tag; deadline })
 
 let recv : type a. ctx -> src:int -> ?tag:int -> ?timeout:float -> unit -> a =
  fun ctx ~src ?tag ?timeout () ->
@@ -248,11 +258,15 @@ let make_handler sim p : (unit, unit) Effect.Deep.handler =
 
 type action = Start of proc | Deliver of proc * packet | Expire of proc * float
 
-(* Candidates are ordered by (event time, rank): Start/Deliver happen at the
-   processor's clock, a timeout expiry at its deadline.  Expiring only when
-   the deadline is the globally smallest pending event time is what makes
-   timeouts sound: every processor that could still produce a matching send
-   has clock >= the deadline by then, so no message can arrive in time. *)
+(* Candidates are ordered by (event time, rank): a Start happens at the
+   processor's clock, a Deliver at the moment the receiver actually gets
+   the packet — max(clock, arrival) — and a timeout expiry at
+   max(clock, deadline).  Executing only the globally smallest event keeps
+   the simulation conservative: by the time a Deliver or Expire fires,
+   every processor that could still produce an earlier-arriving matching
+   send has clock >= that event time (a send's arrival strictly exceeds
+   the sender's clock), so the packet picked by [find_match] really is the
+   earliest, and an expiry really means no message can arrive in time. *)
 let choose sim =
   let best = ref None in
   let consider p time act =
@@ -269,7 +283,7 @@ let choose sim =
             match p.blocked with
             | On_recv { want_src; want_tag; deadline; _ } -> (
                 match find_match p ~want_src ~want_tag ~deadline with
-                | Some pkt -> consider p p.clock (`Deliver pkt)
+                | Some pkt -> consider p (Float.max p.clock pkt.arrival) (`Deliver pkt)
                 | None -> (
                     match deadline with
                     | Some d -> consider p (Float.max p.clock d) `Expire

@@ -44,6 +44,12 @@ val work : ctx -> float -> unit
 val work_flops : ctx -> int -> unit
 (** Charge [n] scalar operations at the cost model's flop rate. *)
 
+val sleep : ctx -> float -> unit
+(** Advance the local clock by [d] seconds without charging compute:
+    [work_times] (and {!imbalance}) ignore slept time. For programs that
+    idle deliberately — paced arrival processes, membership away-time.
+    @raise Invalid_argument if negative. *)
+
 val send : ctx -> dest:int -> ?tag:int -> ?bytes:int -> 'a -> unit
 (** Non-blocking send. By default the value is marshalled (true byte size,
     deep copy). With [~bytes] the value is passed zero-copy by reference and

@@ -167,3 +167,67 @@ let compare_files ?(threshold = 0.25) ~(baseline : file) ~(candidate : file) () 
   (comparisons, missing, added)
 
 let any_regression comparisons = List.exists (fun c -> c.verdict = Regression) comparisons
+
+(* -------------------------------------------------------- strict sim gate *)
+
+(* Entries whose backend starts with "sim" come from the discrete-event
+   simulator and are bit-deterministic: same code + same seed produce
+   identical times and counters, and the artifact writer prints floats so
+   they re-read exactly.  Drift on a sim entry is therefore a semantic
+   change, never measurement noise — bench_diff --sim-strict hard-fails on
+   any of it (including entries appearing or vanishing, which would
+   otherwise let a renamed benchmark dodge the gate), while wall-clock
+   entries keep the threshold comparison. *)
+let is_sim_backend (r : result) =
+  String.length r.backend >= 3 && String.sub r.backend 0 3 = "sim"
+
+type strict_violation = { sv_bench : string; sv_reason : string }
+
+let strict_sim_violations ~(baseline : file) ~(candidate : file) =
+  let out = ref [] in
+  let push bench reason = out := { sv_bench = bench; sv_reason = reason } :: !out in
+  let fs v = Printf.sprintf "%.17g" v in
+  let find name (rs : result list) = List.find_opt (fun r -> r.name = name) rs in
+  List.iter
+    (fun (r_old : result) ->
+      if is_sim_backend r_old then
+        match find r_old.name candidate.results with
+        | None -> push r_old.name "deterministic sim entry removed"
+        | Some r_new ->
+            if r_new.backend <> r_old.backend then
+              push r_old.name
+                (Printf.sprintf "backend changed: %s -> %s" r_old.backend r_new.backend)
+            else begin
+              if (r_new.n, r_new.procs) <> (r_old.n, r_old.procs) then
+                push r_old.name
+                  (Printf.sprintf "shape changed: n=%d procs=%d -> n=%d procs=%d" r_old.n
+                     r_old.procs r_new.n r_new.procs);
+              if r_new.median_s <> r_old.median_s then
+                push r_old.name
+                  (Printf.sprintf "median_s drifted: %s -> %s" (fs r_old.median_s)
+                     (fs r_new.median_s));
+              if r_new.min_s <> r_old.min_s then
+                push r_old.name
+                  (Printf.sprintf "min_s drifted: %s -> %s" (fs r_old.min_s) (fs r_new.min_s));
+              List.iter
+                (fun (k, v_old) ->
+                  match List.assoc_opt k r_new.counters with
+                  | None -> push r_old.name (Printf.sprintf "counter %s removed" k)
+                  | Some v_new ->
+                      if v_new <> v_old then
+                        push r_old.name
+                          (Printf.sprintf "counter %s drifted: %s -> %s" k (fs v_old) (fs v_new)))
+                r_old.counters;
+              List.iter
+                (fun (k, _) ->
+                  if not (List.mem_assoc k r_old.counters) then
+                    push r_old.name (Printf.sprintf "counter %s added" k))
+                r_new.counters
+            end)
+    baseline.results;
+  List.iter
+    (fun (r_new : result) ->
+      if is_sim_backend r_new && find r_new.name baseline.results = None then
+        push r_new.name "deterministic sim entry added without a baseline refresh")
+    candidate.results;
+  List.sort (fun a b -> compare (a.sv_bench, a.sv_reason) (b.sv_bench, b.sv_reason)) !out

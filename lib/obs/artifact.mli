@@ -60,3 +60,24 @@ val compare_files :
     ([added]). *)
 
 val any_regression : comparison list -> bool
+
+(** {1 Strict deterministic gate}
+
+    Simulator-backed entries (backend starting with ["sim"]) are
+    bit-deterministic: same code and seed produce identical times and
+    counters, and floats survive the JSON round-trip exactly. Under
+    [bench_diff --sim-strict] any drift on them is a hard failure. *)
+
+val is_sim_backend : result -> bool
+(** [true] when the entry's backend names the simulator. *)
+
+type strict_violation = {
+  sv_bench : string;  (** benchmark name *)
+  sv_reason : string;  (** what differed, human-readable *)
+}
+
+val strict_sim_violations : baseline:file -> candidate:file -> strict_violation list
+(** Exact (bitwise) comparison of every sim-backed entry: median, min,
+    shape and counters must be identical, and sim entries may not appear
+    or vanish without a baseline refresh. Empty list = gate passes.
+    Wall-clock entries are ignored here. *)

@@ -158,6 +158,33 @@ module Histogram = struct
     Atomic.set h.sum 0;
     Atomic.set h.min_v max_int;
     Atomic.set h.max_v min_int
+
+  (* Quantile estimate from the log2 buckets: walk to the bucket holding
+     the ceil(q*count)-th sample and interpolate linearly inside it,
+     clamping the edge buckets to the exactly-tracked min/max.  The log2
+     layout bounds the error at one bucket width; reports that need exact
+     percentiles (the service latency report) keep raw samples instead. *)
+  let quantile_of ~count ~min_v ~max_v ~buckets q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Obs: quantile must be in [0,1]";
+    if count = 0 then 0.0
+    else begin
+      let target = Float.max 1.0 (q *. float_of_int count) in
+      let rec find seen = function
+        | [] -> float_of_int max_v
+        | (lo, hi, n) :: rest ->
+            if float_of_int (seen + n) >= target then begin
+              let lo = max lo min_v and hi = min hi max_v in
+              let frac = (target -. float_of_int seen) /. float_of_int n in
+              float_of_int lo +. (frac *. float_of_int (hi - lo))
+            end
+            else find (seen + n) rest
+      in
+      find 0 buckets
+    end
+
+  let quantile h q =
+    quantile_of ~count:(count h) ~min_v:(min_value h) ~max_v:(max_value h)
+      ~buckets:(nonzero_buckets h) q
 end
 
 (* ---------------------------------------------------------------- spans *)
@@ -216,6 +243,10 @@ type histogram_snapshot = {
 }
 
 type value = Counter_v of int | Histogram_v of histogram_snapshot
+
+let snapshot_quantile hs q =
+  Histogram.quantile_of ~count:hs.hs_count ~min_v:hs.hs_min ~max_v:hs.hs_max
+    ~buckets:hs.hs_buckets q
 
 let snapshot_histogram h =
   {

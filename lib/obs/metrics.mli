@@ -48,6 +48,13 @@ module Histogram : sig
   val nonzero_buckets : t -> (int * int * int) list
   (** [(lo, hi, count)] per populated bucket, ascending. *)
 
+  val quantile : t -> float -> float
+  (** [quantile h q] (with [q] in [0,1]) estimates the [q]-quantile of the
+      recorded samples by linear interpolation inside the log2 bucket that
+      holds the ceil([q]·count)-th sample, clamped to the exactly-tracked
+      min/max. Error is bounded by one bucket width. 0 when empty.
+      @raise Invalid_argument if [q] is outside [0,1]. *)
+
   val bucket_of : int -> int
   (** Exposed for tests. *)
 
@@ -100,6 +107,9 @@ val snapshot : unit -> (string * value) list
 
 val counter_value : string -> int option
 val histogram_snapshot : string -> histogram_snapshot option
+
+val snapshot_quantile : histogram_snapshot -> float -> float
+(** {!Histogram.quantile} over an already-taken snapshot. *)
 
 val reset : unit -> unit
 (** Zero all metrics, keeping registrations. *)

@@ -944,6 +944,102 @@ let test_chaos_crash_counts_faults () =
   Alcotest.(check bool) "fault counted" true (after > before);
   Alcotest.(check bool) "run completed" true (stats.Sim.makespan >= 1.0)
 
+(* --- sleep: idle time on both engines ---------------------------------- *)
+
+let test_sim_sleep_advances_clock_not_work () =
+  let stats =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 0 then begin
+          Sim.sleep ctx 7.0;
+          Sim.work ctx 2.0
+        end)
+  in
+  check_float "clock includes the sleep" 9.0 stats.Sim.finish_times.(0);
+  check_float "work_time excludes it" 2.0 stats.Sim.work_times.(0)
+
+let test_sim_sleep_negative_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Sim.sleep: negative duration") (fun () ->
+      ignore (Sim.run (cfg ~procs:1 ()) (fun ctx -> Sim.sleep ctx (-0.1))))
+
+(* Regression test for the scheduler's conservative ordering.  Rank 1
+   free-runs (sleep never blocks) and sends a late-arriving message before
+   rank 2 — a lower-priority fiber — has even started; rank 2's message
+   arrives much earlier.  The receiver must still see arrival order, which
+   requires (a) no eager in-fiber delivery and (b) ranking a delivery at
+   max(clock, arrival), not at the receiver's clock. *)
+let test_sim_sleep_paced_sender_keeps_arrival_order () =
+  let order = ref [] in
+  let _ =
+    Sim.run (cfg ~procs:3 ()) (fun ctx ->
+        match Sim.rank ctx with
+        | 0 ->
+            for _ = 1 to 2 do
+              let src, (_ : int) = Sim.recv_any ctx () in
+              order := src :: !order
+            done
+        | 1 ->
+            Sim.sleep ctx 10.0;
+            Sim.send ctx ~dest:0 ~bytes:0 1
+        | _ -> Sim.send ctx ~dest:0 ~bytes:0 2)
+  in
+  Alcotest.(check (list int)) "earliest arrival first" [ 2; 1 ] (List.rev !order)
+
+let test_multicore_sleep_completes () =
+  (* wall-clock engine: a sleeping rank must not stall its domain (other
+     fibers keep running) and the run must terminate promptly *)
+  let stats =
+    Spmd.run_multicore ~domains:2 ~procs:3 (fun comm ->
+        match Comm.rank comm with
+        | 0 ->
+            let a = (Comm.recv_any comm () : int * int) in
+            let b = (Comm.recv_any comm () : int * int) in
+            assert (fst a >= 0 && fst b >= 0)
+        | 1 ->
+            Comm.sleep comm 0.02;
+            Comm.send comm ~dest:0 1
+        | _ -> Comm.send comm ~dest:0 2)
+  in
+  Alcotest.(check bool) "took at least the sleep" true (stats.Multicore.wall >= 0.02)
+
+(* --- time-scheduled crashes -------------------------------------------- *)
+
+let test_chaos_crashes_at_time () =
+  (* rank 1 fail-stops at its first operation at-or-after t = 4: the send
+     at t = 2 gets through, the one at t = 6 never happens *)
+  let spec = { Chaos.none with Chaos.crashes_at = [ (1, 4.0) ] } in
+  let got = ref [] in
+  let _ =
+    Sim.run (cfg ~procs:2 ()) (fun ctx ->
+        if Sim.rank ctx = 1 then begin
+          Chaos.run spec
+            (fun eng ->
+              eng.Engine.work 2.0;
+              eng.Engine.send ~dest:0 ~tag:0 1;
+              eng.Engine.work 4.0;
+              eng.Engine.send ~dest:0 ~tag:0 2;
+              failwith "unreachable: rank 1 crashed at t >= 4")
+            (Engine.of_sim ctx)
+        end
+        else begin
+          (* unit costs price a marshalled int at ~25 simulated seconds of
+             transfer, so the timeout must clear that comfortably *)
+          (try
+             while true do
+               got := (Sim.recv ctx ~src:1 ~timeout:100.0 () : int) :: !got
+             done
+           with Fault.Timeout _ -> ())
+        end)
+  in
+  Alcotest.(check (list int)) "only the pre-crash send arrives" [ 1 ] (List.rev !got)
+
+let test_chaos_crashes_at_validation () =
+  Alcotest.check_raises "negative time" (Invalid_argument "Chaos.wrap: crash time must be >= 0")
+    (fun () ->
+      ignore
+        (Spmd.run ~procs:2
+           ~chaos:{ Chaos.none with Chaos.crashes_at = [ (0, -1.0) ] }
+           (fun _ -> ())))
+
 (* Seeded, shrinkable property: all collectives under any delay/reorder
    chaos schedule are value-identical to the fault-free run. *)
 let test_prop_chaos_value_identity () =
@@ -1076,6 +1172,15 @@ let suite =
         Alcotest.test_case "crash is fail-stop" `Quick test_sim_crash_is_fail_stop;
         Alcotest.test_case "timeout survives peer crash" `Quick test_sim_timeout_survives_peer_crash;
       ] );
+    ( "sleep",
+      [
+        Alcotest.test_case "advances clock, not work_time" `Quick
+          test_sim_sleep_advances_clock_not_work;
+        Alcotest.test_case "negative rejected" `Quick test_sim_sleep_negative_rejected;
+        Alcotest.test_case "paced sender keeps arrival order" `Quick
+          test_sim_sleep_paced_sender_keeps_arrival_order;
+        Alcotest.test_case "multicore sleep completes" `Quick test_multicore_sleep_completes;
+      ] );
     ( "chaos",
       [
         Alcotest.test_case "zero-fault wrap is bit-identical" `Quick
@@ -1087,6 +1192,8 @@ let suite =
           test_chaos_straggler_slows_but_preserves;
         Alcotest.test_case "spec validation" `Quick test_chaos_spec_validated;
         Alcotest.test_case "scheduled crash counted" `Quick test_chaos_crash_counts_faults;
+        Alcotest.test_case "time-scheduled crash" `Quick test_chaos_crashes_at_time;
+        Alcotest.test_case "crash time validated" `Quick test_chaos_crashes_at_validation;
         Alcotest.test_case "property: chaos value identity" `Slow test_prop_chaos_value_identity;
       ] );
   ]

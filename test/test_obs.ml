@@ -342,6 +342,91 @@ let test_median () =
   Alcotest.(check (float 0.0)) "even" 2.5 (Obs.Artifact.median [| 4.0; 1.0; 2.0; 3.0 |]);
   Alcotest.(check (float 0.0)) "single" 7.0 (Obs.Artifact.median [| 7.0 |])
 
+(* --- histogram quantiles ------------------------------------------------ *)
+
+let test_histogram_quantiles () =
+  with_obs_enabled (fun () ->
+      let h = Obs.Histogram.make ~unit_:"us" "test.quant" in
+      Obs.Histogram.reset h;
+      (* empty: all quantiles are 0 *)
+      Alcotest.(check (float 0.0)) "empty" 0.0 (Obs.Histogram.quantile h 0.5);
+      for v = 1 to 100 do
+        Obs.Histogram.record h v
+      done;
+      (* log2 buckets quantize, so check interval containment plus the
+         exact clamped edges (min for q=0, max for q=1) *)
+      let q50 = Obs.Histogram.quantile h 0.5 in
+      Alcotest.(check bool) "p50 in [32,64]" true (q50 >= 32.0 && q50 <= 64.0);
+      let q99 = Obs.Histogram.quantile h 0.99 in
+      Alcotest.(check bool) "p99 in [64,100]" true (q99 >= 64.0 && q99 <= 100.0);
+      Alcotest.(check (float 0.0)) "q=0 clamps to min" 1.0 (Obs.Histogram.quantile h 0.0);
+      Alcotest.(check (float 0.0)) "q=1 clamps to max" 100.0 (Obs.Histogram.quantile h 1.0);
+      (match Obs.Histogram.quantile h 1.5 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "q outside [0,1] must be rejected");
+      (* monotone in q *)
+      let prev = ref 0.0 in
+      List.iter
+        (fun q ->
+          let v = Obs.Histogram.quantile h q in
+          Alcotest.(check bool) "monotone" true (v >= !prev);
+          prev := v)
+        [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ];
+      (* a snapshot answers the same quantile queries as the live histogram *)
+      match Obs.Metrics.histogram_snapshot "test.quant" with
+      | None -> Alcotest.fail "snapshot missing"
+      | Some hs ->
+          List.iter
+            (fun q ->
+              Alcotest.(check (float 0.0)) "snapshot agrees"
+                (Obs.Histogram.quantile h q)
+                (Obs.Metrics.snapshot_quantile hs q))
+            [ 0.0; 0.5; 0.95; 1.0 ])
+
+(* --- strict sim gate ---------------------------------------------------- *)
+
+let host_result name median =
+  { (sample_result name median) with Obs.Artifact.backend = "pool" }
+
+let test_strict_sim_violations () =
+  Alcotest.(check bool) "sim backend recognized" true
+    (Obs.Artifact.is_sim_backend (sample_result "x" 1.0));
+  Alcotest.(check bool) "host backend not" false
+    (Obs.Artifact.is_sim_backend (host_result "x" 1.0));
+  let baseline =
+    Obs.Artifact.make ~smoke:true ~host:[]
+      [ sample_result "steady" 1.0; sample_result "drifter" 1.0; sample_result "vanishing" 1.0;
+        host_result "noisy" 1.0 ]
+  in
+  let candidate =
+    Obs.Artifact.make ~smoke:true ~host:[]
+      [ sample_result "steady" 1.0;
+        sample_result "drifter" (1.0 +. 1e-12);
+        sample_result "appearing" 1.0;
+        (* host entries may drift or vanish freely *)
+        host_result "noisy" 57.0 ]
+  in
+  let vs = Obs.Artifact.strict_sim_violations ~baseline ~candidate in
+  let names = List.map (fun v -> v.Obs.Artifact.sv_bench) vs in
+  Alcotest.(check bool) "steady clean" true (not (List.mem "steady" names));
+  Alcotest.(check bool) "tiny drift caught" true (List.mem "drifter" names);
+  Alcotest.(check bool) "removal caught" true (List.mem "vanishing" names);
+  Alcotest.(check bool) "unexplained addition caught" true (List.mem "appearing" names);
+  Alcotest.(check bool) "host drift ignored" true (not (List.mem "noisy" names));
+  (* identical files pass the gate *)
+  Alcotest.(check int) "self-compare is clean" 0
+    (List.length (Obs.Artifact.strict_sim_violations ~baseline ~candidate:baseline))
+
+let test_strict_sim_counter_drift () =
+  let base = sample_result "counters" 1.0 in
+  let baseline = Obs.Artifact.make ~smoke:true ~host:[] [ base ] in
+  let drifted =
+    { base with Obs.Artifact.counters = [ ("sim.msgs", 121.0); ("sim.bytes", 4096.0) ] }
+  in
+  let candidate = Obs.Artifact.make ~smoke:true ~host:[] [ drifted ] in
+  let vs = Obs.Artifact.strict_sim_violations ~baseline ~candidate in
+  Alcotest.(check bool) "counter drift caught" true (vs <> [])
+
 (* --- metrics JSON export ------------------------------------------------ *)
 
 let test_metrics_to_json () =
@@ -386,6 +471,7 @@ let () =
         [
           Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
           Alcotest.test_case "semantics" `Quick test_histogram_semantics;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
         ] );
       ( "spans",
         [
@@ -407,6 +493,8 @@ let () =
           Alcotest.test_case "schema guard" `Quick test_artifact_schema_guard;
           Alcotest.test_case "comparison verdicts" `Quick test_artifact_compare;
           Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "strict sim gate" `Quick test_strict_sim_violations;
+          Alcotest.test_case "strict sim counter drift" `Quick test_strict_sim_counter_drift;
           Alcotest.test_case "metrics export" `Quick test_metrics_to_json;
         ] );
     ]

@@ -2,23 +2,30 @@
    `dune exec bench/main.exe -- --json FILE`).
 
    Usage:
-     bench_diff BASELINE.json CANDIDATE.json [--threshold 0.25] [--warn-only]
+     bench_diff BASELINE.json CANDIDATE.json
+       [--threshold 0.25] [--warn-only] [--sim-strict]
 
    Exit codes:
      0  no regression beyond the threshold (or --warn-only)
-     1  at least one benchmark regressed beyond the threshold
+     1  at least one benchmark regressed beyond the threshold, or any
+        simulated entry drifted at all under --sim-strict
      2  usage or parse error
 
    Host wall-clock benchmarks are noisy on shared CI runners, which is why
    the default threshold is a generous 25% on medians and why CI starts
    warn-only; simulated benchmarks are deterministic, so any drift there
-   beyond float noise is a real behavioural change. *)
+   beyond float noise is a real behavioural change.  [--sim-strict] turns
+   that observation into a gate: sim-backend entries are compared bitwise
+   (timings, shape and counters; removals and unexplained additions count
+   too) and any violation fails the run even under --warn-only. *)
 
-let usage = "bench_diff BASELINE.json CANDIDATE.json [--threshold FRACTION] [--warn-only]"
+let usage =
+  "bench_diff BASELINE.json CANDIDATE.json [--threshold FRACTION] [--warn-only] [--sim-strict]"
 
 let () =
   let threshold = ref 0.25 in
   let warn_only = ref false in
+  let sim_strict = ref false in
   let positional = ref [] in
   let spec =
     [
@@ -26,6 +33,9 @@ let () =
         Arg.Set_float threshold,
         "FRACTION tolerated relative slowdown of the median (default 0.25)" );
       ("--warn-only", Arg.Set warn_only, " report regressions but always exit 0");
+      ( "--sim-strict",
+        Arg.Set sim_strict,
+        " hard-fail on any bitwise drift in sim-backend entries (overrides --warn-only)" );
     ]
   in
   (try Arg.parse spec (fun a -> positional := a :: !positional) usage
@@ -61,15 +71,44 @@ let () =
         | Obs.Artifact.Improvement -> "improvement"
         | Obs.Artifact.Unchanged -> "ok"))
     comparisons;
-  List.iter (Printf.printf "  missing from candidate: %s\n") missing;
-  List.iter (Printf.printf "  new in candidate: %s\n") added;
+  (* Removed/added benchmarks are part of the diff, not a footnote: name
+     them with their backend so a vanished sim entry is recognisably a
+     behavioural change and not runner noise. *)
+  let backend_of (f : Obs.Artifact.file) name =
+    match List.find_opt (fun (r : Obs.Artifact.result) -> r.name = name) f.results with
+    | Some r -> r.backend
+    | None -> "?"
+  in
+  List.iter
+    (fun name -> Printf.printf "  removed (was backend %s): %s\n" (backend_of baseline name) name)
+    missing;
+  List.iter
+    (fun name -> Printf.printf "  added (backend %s): %s\n" (backend_of candidate name) name)
+    added;
   let n_reg =
     List.length (List.filter (fun c -> c.Obs.Artifact.verdict = Obs.Artifact.Regression) comparisons)
   in
   if comparisons = [] then Printf.printf "  (no benchmarks in common)\n";
-  if n_reg > 0 then begin
+  let strict_failed =
+    !sim_strict
+    &&
+    let violations = Obs.Artifact.strict_sim_violations ~baseline ~candidate in
+    List.iter
+      (fun (v : Obs.Artifact.strict_violation) ->
+        Printf.printf "  SIM-STRICT %-28s %s\n" v.sv_bench v.sv_reason)
+      violations;
+    match violations with
+    | [] ->
+        Printf.printf "sim-strict: all simulated entries bitwise-identical.\n";
+        false
+    | vs ->
+        Printf.printf "sim-strict: %d violation(s) — simulated runs are deterministic, so this \
+                       is a real behavioural change (refresh the baseline if intended).\n"
+          (List.length vs);
+        true
+  in
+  if n_reg > 0 then
     Printf.printf "%d regression(s) beyond %.0f%%%s\n" n_reg (100.0 *. !threshold)
-      (if !warn_only then " [warn-only: exiting 0]" else "");
-    if not !warn_only then exit 1
-  end
-  else Printf.printf "no regressions.\n"
+      (if !warn_only then " [warn-only: exiting 0]" else "")
+  else Printf.printf "no regressions.\n";
+  if strict_failed || (n_reg > 0 && not !warn_only) then exit 1
