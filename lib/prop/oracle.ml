@@ -130,6 +130,23 @@ let gen_rule_case (rule : Rules.rule) : Pipe_gen.case Gen.t =
       let+ post = if ends_scalar then return [] else Pipe_gen.gen_ctx ~max_stages:2 in
       { Pipe_gen.chain = pre @ pat @ post; input }
 
+(* A generator guaranteed to aim at a firing instance even for rules
+   [gen_pattern] has never heard of: rejection-sample random pipelines
+   until the rule fires somewhere (bounded; the property skips the rare
+   non-firing fallback). This is what lets the soundness sweep iterate
+   over *every* rule in [Rules.all] — including ones added later — with a
+   meta-test asserting the fire count stayed nonzero. *)
+let gen_firing_case (rule : Rules.rule) : Pipe_gen.case Gen.t =
+  match gen_pattern rule ~n:1 with
+  | Some _ -> gen_rule_case rule
+  | None ->
+      let rec retry budget =
+        let* c = Pipe_gen.gen () in
+        if budget <= 0 || apply_rule_somewhere rule c.Pipe_gen.chain <> None then return c
+        else retry (budget - 1)
+      in
+      retry 200
+
 let rule_prop (rule : Rules.rule) (c : Pipe_gen.case) : Runner.result_ =
   match apply_rule_somewhere rule c.Pipe_gen.chain with
   | None -> Runner.Skip_case
@@ -152,8 +169,8 @@ let rule_prop (rule : Rules.rule) (c : Pipe_gen.case) : Runner.result_ =
                      rule.Rules.rname (vstr expected) (vstr got) (Ast.to_string e'))))
 
 let check_rule ?config (rule : Rules.rule) =
-  Runner.check ?config ~shrink:Pipe_gen.shrink ~gen:(gen_rule_case rule) ~prop:(rule_prop rule)
-    ()
+  Runner.check ?config ~shrink:Pipe_gen.shrink ~gen:(gen_firing_case rule)
+    ~prop:(rule_prop rule) ()
 
 (* --- cost-model consistency -------------------------------------------------
 
@@ -162,7 +179,7 @@ let check_rule ?config (rule : Rules.rule) =
    an estimate; the simulator is the ground truth.) *)
 
 let cost_prop ~procs ~tolerance (c : Pipe_gen.case) : Runner.result_ =
-  if not (Pipe_gen.is_flat c) then Runner.Skip_case
+  if not (Pipe_gen.sim_executable c) then Runner.Skip_case
   else
     let n = match c.Pipe_gen.input with Value.Arr a -> Array.length a | _ -> 0 in
     if n < 1 then Runner.Skip_case
@@ -189,8 +206,7 @@ let cost_prop ~procs ~tolerance (c : Pipe_gen.case) : Runner.result_ =
           with Sim_exec.Unsupported _ | Value.Type_error _ -> Runner.Skip_case
 
 let check_cost ?config ~procs ~tolerance () =
-  Runner.check ?config ~shrink:Pipe_gen.shrink
-    ~gen:(Pipe_gen.gen ~allow_nested:false ())
+  Runner.check ?config ~shrink:Pipe_gen.shrink ~gen:(Pipe_gen.gen ())
     ~prop:(cost_prop ~procs ~tolerance) ()
 
 (* --- differential oracle ---------------------------------------------------- *)
@@ -211,11 +227,11 @@ let diff_prop ?pool_exec ?stats ~sim_procs (c : Pipe_gen.case) : Runner.result_ 
     match Ast.eval e c.Pipe_gen.input with
     | exception Value.Type_error _ -> Runner.Skip_case
     | expected ->
-        let flat = Pipe_gen.is_flat c in
+        let sim_ok = Pipe_gen.sim_executable c in
         (match stats with
         | Some s ->
             s.compared <- s.compared + 1;
-            if flat then s.sim_ran <- s.sim_ran + 1 else s.sim_skipped <- s.sim_skipped + 1
+            if sim_ok then s.sim_ran <- s.sim_ran + 1 else s.sim_skipped <- s.sim_skipped + 1
         | None -> ());
         let backends =
           (("host-seq", fun () -> Host_exec.eval e c.Pipe_gen.input)
@@ -230,7 +246,7 @@ let diff_prop ?pool_exec ?stats ~sim_procs (c : Pipe_gen.case) : Runner.result_ 
               ]
           | None -> []))
           @
-          if flat then
+          if sim_ok then
             List.map
               (fun p ->
                 (Printf.sprintf "sim-p%d" p, fun () -> fst (Sim_exec.run ~procs:p e c.Pipe_gen.input)))

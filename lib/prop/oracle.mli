@@ -25,18 +25,31 @@ val gen_rule_case : Transform.Rules.rule -> Pipe_gen.case Gen.t
     rules by name; unknown rules fall back to fully random pipelines and
     rely on the property's skip). *)
 
+val gen_firing_case : Transform.Rules.rule -> Pipe_gen.case Gen.t
+(** As {!gen_rule_case}, but a rule unknown to the pattern generator gets
+    a {e synthesized} firing context: random pipelines are
+    rejection-sampled (bounded) until the rule fires somewhere. This is
+    the generator behind the exhaustive rule-soundness sweep — every rule
+    in [Rules.all] keeps a nonzero fire count even if nobody taught the
+    generator its pattern. *)
+
 val rule_prop : Transform.Rules.rule -> Pipe_gen.case -> Runner.result_
 (** Skips when the rule does not fire anywhere or the case is ill-typed
     (shrink candidates); fails on any semantic difference. *)
 
 val check_rule : ?config:Runner.config -> Transform.Rules.rule -> Pipe_gen.case Runner.outcome
+(** Runs {!rule_prop} over {!gen_firing_case} with shrinking — the
+    per-rule soundness check behind the exhaustive sweep in the test
+    suite. *)
 
 (** {1 Cost-model consistency} *)
 
 val cost_prop : procs:int -> tolerance:float -> Pipe_gen.case -> Runner.result_
-(** Normalises the pipeline with the default rules; if the static cost
-    model claims an improvement, the simulated makespan must not regress
-    beyond [tolerance] (a multiplicative factor). *)
+(** Normalises the pipeline with the default rules (flattening
+    included); if the static cost model claims an improvement, the
+    simulated makespan must not regress beyond [tolerance] (a
+    multiplicative factor). Nested cases participate whenever they are
+    {!Pipe_gen.sim_executable}. *)
 
 val check_cost :
   ?config:Runner.config -> procs:int -> tolerance:float -> unit -> Pipe_gen.case Runner.outcome
@@ -45,8 +58,10 @@ val check_cost :
 
 type diff_stats = {
   mutable compared : int;  (** cases compared across backends *)
-  mutable sim_ran : int;  (** flat cases also run on the simulator *)
-  mutable sim_skipped : int;  (** nested cases the simulator cannot run *)
+  mutable sim_ran : int;
+      (** sim-executable cases (flat, or one-level nested within the
+          segmented discipline) also run on the simulator *)
+  mutable sim_skipped : int;  (** cases the simulator cannot run *)
 }
 
 val new_stats : unit -> diff_stats

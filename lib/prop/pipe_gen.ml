@@ -25,6 +25,55 @@ let rec expr_is_flat = function
 
 let is_flat c = List.for_all expr_is_flat c.chain
 
+(* Static mirror of Sim_exec's one-level flattening discipline: [true]
+   guarantees the simulator will not raise [Sim_exec.Unsupported] on this
+   case (it may still raise [Value.Type_error], exactly where the
+   reference interpreter does). Conservative: a [false] only means the
+   sim legs are skipped. *)
+let sim_executable c =
+  (* stages executable inside a mapn body on the segmented payload — any
+     flat stage, Fold included (a fold mid-body is a Type_error on every
+     backend, not an Unsupported) *)
+  let rec seg_body_ok = function
+    | Ast.Split _ | Ast.Combine | Ast.Map_nested _ | Ast.Foldr_compose _ -> false
+    | Ast.Compose (f, g) -> seg_body_ok f && seg_body_ok g
+    | Ast.Iter_for (_, b) -> seg_body_ok b
+    | _ -> true
+  in
+  (* abstract state: `F = flat vector / scalar, `G = segmented *)
+  let rec walk st chain =
+    match chain with
+    | [] -> Some st
+    | stage :: rest -> (
+        let next =
+          match (st, stage) with
+          | `F, Ast.Split _ -> Some `G
+          | st, Ast.Compose _ -> walk st (Ast.to_chain stage)
+          | `F, Ast.Iter_for (k, b) ->
+              let rec iter st i =
+                if i <= 0 then Some st
+                else
+                  match walk st (Ast.to_chain b) with
+                  | Some st' -> iter st' (i - 1)
+                  | None -> None
+              in
+              iter `F k
+          | `F, _ -> Some `F
+          | `G, Ast.Combine -> Some `F
+          | `G, Ast.Map_nested b ->
+              if List.for_all seg_body_ok (Ast.to_chain b) then
+                (* a body ending in fold leaves one scalar per segment: a
+                   flat p-vector *)
+                match List.rev (Ast.to_chain b) with
+                | Ast.Fold _ :: _ -> Some `F
+                | _ -> Some `G
+              else None
+          | `G, _ -> None (* group-level operation on a segmented vector *)
+        in
+        match next with Some st' -> walk st' rest | None -> None)
+  in
+  (match c.input with Value.Arr _ -> true | _ -> false) && walk `F c.chain <> None
+
 (* --- element types --------------------------------------------------------- *)
 
 type elem = EInt | EFloat | EPair
@@ -171,7 +220,7 @@ let gen_flat_stage ~elem ~allow_nested n : (Ast.expr * shape) Gen.t =
     else []
   in
   let nested =
-    if allow_nested && n >= 2 then
+    if allow_nested && n >= 1 then
       [
         ( 2,
           let+ p = int_range 1 (min n 4) in
@@ -188,8 +237,16 @@ let gen_group_stage ~elem sizes : (Ast.expr * shape) Gen.t =
     [
       (3, return (Ast.Combine, Flat total));
       ( 2,
-        let+ body = list_size (int_range 1 2) (gen_lp_stage_of elem) in
-        (Ast.Map_nested (Ast.of_chain body), Groups sizes) );
+        let* body = list_size (int_range 1 3) (gen_lp_stage_of elem) in
+        frequency
+          [
+            (3, return (Ast.Map_nested (Ast.of_chain body), Groups sizes));
+            ( 1,
+              (* an iterated body exercises unrolling inside the segmented
+                 executor *)
+              let+ k = int_range 0 3 in
+              (Ast.Map_nested (Ast.Iter_for (k, Ast.of_chain body)), Groups sizes) );
+          ] );
       (1, map (fun f -> (Ast.Map_nested (Ast.Fold f), Flat p)) (gen_fn2_assoc_of elem));
     ]
 

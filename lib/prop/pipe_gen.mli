@@ -35,7 +35,15 @@ type case = { chain : Transform.Ast.expr list; input : Transform.Value.t }
 val expr : case -> Transform.Ast.expr
 val print : case -> string
 val is_flat : case -> bool
-(** No [Split]/[Combine]/[Map_nested] anywhere (executable on [Sim_exec]). *)
+(** No [Split]/[Combine]/[Map_nested] anywhere. *)
+
+val sim_executable : case -> bool
+(** Static mirror of [Sim_exec]'s one-level flattening discipline: [true]
+    guarantees the simulator will not raise [Sim_exec.Unsupported] on
+    this case (it may still raise [Value.Type_error], exactly where the
+    reference interpreter does). Flat cases are always sim-executable;
+    one-level [split .. mapn .. combine] regions with flat bodies are
+    too. Conservative on shapes the segmented executor rejects. *)
 
 type elem = EInt | EFloat | EPair
 

@@ -35,8 +35,8 @@ let rec pp ppf = function
   | Rotate k -> Fmt.pf ppf "rotate %d" k
   | Split p -> Fmt.pf ppf "split %d" p
   | Combine -> Fmt.string ppf "combine"
-  | Map_nested e -> Fmt.pf ppf "map [%a]" pp e
-  | Iter_for (k, e) -> Fmt.pf ppf "iterFor %d [%a]" k pp e
+  | Map_nested e -> Fmt.pf ppf "mapn [ %a ]" pp e
+  | Iter_for (k, e) -> Fmt.pf ppf "iter %d [ %a ]" k pp e
 
 let to_string e = Fmt.str "%a" pp e
 

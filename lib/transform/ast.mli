@@ -33,6 +33,11 @@ val of_chain : expr list -> expr
 
 val size : expr -> int
 
+val block_bounds : total:int -> parts:int -> int array
+(** Block geometry used by [split p]: [parts + 1] prefix bounds, group [k]
+    spanning [bounds.(k) .. bounds.(k+1) - 1]. Shared by the executors so
+    their segment descriptors agree with the reference interpreter. *)
+
 val eval : expr -> Value.t -> Value.t
 (** Reference interpreter.
     @raise Value.Type_error on ill-typed applications, empty folds,

@@ -90,12 +90,54 @@ let flops_arg ctx k = match ctx.target with Sim -> Printf.sprintf "~flops_per_el
 
 let plain_arg ctx = match ctx.target with Sim -> "" | Host -> "~exec "
 
-let rec emit_chain ctx (stages : Ast.expr list) (v : string) : [ `Vec of string | `Scalar of string ] =
+(* [seg] is the static segmentation state: inside a [split]..[combine]
+   region the value variable still holds the *flat* payload (the segment
+   descriptor is compile-time block bounds, so it needs no runtime
+   representation), and the only stages that compile there are [mapn] of
+   map bodies — for which the segmented map is literally the flat map.
+   That is the flattening rules' insight realised in the emitted code. *)
+let rec emit_chain ctx ~seg (stages : Ast.expr list) (v : string) :
+    [ `Vec of string | `Scalar of string ] =
   match stages with
-  | [] -> `Vec v
+  | [] ->
+      if seg then not_compilable "pipeline ends inside a segmented region: combine first";
+      `Vec v
+  | Ast.Split p :: rest ->
+      if seg then not_compilable "nesting deeper than one level is not compilable: flatten first";
+      if p <= 0 then not_compilable "split: non-positive part count";
+      line ctx "(* split %d: enter the segmented region — block bounds are static, the payload stays flat *)" p;
+      emit_chain ctx ~seg:true rest v
+  | Ast.Combine :: rest ->
+      if not seg then
+        not_compilable "combine without a matching split is not compilable";
+      line ctx "(* combine: leave the segmented region — the flat payload is already the combined array *)";
+      emit_chain ctx ~seg:false rest v
+  | Ast.Map_nested body :: rest -> (
+      if not seg then
+        not_compilable
+          "mapn outside a split region is not compilable: apply the flattening rewrites first";
+      let bchain = Ast.to_chain body in
+      match bchain with
+      | [] -> emit_chain ctx ~seg rest v
+      | _ when List.for_all (function Ast.Map _ -> true | _ -> false) bchain ->
+          line ctx "(* mapn of maps: the segmented map is the flat map (flattening rule) *)";
+          let v' =
+            List.fold_left
+              (fun v st ->
+                match emit_stage ctx st v with `Vec v' -> v' | `Scalar _ -> assert false)
+              v bchain
+          in
+          emit_chain ctx ~seg rest v'
+      | _ ->
+          not_compilable
+            "only map bodies compile inside a segmented region: apply the flattening \
+             rewrites (e.g. nested_fold_flatten) first")
   | stage :: rest -> (
+      if seg then
+        not_compilable "stage %S crosses a segment boundary: combine first"
+          (Ast.to_string stage);
       match emit_stage ctx stage v with
-      | `Vec v' -> emit_chain ctx rest v'
+      | `Vec v' -> emit_chain ctx ~seg rest v'
       | `Scalar s ->
           if rest <> [] then
             not_compilable "a fold may only appear as the last stage of a compiled pipeline";
@@ -151,25 +193,27 @@ and emit_stage ctx (stage : Ast.expr) (v : string) : [ `Vec of string | `Scalar 
       line ctx "  let __r = ref %s in" v;
       line ctx "  for _ = 1 to %d do" k;
       let inner = { ctx with indent = ctx.indent ^ "    "; buf = ctx.buf } in
-      (match emit_chain inner (Ast.to_chain body) "!__r" with
+      (match emit_chain inner ~seg:false (Ast.to_chain body) "!__r" with
       | `Vec iv -> line ctx "    __r := %s" iv
       | `Scalar _ -> not_compilable "fold inside iterFor is not compilable");
       line ctx "  done;";
       line ctx "  !__r";
       line ctx "in";
       `Vec v'
-  | Ast.Compose _ -> emit_chain ctx (Ast.to_chain stage) v
+  | Ast.Compose _ -> emit_chain ctx ~seg:false (Ast.to_chain stage) v
   | Ast.Foldr_compose _ ->
       not_compilable
         "foldr is inherently sequential: apply the map-distribution rewrite first (Rules.map_distribution)"
   | Ast.Split _ | Ast.Combine | Ast.Map_nested _ ->
-      not_compilable "nested parallelism is not compilable: apply the flattening rewrites first"
+      (* reachable only by calling emit_stage directly: emit_chain owns the
+         segmented-region bookkeeping for these *)
+      not_compilable "nested parallelism is compilable only as split .. mapn [maps] .. combine"
 
 let generate ?(name = "run_pipeline") (e : Ast.expr) : string =
   let chain = Ast.to_chain e in
   (* dv0 is the scattered input binding; fresh names start above it *)
   let ctx = { buf = Buffer.create 1024; next = 1; indent = "      "; target = Sim } in
-  let result = emit_chain ctx chain "dv0" in
+  let result = emit_chain ctx ~seg:false chain "dv0" in
   let body = Buffer.contents ctx.buf in
   let header =
     Printf.sprintf
@@ -201,7 +245,7 @@ let generate ?(name = "run_pipeline") (e : Ast.expr) : string =
 let generate_host ?(name = "run_pipeline") (e : Ast.expr) : string =
   let chain = Ast.to_chain e in
   let ctx = { buf = Buffer.create 1024; next = 1; indent = "  "; target = Host } in
-  let result = emit_chain ctx chain "dv0" in
+  let result = emit_chain ctx ~seg:false chain "dv0" in
   let body = Buffer.contents ctx.buf in
   let header =
     Printf.sprintf

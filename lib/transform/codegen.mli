@@ -2,9 +2,15 @@
     templates — the paper's "skeletons as libraries or macros over the base
     language" implementation route.
 
-    Only parallel forms compile: [Foldr_compose] must first be rewritten by
-    map distribution, and nested parallelism must be flattened — the
-    Section 4 transformations are what make programs compilable. *)
+    Only parallel forms compile: [Foldr_compose] must first be rewritten
+    by map distribution. One level of nesting is a handled case: inside a
+    [split p] .. [combine] region the value variable holds the flat
+    payload (the segment descriptor is static block bounds), and [mapn]
+    of map bodies emits the flat maps — the flattening rules' insight in
+    the emitted code. Shapes outside that discipline (fold / movement
+    bodies, deeper nesting, stages crossing a segment boundary) still
+    raise {!Not_compilable} naming the flattening rewrite that fixes
+    them. *)
 
 exception Not_compilable of string
 

@@ -49,6 +49,35 @@ and step_once rules e =
   | Some (rname, chain') -> Some (rname, of_chain chain')
   | None -> None
 
+(* Every single-step rewrite of [e]: each rule at each chain position,
+   plus rewrites inside [mapn] / [iter] bodies. This is the neighbourhood
+   function of the optimizer's search — where [step_once] commits to the
+   first hit, [step_all] returns the whole frontier. *)
+let step_all rules e : (string * expr) list =
+  let rec chain_steps chain =
+    match chain with
+    | [] -> []
+    | stage :: tail ->
+        let here =
+          List.filter_map
+            (fun (r : Rules.rule) ->
+              match r.Rules.apply_at chain with
+              | Some (chain', _) -> Some (r.Rules.rname, chain')
+              | None -> None)
+            rules
+        in
+        let inside =
+          match stage with
+          | Map_nested b ->
+              List.map (fun (rn, b') -> (rn, Map_nested b' :: tail)) (expr_steps b)
+          | Iter_for (k, b) ->
+              List.map (fun (rn, b') -> (rn, Iter_for (k, b') :: tail)) (expr_steps b)
+          | _ -> []
+        in
+        here @ inside @ List.map (fun (rn, tail') -> (rn, stage :: tail')) (chain_steps tail)
+  and expr_steps e = List.map (fun (rn, c) -> (rn, of_chain c)) (chain_steps (to_chain e)) in
+  expr_steps e
+
 let normalize ?(max_steps = 1000) ?(rules = Rules.default) e : expr * step list =
   let rec go steps n e =
     if n >= max_steps then (e, List.rev steps)

@@ -11,5 +11,11 @@ val normalize : ?max_steps:int -> ?rules:Rules.rule list -> Ast.expr -> Ast.expr
 val step_once : Rules.rule list -> Ast.expr -> (string * Ast.expr) option
 (** One rewrite step, or [None] at a normal form. *)
 
+val step_all : Rules.rule list -> Ast.expr -> (string * Ast.expr) list
+(** Every single-step rewrite: each rule at each chain position, including
+    positions inside [mapn] / [iter] bodies — the neighbourhood relation
+    explored by the optimizer's search. [step_all rules e = []] iff
+    [step_once rules e = None]. *)
+
 val pp_step : Format.formatter -> step -> unit
 val pp_derivation : Format.formatter -> step list -> unit

@@ -152,6 +152,48 @@ let rule_test (rule : Rules.rule) () =
   | Prop.Runner.Gave_up { checked; _ } ->
       Alcotest.fail (Printf.sprintf "gave up after %d cases" checked)
 
+(* --- exhaustive-sweep meta-tests ---------------------------------------------
+   The rule-oracle suite below already runs the soundness property
+   [eval (rewrite e) = eval e] over every rule in [Rules.all]; these two
+   tests keep that sweep honest. *)
+
+let test_rule_fire_counts () =
+  (* Meta-test: the firing-case generator must keep a nonzero (indeed
+     dominant) fire count for every rule in Rules.all — a rule whose
+     cases never fire would make its soundness test vacuous. *)
+  List.iter
+    (fun (rule : Rules.rule) ->
+      let fires = ref 0 in
+      for seed = 0 to 99 do
+        let c = Prop.Gen.generate ~seed (Prop.Oracle.gen_firing_case rule) in
+        if Prop.Oracle.apply_rule_somewhere rule c.Prop.Pipe_gen.chain <> None then incr fires
+      done;
+      checkb (rule.Rules.rname ^ " fire count nonzero") (!fires > 0) true;
+      checkb
+        (Printf.sprintf "%s fire rate (%d/100)" rule.Rules.rname !fires)
+        (!fires >= 50) true)
+    Rules.all
+
+let test_unknown_rule_synthesized_context () =
+  (* A rule the pattern generator has never heard of still gets firing
+     cases (by bounded rejection sampling), so the sweep stays exhaustive
+     when a rule lands without anyone teaching gen_pattern its shape. *)
+  let alias = { Rules.map_fusion with Rules.rname = "unknown-to-generator" } in
+  let fires = ref 0 in
+  for seed = 0 to 49 do
+    let c = Prop.Gen.generate ~seed (Prop.Oracle.gen_firing_case alias) in
+    if Prop.Oracle.apply_rule_somewhere alias c.Prop.Pipe_gen.chain <> None then incr fires
+  done;
+  checkb "synthesized contexts fire" (!fires > 0) true;
+  match
+    Prop.Oracle.check_rule ~config:{ Prop.Runner.default with count = 50; seed = 42 } alias
+  with
+  | Prop.Runner.Pass _ -> ()
+  | Prop.Runner.Fail f ->
+      Alcotest.fail (Fmt.str "%a" (Prop.Runner.pp_failure Prop.Pipe_gen.print) f)
+  | Prop.Runner.Gave_up { checked; _ } ->
+      Alcotest.fail (Printf.sprintf "gave up after %d cases" checked)
+
 let test_injected_fault_shrinks () =
   (* a deliberately broken rotate fusion must be caught and shrink to a
      2-stage chain over a 2-element array *)
@@ -333,6 +375,12 @@ let () =
             test_pipeline_gen_covers_widened_cases;
         ] );
       ("rule-oracle", rule_suite);
+      ( "rule-sweep-meta",
+        [
+          Alcotest.test_case "per-rule fire count nonzero" `Quick test_rule_fire_counts;
+          Alcotest.test_case "unknown rule gets synthesized context" `Quick
+            test_unknown_rule_synthesized_context;
+        ] );
       ( "fault-injection",
         [
           Alcotest.test_case "broken rule shrinks minimal" `Quick test_injected_fault_shrinks;

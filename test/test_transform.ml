@@ -314,6 +314,74 @@ let test_optimizer_report () =
   Alcotest.(check bool) "cost not worse" true (r.Optimizer.cost_after <= r.Optimizer.cost_before);
   Alcotest.(check string) "fully fused" "rotate 3 . map incr.double" (Ast.to_string r.Optimizer.output)
 
+(* --- cost-driven search ------------------------------------------------------ *)
+
+(* A workload where greedy normalisation over the default rules stalls:
+   flattening and fusion fire, but without the commuting rules the map
+   behind the rotate never joins the front group. Beam search over the
+   full rule set finds the strictly cheaper fully-fused plan. *)
+let search_workload =
+  Ast.of_chain
+    [
+      Ast.Split 4;
+      Ast.Map_nested (Ast.Map Fn.incr);
+      Ast.Combine;
+      Ast.Map Fn.double;
+      Ast.Rotate 3;
+      Ast.Map Fn.square;
+    ]
+
+let test_search_beats_greedy_on_commuting () =
+  let g = Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.Greedy search_workload in
+  let b = Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.default_beam search_workload in
+  Alcotest.(check bool) "beam never worse than greedy" true
+    (b.Optimizer.cost_after <= g.Optimizer.cost_after);
+  Alcotest.(check bool) "beam strictly better here" true
+    (b.Optimizer.cost_after < g.Optimizer.cost_after);
+  Alcotest.(check string) "fully fused across the rotate" "rotate 3 . map square.double.incr"
+    (Ast.to_string b.Optimizer.output);
+  Alcotest.(check bool) "frontier explored" true (b.Optimizer.explored > 1)
+
+let test_search_makespan_not_worse () =
+  (* The cost ranking must be real: the searched plan's simulated makespan
+     is within tolerance of (here: strictly below) the greedy plan's. *)
+  let input = Value.of_int_array (Array.init 4096 Fun.id) in
+  let g = Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.Greedy search_workload in
+  let b = Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.default_beam search_workload in
+  let vg, sg = Sim_exec.run ~procs:8 g.Optimizer.output input in
+  let vb, sb = Sim_exec.run ~procs:8 b.Optimizer.output input in
+  Alcotest.(check bool) "plans agree on the value" true (Value.equal vg vb);
+  Alcotest.(check bool) "searched makespan within tolerance of greedy" true
+    (sb.Machine.Sim.makespan <= sg.Machine.Sim.makespan *. 1.05)
+
+let prop_search_never_worse_than_greedy =
+  qtest ~count:100 "beam search never costs more than greedy"
+    (QCheck.make ~print:Ast.to_string gen_pipeline)
+    (fun e ->
+      let g = Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.Greedy e in
+      let b = Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.default_beam e in
+      b.Optimizer.cost_after <= g.Optimizer.cost_after +. 1e-12)
+
+let prop_search_sound =
+  qtest ~count:100 "beam-optimized pipeline preserves semantics"
+    QCheck.(pair arb_pipeline nonempty_int_list)
+    (fun (e, xs) ->
+      let b = Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.default_beam e in
+      eval_equal e b.Optimizer.output (value_of_list xs))
+
+let prop_optimize_idempotent =
+  qtest ~count:60 "optimize (optimize e) is a fixed point"
+    (QCheck.make ~print:Ast.to_string gen_pipeline)
+    (fun e ->
+      let once =
+        (Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.default_beam e).Optimizer.output
+      in
+      let twice =
+        (Optimizer.optimize ~procs:8 ~n:4096 ~strategy:Optimizer.default_beam once)
+          .Optimizer.output
+      in
+      Ast.to_string once = Ast.to_string twice)
+
 (* --- simulator execution agrees with interpreter ---------------------------- *)
 
 let prop_sim_exec_matches_interpreter =
@@ -341,12 +409,84 @@ let test_sim_exec_optimized_is_faster () =
   Alcotest.(check bool) "optimized pipeline is faster on the simulator" true
     (s2.Machine.Sim.makespan < s1.Machine.Sim.makespan)
 
-let test_sim_exec_rejects_nested () =
-  Alcotest.(check bool) "split unsupported" true
+let test_sim_exec_segmented () =
+  (* One level of split .. mapn .. combine now runs flat on the simulator:
+     the payload stays block-distributed, only the segment descriptor
+     changes shape. *)
+  let e =
+    Ast.of_chain
+      [
+        Ast.Split 3;
+        Ast.Map_nested (Ast.of_chain [ Ast.Map Fn.incr; Ast.Scan Fn.add; Ast.Rotate 1 ]);
+        Ast.Combine;
+      ]
+  in
+  let v = value_of_list [ 1; 2; 3; 4; 5; 6; 7 ] in
+  List.iter
+    (fun procs ->
+      let got, _ = Sim_exec.run ~procs e v in
+      Alcotest.(check bool)
+        (Printf.sprintf "segmented = interpreter at p=%d" procs)
+        true
+        (Value.equal (Ast.eval e v) got))
+    [ 1; 2; 4 ]
+
+let test_sim_exec_segmented_fold () =
+  (* mapn [fold] leaves one scalar per group — already a flat array, no
+     combine needed; the segmented executor's allgather-of-partials must
+     agree with the interpreter, including when the pipeline continues
+     with flat stages afterwards. *)
+  let e =
+    Ast.of_chain [ Ast.Split 2; Ast.Map_nested (Ast.Fold Fn.add); Ast.Map Fn.double ]
+  in
+  let v = value_of_list [ 1; 2; 3; 4; 5 ] in
+  let got, _ = Sim_exec.run ~procs:4 e v in
+  Alcotest.(check bool) "per-group folds, then a flat map" true (Value.equal (Ast.eval e v) got)
+
+let test_sim_exec_rejects_deeper_nesting () =
+  (* The segmented representation is one level deep: a split inside a
+     segmented region is still out of scope (as documented). *)
+  let e = Ast.of_chain [ Ast.Split 2; Ast.Split 2 ] in
+  Alcotest.(check bool) "double split unsupported" true
     (try
-       ignore (Sim_exec.run ~procs:2 (Ast.Split 2) (value_of_list [ 1; 2 ]));
+       ignore (Sim_exec.run ~procs:2 e (value_of_list [ 1; 2; 3; 4 ]));
        false
      with Sim_exec.Unsupported _ -> true)
+
+let test_nested_cross_backend () =
+  (* Acceptance gate for the segmented representation: nested pipelines —
+     one that stays segmented (scan body) and one the beam search flattens
+     away entirely — compute the identical value on the reference
+     interpreter, the sequential host backend, a 3-domain pool, and the
+     simulator at p in {1,2,4}. *)
+  let segmented =
+    Parser.parse_exn "map double . combine . mapn [ scan add . map incr ] . split 3"
+  in
+  let v = Value.of_int_array (Array.init 11 (fun i -> i * 7 mod 13)) in
+  let pool = Runtime.Pool.create ~num_domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.Pool.teardown pool)
+    (fun () ->
+      List.iter
+        (fun nested ->
+          let expected = Ast.eval nested v in
+          let b = Optimizer.optimize ~procs:4 ~n:11 ~strategy:Optimizer.default_beam nested in
+          List.iter
+            (fun e ->
+              let name = Ast.to_string e in
+              Alcotest.(check bool) ("host-seq: " ^ name) true
+                (Value.equal expected (Host_exec.eval e v));
+              Alcotest.(check bool) ("host-pool: " ^ name) true
+                (Value.equal expected (Host_exec.eval ~exec:(Scl.Exec.on_pool pool) e v));
+              List.iter
+                (fun procs ->
+                  let got, _ = Sim_exec.run ~procs e v in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "sim p=%d: %s" procs name)
+                    true (Value.equal expected got))
+                [ 1; 2; 4 ])
+            [ nested; b.Optimizer.output ])
+        [ segmented; search_workload ])
 
 (* --- commuting rules ---------------------------------------------------------- *)
 
@@ -433,6 +573,30 @@ let test_parse_error_position () =
   | Error { position; _ } -> Alcotest.(check int) "points at the bad name" 15 position
   | Ok _ -> Alcotest.fail "expected a parse error"
 
+let test_print_parse_nested_regression () =
+  (* Regression: Ast.pp used to print Map_nested as "map [ ... ]" and
+     Iter_for as "iterFor k [ ... ]" — neither re-parses ("map" takes a
+     function name, "iterFor" is not a keyword). The printer now agrees
+     with the surface syntax, so nested pipelines survive a print/parse
+     round trip. *)
+  let e =
+    Ast.of_chain
+      [
+        Ast.Split 2;
+        Ast.Map_nested (Ast.of_chain [ Ast.Map Fn.incr; Ast.Rotate 1 ]);
+        Ast.Combine;
+      ]
+  in
+  Alcotest.(check string) "printed in surface syntax"
+    "combine . mapn [ rotate 1 . map incr ] . split 2" (Ast.to_string e);
+  Alcotest.(check string) "nested print/parse round trip" (Ast.to_string e)
+    (Ast.to_string (Parser.parse_exn (Ast.to_string e)));
+  let it = Ast.Iter_for (2, Ast.Map Fn.incr) in
+  Alcotest.(check string) "iter printed in surface syntax" "iter 2 [ map incr ]"
+    (Ast.to_string it);
+  Alcotest.(check string) "iter print/parse round trip" (Ast.to_string it)
+    (Ast.to_string (Parser.parse_exn (Ast.to_string it)))
+
 (* Round-trip: printing then parsing reconstructs the pipeline. *)
 let gen_parseable_stage =
   QCheck.Gen.(
@@ -449,6 +613,15 @@ let gen_parseable_stage =
         (1, map (fun p -> Ast.Split (1 + p)) (int_range 0 5));
         (1, return Ast.Combine);
         (1, return (Ast.Imap Fn.add_index));
+        ( 1,
+          map
+            (fun f -> Ast.Map_nested (Ast.Map f))
+            (oneofl [ Fn.incr; Fn.double; Fn.square ]) );
+        ( 1,
+          map2
+            (fun k f -> Ast.Iter_for (k, Ast.Map f))
+            (int_range 0 3)
+            (oneofl [ Fn.incr; Fn.square ]) );
       ])
 
 let gen_parseable =
@@ -595,6 +768,44 @@ let test_codegen_host_golden () =
   in
   Alcotest.(check string) "host regeneration is byte-identical" checked_in generated
 
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let seg_pipeline_src = "fold add . combine . mapn [ map square . map incr ] . split 4"
+
+let test_codegen_seg_golden () =
+  (* The nested golden pair: a segmented pipeline compiled as-is. It is
+     also compiled by dune (examples/generated), proving the emitted
+     segmented code is valid OCaml. *)
+  let e = Parser.parse_exn seg_pipeline_src in
+  let generated = Codegen.generate ~name:"run_pipeline_seg" e in
+  let path =
+    List.find Sys.file_exists
+      [
+        "../examples/generated/generated_pipeline_seg.ml";
+        "examples/generated/generated_pipeline_seg.ml";
+        "_build/default/examples/generated/generated_pipeline_seg.ml";
+      ]
+  in
+  Alcotest.(check string) "seg regeneration is byte-identical" (read_file path) generated
+
+let test_codegen_seg_host_golden () =
+  let e = Parser.parse_exn seg_pipeline_src in
+  let generated = Codegen.generate_host ~name:"run_pipeline_seg" e in
+  let path =
+    List.find Sys.file_exists
+      [
+        "../examples/generated/generated_pipeline_seg_host.ml";
+        "examples/generated/generated_pipeline_seg_host.ml";
+        "_build/default/examples/generated/generated_pipeline_seg_host.ml";
+      ]
+  in
+  Alcotest.(check string) "seg host regeneration is byte-identical" (read_file path) generated
+
 let prop_host_codegen_source_wellformed =
   qtest ~count:100 "host codegen emits for every compilable pipeline"
     (QCheck.make ~print:Ast.to_string gen_parseable)
@@ -602,7 +813,9 @@ let prop_host_codegen_source_wellformed =
       let chain =
         List.filter
           (function
-            | Ast.Split _ | Ast.Combine | Ast.Fold _ | Ast.Foldr_compose _ -> false
+            | Ast.Split _ | Ast.Combine | Ast.Map_nested _ | Ast.Fold _ | Ast.Foldr_compose _
+              ->
+                false
             | _ -> true)
           (Ast.to_chain e)
       in
@@ -616,11 +829,32 @@ let test_codegen_rejects_foldr () =
   let rewritten, _ = Rewrite.normalize (Ast.Foldr_compose (Fn.add, Fn.square)) in
   Alcotest.(check bool) "compilable after map distribution" true (Codegen.compilable rewritten)
 
-let test_codegen_rejects_nested () =
+let test_codegen_compiles_segmented () =
+  (* split .. mapn [maps] .. combine now compiles directly: the segmented
+     region emits the flat maps (the flattening rules' insight, in the
+     emitted code). Flattening it first must of course stay compilable. *)
   let nested = Ast.of_chain [ Ast.Split 4; Ast.Map_nested (Ast.Map Fn.incr); Ast.Combine ] in
-  Alcotest.(check bool) "nested not compilable" true (not (Codegen.compilable nested));
+  Alcotest.(check bool) "mapn of maps compilable" true (Codegen.compilable nested);
   let flat, _ = Rewrite.normalize nested in
-  Alcotest.(check bool) "compilable after flattening" true (Codegen.compilable flat)
+  Alcotest.(check bool) "still compilable after flattening" true (Codegen.compilable flat);
+  (* both targets actually emit source for the nested form *)
+  Alcotest.(check bool) "sim target emits" true (String.length (Codegen.generate nested) > 0);
+  Alcotest.(check bool) "host target emits" true
+    (String.length (Codegen.generate_host nested) > 0)
+
+let test_codegen_rejects_unflattened_fold () =
+  (* A fold body inside a segmented region is not compilable until
+     nested_fold_flatten has rewritten it away. *)
+  let nested =
+    Ast.of_chain [ Ast.Split 4; Ast.Map_nested (Ast.Fold Fn.add); Ast.Fold Fn.add ]
+  in
+  Alcotest.(check bool) "mapn of fold not compilable" true (not (Codegen.compilable nested));
+  let flat, _ = Rewrite.normalize nested in
+  Alcotest.(check bool) "compilable after nested_fold_flatten" true (Codegen.compilable flat);
+  Alcotest.(check string) "flattened to the flat fold" "fold add" (Ast.to_string flat);
+  (* a split that never combines is also rejected *)
+  Alcotest.(check bool) "unterminated segment rejected" true
+    (not (Codegen.compilable (Ast.Split 2)))
 
 let test_codegen_rejects_mid_fold () =
   let e = Ast.of_chain [ Ast.Fold Fn.add; Ast.Map Fn.incr ] in
@@ -630,13 +864,17 @@ let prop_codegen_accepts_flat_pipelines =
   qtest ~count:100 "every flat registry pipeline is compilable"
     (QCheck.make ~print:Ast.to_string gen_parseable)
     (fun e ->
-      (* strip nested/scan-incompatible stages for this property: the
-         parseable generator only emits flat stages plus split/combine,
-         which codegen rejects — so filter to the compilable subset *)
+      (* strip mid-pipeline folds and free-standing nesting stages for this
+         property: the parseable generator emits split/combine/mapn in
+         arbitrary positions, and codegen only accepts the disciplined
+         split .. mapn [maps] .. combine shape — so filter to the flat
+         compilable subset *)
       let chain =
         List.filter
           (function
-            | Ast.Split _ | Ast.Combine | Ast.Fold _ | Ast.Foldr_compose _ -> false
+            | Ast.Split _ | Ast.Combine | Ast.Map_nested _ | Ast.Fold _ | Ast.Foldr_compose _
+              ->
+                false
             | _ -> true)
           (Ast.to_chain e)
       in
@@ -815,7 +1053,18 @@ let () =
         [
           prop_sim_exec_matches_interpreter;
           Alcotest.test_case "optimized faster on simulator" `Quick test_sim_exec_optimized_is_faster;
-          Alcotest.test_case "nested rejected" `Quick test_sim_exec_rejects_nested;
+          Alcotest.test_case "segmented execution" `Quick test_sim_exec_segmented;
+          Alcotest.test_case "segmented fold" `Quick test_sim_exec_segmented_fold;
+          Alcotest.test_case "deeper nesting rejected" `Quick test_sim_exec_rejects_deeper_nesting;
+          Alcotest.test_case "nested cross-backend" `Quick test_nested_cross_backend;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "beam beats stalled greedy" `Quick test_search_beats_greedy_on_commuting;
+          Alcotest.test_case "makespan within tolerance" `Quick test_search_makespan_not_worse;
+          prop_search_never_worse_than_greedy;
+          prop_search_sound;
+          prop_optimize_idempotent;
         ] );
       ( "commuting",
         [
@@ -834,6 +1083,8 @@ let () =
           Alcotest.test_case "shift" `Quick test_parse_shift;
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "error positions" `Quick test_parse_error_position;
+          Alcotest.test_case "nested print/parse regression" `Quick
+            test_print_parse_nested_regression;
           prop_parse_roundtrip;
           Alcotest.test_case "fused not printable" `Quick test_to_source_rejects_fused;
         ] );
@@ -856,9 +1107,13 @@ let () =
         [
           Alcotest.test_case "golden file" `Quick test_codegen_golden;
           Alcotest.test_case "host golden file" `Quick test_codegen_host_golden;
+          Alcotest.test_case "segmented golden file" `Quick test_codegen_seg_golden;
+          Alcotest.test_case "segmented host golden file" `Quick test_codegen_seg_host_golden;
           prop_host_codegen_source_wellformed;
           Alcotest.test_case "foldr rejected until rewritten" `Quick test_codegen_rejects_foldr;
-          Alcotest.test_case "nested rejected until flattened" `Quick test_codegen_rejects_nested;
+          Alcotest.test_case "segmented region compiles" `Quick test_codegen_compiles_segmented;
+          Alcotest.test_case "fold body rejected until flattened" `Quick
+            test_codegen_rejects_unflattened_fold;
           Alcotest.test_case "fold must be last" `Quick test_codegen_rejects_mid_fold;
           prop_codegen_accepts_flat_pipelines;
         ] );

@@ -2,7 +2,7 @@
 
    Usage:
      diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N]
-               [--tolerance F] [--no-pool] [--out FILE]
+               [--search-cases N] [--tolerance F] [--no-pool] [--out FILE]
 
    Phases:
      1. rule oracle       — every rule in Transform.Rules.all gets
@@ -43,6 +43,17 @@
                             mid-farm must still yield the complete result
                             set; and the zero-fault chaos wrapper must be
                             bit-identical to the unwrapped simulated run.
+     8. search oracle     — [--search-cases] seeded pipelines: the beam
+                            search must never pick a plan the cost model
+                            ranks above greedy's, searched plans must
+                            preserve meaning (simulated makespan within
+                            [--tolerance] of greedy's when both plans run
+                            on the simulator), and nested pipelines must
+                            be value-identical across the reference
+                            interpreter, the host backend and Sim_exec at
+                            p ∈ {1, 2, 4} — before and after beam
+                            optimisation (the segmented-flattening
+                            differential).
 
    Workload parameters in phases 5–7 (input lengths, value bounds, matrix
    sizes, chaos probabilities, crash points) are derived from the case
@@ -55,7 +66,8 @@
 
 let usage =
   "diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N] [--fused-cases N] \
-   [--engine-cases N] [--fault-cases N] [--tolerance F] [--no-pool] [--out FILE]"
+   [--engine-cases N] [--fault-cases N] [--search-cases N] [--tolerance F] [--no-pool] \
+   [--out FILE]"
 
 let failures : string list ref = ref []
 
@@ -111,6 +123,7 @@ let () =
   let fused_cases = ref 200 in
   let engine_cases = ref 3 in
   let fault_cases = ref 3 in
+  let search_cases = ref 3 in
   let tolerance = ref 1.25 in
   let no_pool = ref false in
   let out = ref "" in
@@ -127,6 +140,9 @@ let () =
       ( "--fault-cases",
         Arg.Set_int fault_cases,
         "N seeded chaos schedules for the fault-injection phase (default 3)" );
+      ( "--search-cases",
+        Arg.Set_int search_cases,
+        "N seeded search-vs-greedy + flattening differentials (default 3)" );
       ( "--tolerance",
         Arg.Set_float tolerance,
         "F allowed simulated-makespan regression factor (default 1.25)" );
@@ -348,7 +364,126 @@ let () =
     report_checks ~phase:"fault-injection" (List.rev !cases)
   in
 
-  if ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo && ok_fault then begin
+  (* phase 8: search oracle — beam search never beaten by greedy on the
+     cost model, searched plans preserve meaning and makespan, and nested
+     pipelines agree across all backends before and after optimisation. *)
+  let ok_search =
+    let open Transform in
+    let gen_nested =
+      let open Prop.Gen in
+      let* n = int_range 1 16 in
+      let* p = int_range 1 n in
+      let* body = Prop.Pipe_gen.gen_ctx ~max_stages:3 in
+      let* post = Prop.Pipe_gen.gen_ctx ~max_stages:2 in
+      let+ input = Prop.Pipe_gen.gen_input ~n in
+      {
+        Prop.Pipe_gen.chain =
+          Ast.Split p :: Ast.Map_nested (Ast.of_chain body) :: Ast.Combine :: post;
+        input;
+      }
+    in
+    let input_len v = match v with Value.Arr a -> max 1 (Array.length a) | _ -> 1 in
+    let cases = ref [] in
+    let add label f = cases := (label, f) :: !cases in
+    for k = 0 to !search_cases - 1 do
+      let case_seed = !seed + (1031 * k) in
+      let c = Prop.Gen.generate ~seed:case_seed (Prop.Pipe_gen.gen ()) in
+      let e = Prop.Pipe_gen.expr c in
+      let n = input_len c.Prop.Pipe_gen.input in
+      let greedy () = Optimizer.optimize ~procs:4 ~n ~strategy:Optimizer.Greedy e in
+      let beam () = Optimizer.optimize ~procs:4 ~n ~strategy:Optimizer.default_beam e in
+      add
+        (Printf.sprintf "search-vs-greedy seed=%d" case_seed)
+        (fun () ->
+          let g = greedy () and b = beam () in
+          if b.Optimizer.cost_after > g.Optimizer.cost_after +. 1e-12 then
+            Some
+              (Printf.sprintf "beam cost %.6g > greedy %.6g on %s" b.Optimizer.cost_after
+                 g.Optimizer.cost_after (Ast.to_string e))
+          else
+            match Ast.eval e c.Prop.Pipe_gen.input with
+            | exception Value.Type_error _ -> None (* intentionally-partial case *)
+            | expected -> (
+                match Ast.eval b.Optimizer.output c.Prop.Pipe_gen.input with
+                | exception ex ->
+                    Some
+                      (Printf.sprintf "beam plan raised %s on %s" (Printexc.to_string ex)
+                         (Ast.to_string e))
+                | got ->
+                    if Value.equal expected got then None
+                    else Some ("beam plan changed the value of " ^ Ast.to_string e)));
+      add
+        (Printf.sprintf "search-makespan seed=%d" case_seed)
+        (fun () ->
+          let g = greedy () and b = beam () in
+          let sim_ok plan =
+            Prop.Pipe_gen.sim_executable { c with Prop.Pipe_gen.chain = Ast.to_chain plan }
+          in
+          if not (sim_ok g.Optimizer.output && sim_ok b.Optimizer.output) then None
+          else
+            match
+              ( Sim_exec.run ~procs:4 g.Optimizer.output c.Prop.Pipe_gen.input,
+                Sim_exec.run ~procs:4 b.Optimizer.output c.Prop.Pipe_gen.input )
+            with
+            | exception Value.Type_error _ -> None
+            | (_, sg), (_, sb) ->
+                if sb.Machine.Sim.makespan <= (sg.Machine.Sim.makespan *. !tolerance) +. 1e-9
+                then None
+                else
+                  Some
+                    (Printf.sprintf "searched makespan %.6g > greedy %.6g * tolerance on %s"
+                       sb.Machine.Sim.makespan sg.Machine.Sim.makespan (Ast.to_string e)));
+      let nc = Prop.Gen.generate ~seed:(case_seed lxor 0x5ea) gen_nested in
+      add
+        (Printf.sprintf "flattening-differential seed=%d" case_seed)
+        (fun () ->
+          let ne = Prop.Pipe_gen.expr nc in
+          let input = nc.Prop.Pipe_gen.input in
+          match Ast.eval ne input with
+          | exception Value.Type_error _ -> None
+          | expected ->
+              let nn = input_len input in
+              let b = Optimizer.optimize ~procs:4 ~n:nn ~strategy:Optimizer.default_beam ne in
+              let check_plan label plan =
+                let host =
+                  match Host_exec.eval plan input with
+                  | v ->
+                      if Value.equal expected v then None
+                      else Some (Printf.sprintf "%s: host value differs" label)
+                  | exception ex ->
+                      Some (Printf.sprintf "%s: host raised %s" label (Printexc.to_string ex))
+                in
+                match host with
+                | Some _ as bad -> bad
+                | None ->
+                    List.fold_left
+                      (fun acc procs ->
+                        match acc with
+                        | Some _ -> acc
+                        | None -> (
+                            match Sim_exec.run ~procs plan input with
+                            | got, _ ->
+                                if Value.equal expected got then None
+                                else
+                                  Some (Printf.sprintf "%s: sim p=%d value differs" label procs)
+                            | exception ex ->
+                                Some
+                                  (Printf.sprintf "%s: sim p=%d raised %s" label procs
+                                     (Printexc.to_string ex))))
+                      None [ 1; 2; 4 ]
+              in
+              (match check_plan (Printf.sprintf "nested %s" (Ast.to_string ne)) ne with
+              | Some _ as bad -> bad
+              | None ->
+                  check_plan
+                    (Printf.sprintf "beam plan %s" (Ast.to_string b.Optimizer.output))
+                    b.Optimizer.output))
+    done;
+    report_checks ~phase:"search-vs-greedy + flattening" (List.rev !cases)
+  in
+
+  if ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo && ok_fault && ok_search
+  then begin
     Printf.printf "diffcheck: all oracles agree (seed %d)\n" !seed;
     exit 0
   end

@@ -2,6 +2,9 @@
    files match. *)
 let pipeline_src = "fold add . map square . rotate 3 . iter 2 [ map incr ] . fetch reverse"
 
+(* A nested pipeline compiled as-is: the segmented region emits flat maps. *)
+let seg_pipeline_src = "fold add . combine . mapn [ map square . map incr ] . split 4"
+
 let write path s =
   let oc = open_out path in
   output_string oc s;
@@ -12,4 +15,9 @@ let () =
   let e = Transform.Parser.parse_exn pipeline_src in
   write "examples/generated/generated_pipeline.ml" (Transform.Codegen.generate ~name:"run_pipeline" e);
   write "examples/generated/generated_pipeline_host.ml"
-    (Transform.Codegen.generate_host ~name:"run_pipeline" e)
+    (Transform.Codegen.generate_host ~name:"run_pipeline" e);
+  let seg = Transform.Parser.parse_exn seg_pipeline_src in
+  write "examples/generated/generated_pipeline_seg.ml"
+    (Transform.Codegen.generate ~name:"run_pipeline_seg" seg);
+  write "examples/generated/generated_pipeline_seg_host.ml"
+    (Transform.Codegen.generate_host ~name:"run_pipeline_seg" seg)
