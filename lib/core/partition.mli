@@ -21,6 +21,16 @@ val assign : t -> n:int -> int -> int
 
 val part_sizes : t -> n:int -> int array
 
+val block_bounds : n:int -> p:int -> int array
+(** Balanced-block boundaries: part [k] of a [Block p] pattern owns source
+    range [\[b.(k), b.(k+1))]. Exposed because every block-distributed
+    layer (the flat tier, [scl_sim]'s Dvec, the segmented executor) must
+    agree on this geometry. *)
+
+val cyclic_size : n:int -> p:int -> int -> int
+(** Elements owned by part [k] under [Cyclic p]: [k, k+p, k+2p, …] below
+    [n]. *)
+
 val apply : t -> 'a array -> 'a array Par_array.t
 (** The paper's [partition]. Parts may be empty when [n < parts].
 

@@ -19,7 +19,17 @@
     library. *)
 
 module Exec = Exec
-module Par_array = Par_array
+
+module Par_array = struct
+  include Par_array
+
+  (* The unboxed numeric tier rides along here ([Par_array.Flat]); it is
+     grafted in at this aggregation point because [Flat] needs [Partition]
+     (which itself builds on the boxed [Par_array]). *)
+  module Flat = Flat
+end
+
+module Flat = Flat
 module Par_array2 = Par_array2
 module Partition = Partition
 module Partition2 = Partition2

@@ -8,17 +8,31 @@
    that captured it).
 
    Message fabric:
-   - one tagged mailbox per rank, built on [Runtime.Mpmc_queue]
-     (mutex + condvar FIFO: per-sender push order is preserved);
-   - each rank drains its mailbox into a consumer-local pending list and
-     matches (src, tag) against that list in arrival order, which yields
-     exactly MPI's non-overtaking rule: FIFO per (source, tag);
+   - one tagged mailbox per rank: a mutex-protected ring of parallel
+     (src, tag, payload) arrays.  Per-sender push order is preserved, and
+     a consumer drains the whole ring under one lock acquisition;
+   - each rank drains its mailbox into a consumer-local pending ring and
+     matches (src, tag) against it in arrival order, which yields exactly
+     MPI's non-overtaking rule: FIFO per (source, tag);
    - payloads move zero-copy by reference ([Obj.repr]/[Obj.obj] — the same
      contract as the simulator's [~bytes] fast path: the sender must not
      mutate a value after sending it);
    - blocked receives park the fiber with an effect; when every rank on a
      domain is parked the domain spins with [Runtime.Backoff], then sleeps
      on its doorbell (a condvar rung by senders targeting its ranks).
+
+   The send/recv hot paths are allocation-free in steady state: the rings
+   are parallel scalar arrays (no per-message packet record, no list cell,
+   no [Some] boxing — [Mpmc_queue.try_pop]'s option per poll was measured
+   GC pressure), matches are returned through mutable scratch fields on
+   the rank state, receive patterns are plain ints with sentinels
+   (src = -1 for any; a bool for any-tag; [infinity] for no deadline)
+   rather than option values, and ring growth is amortised doubling.  The
+   only steady-state allocation left is the effect-handler machinery when
+   a fiber actually parks — a receive satisfied from pending or by a
+   drain performs no effect and allocates nothing.  [Gc] minor-word
+   deltas per domain are surfaced as the [mc.minor_words] counter, and a
+   test pins the zero-allocation claim on a 10k-message ping-pong.
 
    Deadlock is detected by quiescence, mirroring [Sim.Deadlock]: when every
    live domain is asleep and no message is in flight, no future progress is
@@ -31,24 +45,89 @@
 
 exception Deadlock of string
 
-type packet = { pkt_src : int; pkt_tag : int; payload : Obj.t }
-type want = { want_src : int option; want_tag : int option }
+(* A FIFO ring of messages in parallel scalar arrays.  [pay] is created
+   from an immediate, so it is a pointer array (never a float array) and
+   generic stores are plain writes.  Capacity is a power of two; growth
+   doubles and compacts to head = 0. *)
+module Ring = struct
+  type t = {
+    mutable src : int array;
+    mutable tag : int array;
+    mutable pay : Obj.t array;
+    mutable head : int;  (* position of the oldest entry *)
+    mutable count : int;
+  }
+
+  let nil = Obj.repr 0
+
+  let create () =
+    { src = Array.make 16 0; tag = Array.make 16 0; pay = Array.make 16 nil; head = 0; count = 0 }
+
+  let cap r = Array.length r.src
+
+  let grow r =
+    let c = cap r in
+    let nsrc = Array.make (2 * c) 0
+    and ntag = Array.make (2 * c) 0
+    and npay = Array.make (2 * c) nil in
+    let m = c - 1 in
+    for j = 0 to r.count - 1 do
+      let p = (r.head + j) land m in
+      nsrc.(j) <- r.src.(p);
+      ntag.(j) <- r.tag.(p);
+      npay.(j) <- r.pay.(p)
+    done;
+    r.src <- nsrc;
+    r.tag <- ntag;
+    r.pay <- npay;
+    r.head <- 0
+
+  let push r src tag pay =
+    if r.count = cap r then grow r;
+    let i = (r.head + r.count) land (cap r - 1) in
+    Array.unsafe_set r.src i src;
+    Array.unsafe_set r.tag i tag;
+    Array.unsafe_set r.pay i pay;
+    r.count <- r.count + 1
+
+  (* Drop everything, releasing payload references. *)
+  let clear r =
+    let m = cap r - 1 in
+    for j = 0 to r.count - 1 do
+      r.pay.((r.head + j) land m) <- nil
+    done;
+    r.head <- 0;
+    r.count <- 0
+end
 
 type park =
   | Ready of (unit -> unit)
   | Running
-  | Waiting of want * float option * (packet, unit) Effect.Deep.continuation
-      (* the float is an absolute wall-clock deadline (seconds since t0) *)
+  | Waiting of (Obj.t, unit) Effect.Deep.continuation
+      (* receive pattern and deadline live in the rank-state scratch
+         fields below, so parking allocates no [want] record *)
   | Finished
 
 type rstate = {
   rk : int;
-  mailbox : packet Runtime.Mpmc_queue.t;
-  mutable pending : packet list;  (* drained, unmatched; arrival order *)
+  mbox : Ring.t;  (* producers push under [mbox_mu]; consumer drains *)
+  mbox_mu : Mutex.t;
+  pending : Ring.t;  (* drained, unmatched; arrival order; consumer-local *)
   mutable park : park;
   mutable crashed : bool;  (* fail-stopped via Fault.Crashed *)
   mutable sent : int;  (* single-writer: only this rank's fiber *)
   mutable received : int;
+  (* match scratch: [take_pending] returns the matched packet here so the
+     hot path allocates no option or tuple *)
+  mutable last_src : int;
+  mutable last_pay : Obj.t;
+  (* parked-receive pattern, valid while [park = Waiting _]: want_src = -1
+     means any source; want_any covers any tag; deadline = infinity means
+     none (absolute wall-clock seconds since t0 otherwise) *)
+  mutable want_src : int;
+  mutable want_tag : int;
+  mutable want_any : bool;
+  mutable deadline : float;
 }
 
 type doorbell = { mu : Mutex.t; cond : Condition.t; rings : int Atomic.t }
@@ -77,7 +156,7 @@ type stats = {
   sleeps : int;  (* spin-to-sleep transitions across all domains *)
 }
 
-type _ Effect.t += E_wait : want * float option -> packet Effect.t
+type _ Effect.t += E_wait : Obj.t Effect.t
 
 (* ------------------------------------------------------------ observability *)
 
@@ -87,38 +166,91 @@ let obs_recvs = Obs.Counter.make "mc.recvs"
 let obs_parks = Obs.Counter.make "mc.parks"
 let obs_sleeps = Obs.Counter.make "mc.sleeps"
 let obs_barrier_waits = Obs.Counter.make "mc.barrier_waits"
+
+let obs_minor_words = Obs.Counter.make "mc.minor_words"
+(* Minor-heap words allocated inside the fabric's domains (per-domain
+   [Gc.minor_words] delta, summed).  The allocation-free-hot-path claim is
+   observable here: message volume must not move this counter. *)
+
 let obs_wall = Obs.Histogram.make ~unit_:"us" "mc.wall_us"
 let obs_run_span = Obs.Span.make "mc.run_wall"
 
 (* ------------------------------------------------------------ message fabric *)
 
-let matches w pkt =
-  (match w.want_src with None -> true | Some s -> pkt.pkt_src = s)
-  && match w.want_tag with None -> true | Some t -> pkt.pkt_tag = t
+(* Remove the oldest pending packet matching (src, tag, any_tag); the
+   result is returned through [st.last_src]/[st.last_pay].  Because the
+   pending ring is in mailbox (arrival) order and each sender's pushes are
+   ordered, the first match is the oldest from its (source, tag).  The
+   usual match is at the head, so the gap-closing shift is almost always
+   empty; either way it blits in place and allocates nothing. *)
+let take_pending st ~src ~tag ~any_tag =
+  let r = st.pending in
+  let m = Ring.cap r - 1 in
+  let n = r.Ring.count in
+  let found = ref (-1) in
+  let j = ref 0 in
+  while !found < 0 && !j < n do
+    let p = (r.Ring.head + !j) land m in
+    if
+      (src = -1 || Array.unsafe_get r.Ring.src p = src)
+      && (any_tag || Array.unsafe_get r.Ring.tag p = tag)
+    then found := !j
+    else incr j
+  done;
+  if !found < 0 then false
+  else begin
+    let p = (r.Ring.head + !found) land m in
+    st.last_src <- r.Ring.src.(p);
+    st.last_pay <- r.Ring.pay.(p);
+    let k = ref !found in
+    while !k > 0 do
+      let dst = (r.Ring.head + !k) land m and sp = (r.Ring.head + !k - 1) land m in
+      r.Ring.src.(dst) <- r.Ring.src.(sp);
+      r.Ring.tag.(dst) <- r.Ring.tag.(sp);
+      r.Ring.pay.(dst) <- r.Ring.pay.(sp);
+      decr k
+    done;
+    r.Ring.pay.(r.Ring.head) <- Ring.nil;
+    r.Ring.head <- (r.Ring.head + 1) land m;
+    r.Ring.count <- n - 1;
+    true
+  end
 
-(* Remove and return the oldest pending packet matching [w].  Because the
-   pending list is in mailbox (arrival) order and each sender's pushes are
-   ordered, the first match is the oldest from its (source, tag). *)
-let take_pending st w =
-  let rec go acc = function
-    | [] -> None
-    | pkt :: rest when matches w pkt ->
-        st.pending <- List.rev_append acc rest;
-        Some pkt
-    | pkt :: rest -> go (pkt :: acc) rest
-  in
-  go [] st.pending
+let exists_pending st ~src ~tag ~any_tag =
+  let r = st.pending in
+  let m = Ring.cap r - 1 in
+  let n = r.Ring.count in
+  let found = ref false in
+  let j = ref 0 in
+  while (not !found) && !j < n do
+    let p = (r.Ring.head + !j) land m in
+    if
+      (src = -1 || Array.unsafe_get r.Ring.src p = src)
+      && (any_tag || Array.unsafe_get r.Ring.tag p = tag)
+    then found := true
+    else incr j
+  done;
+  !found
 
+(* Move the whole mailbox into the pending ring under one lock acquisition
+   (batched: senders pay one lock per message, the consumer one per
+   drain). *)
 let drain fab st =
-  let rec go () =
-    match Runtime.Mpmc_queue.try_pop st.mailbox with
-    | Some pkt ->
-        ignore (Atomic.fetch_and_add fab.in_flight (-1));
-        st.pending <- st.pending @ [ pkt ];
-        go ()
-    | None -> ()
-  in
-  go ()
+  Mutex.lock st.mbox_mu;
+  let b = st.mbox in
+  let n = b.Ring.count in
+  if n > 0 then begin
+    let m = Ring.cap b - 1 in
+    for j = 0 to n - 1 do
+      let p = (b.Ring.head + j) land m in
+      Ring.push st.pending b.Ring.src.(p) b.Ring.tag.(p) b.Ring.pay.(p);
+      b.Ring.pay.(p) <- Ring.nil
+    done;
+    b.Ring.head <- 0;
+    b.Ring.count <- 0
+  end;
+  Mutex.unlock st.mbox_mu;
+  if n > 0 then ignore (Atomic.fetch_and_add fab.in_flight (-n))
 
 let ring fab dom =
   let b = fab.bells.(dom) in
@@ -144,18 +276,20 @@ let describe fab =
         | Finished -> None
         | Ready _ -> Some "not started"
         | Running -> Some "running"
-        | Waiting (w, dl, _) ->
+        | Waiting _ ->
             Some
               (Printf.sprintf "recv(src=%s, tag=%s%s)"
-                 (match w.want_src with None -> "any" | Some s -> string_of_int s)
-                 (match w.want_tag with None -> "any" | Some t -> string_of_int t)
-                 (match dl with None -> "" | Some d -> Printf.sprintf ", deadline=%.3f" d))
+                 (if st.want_src < 0 then "any" else string_of_int st.want_src)
+                 (if st.want_any then "any" else string_of_int st.want_tag)
+                 (if st.deadline < Float.infinity then
+                    Printf.sprintf ", deadline=%.3f" st.deadline
+                  else ""))
       in
       match state with
       | None -> ()
       | Some s ->
           Buffer.add_string buf
-            (Printf.sprintf "p%d: %s, %d pending; " st.rk s (List.length st.pending)))
+            (Printf.sprintf "p%d: %s, %d pending; " st.rk s st.pending.Ring.count))
     fab.ranks;
   "no runnable processor: " ^ Buffer.contents buf
 
@@ -175,8 +309,10 @@ let send fab st ~dest ~tag v =
     ()
   else begin
     Atomic.incr fab.in_flight;
-    Runtime.Mpmc_queue.push fab.ranks.(dest).mailbox
-      { pkt_src = st.rk; pkt_tag = tag; payload = Obj.repr v };
+    let d = fab.ranks.(dest) in
+    Mutex.lock d.mbox_mu;
+    Ring.push d.mbox st.rk tag (Obj.repr v);
+    Mutex.unlock d.mbox_mu;
     ring fab (dest mod fab.ndomains)
   end
 
@@ -184,31 +320,37 @@ let send fab st ~dest ~tag v =
    only end by deadline expiry. *)
 let sleep_tag = min_int
 
-let timeout_exn st w =
+let timeout_exn st ~src ~any_tag ~tag =
   Fault.Timeout
     (Printf.sprintf "p%d: recv(src=%s, tag=%s) deadline elapsed" st.rk
-       (match w.want_src with None -> "any" | Some s -> string_of_int s)
-       (match w.want_tag with None -> "any" | Some t -> string_of_int t))
+       (if src < 0 then "any" else string_of_int src)
+       (if any_tag then "any" else string_of_int tag))
 
-let recv_packet fab st w deadline =
-  match take_pending st w with
-  | Some pkt -> pkt
-  | None -> (
-      drain fab st;
-      match take_pending st w with
-      | Some pkt -> pkt
-      | None -> (
-          match deadline with
-          | Some d when now fab >= d -> raise (timeout_exn st w)
-          | _ ->
-              Obs.Counter.incr obs_parks;
-              Effect.perform (E_wait (w, deadline))))
+let recv_packet fab st ~src ~tag ~any_tag ~deadline : Obj.t =
+  if take_pending st ~src ~tag ~any_tag then st.last_pay
+  else begin
+    drain fab st;
+    if take_pending st ~src ~tag ~any_tag then st.last_pay
+    else if deadline < Float.infinity && now fab >= deadline then
+      raise (timeout_exn st ~src ~any_tag ~tag)
+    else begin
+      Obs.Counter.incr obs_parks;
+      st.want_src <- src;
+      st.want_tag <- tag;
+      st.want_any <- any_tag;
+      st.deadline <- deadline;
+      Effect.perform E_wait
+    end
+  end
 
-let deadline_of fab name = function
-  | None -> None
+(* No deadline is [infinity] (a static constant, not an option — the
+   common no-timeout receive allocates nothing here). *)
+let deadline_of fab name timeout =
+  match timeout with
+  | None -> Float.infinity
   | Some timeout ->
       if timeout < 0.0 then invalid_arg (Printf.sprintf "Multicore.%s: negative timeout" name);
-      Some (now fab +. timeout)
+      now fab +. timeout
 
 let engine fab st : Engine.t =
   {
@@ -223,17 +365,33 @@ let engine fab st : Engine.t =
         if src < 0 || src >= fab.procs then
           invalid_arg (Printf.sprintf "Multicore.recv: rank %d out of range [0,%d)" src fab.procs);
         let deadline = deadline_of fab "recv" timeout in
-        let pkt = recv_packet fab st { want_src = Some src; want_tag = Some tag } deadline in
+        let pay = recv_packet fab st ~src ~tag ~any_tag:false ~deadline in
         st.received <- st.received + 1;
         Obs.Counter.incr obs_recvs;
-        Obj.obj pkt.payload);
+        Obj.obj pay);
     recv_any =
       (fun ?timeout ?tag () ->
         let deadline = deadline_of fab "recv_any" timeout in
-        let pkt = recv_packet fab st { want_src = None; want_tag = tag } deadline in
+        let tag', any_tag = match tag with None -> (0, true) | Some t -> (t, false) in
+        let pay = recv_packet fab st ~src:(-1) ~tag:tag' ~any_tag ~deadline in
         st.received <- st.received + 1;
         Obs.Counter.incr obs_recvs;
-        (pkt.pkt_src, Obj.obj pkt.payload));
+        (st.last_src, Obj.obj pay));
+    send_slice =
+      (fun ~dest ~tag s ->
+        (* the window travels by reference through shared memory — zero
+           copy, no serialisation; one message whatever the length *)
+        send fab st ~dest ~tag s);
+    recv_slice =
+      (fun ?timeout ~src ~tag () ->
+        if src < 0 || src >= fab.procs then
+          invalid_arg
+            (Printf.sprintf "Multicore.recv_slice: rank %d out of range [0,%d)" src fab.procs);
+        let deadline = deadline_of fab "recv_slice" timeout in
+        let pay = recv_packet fab st ~src ~tag ~any_tag:false ~deadline in
+        st.received <- st.received + 1;
+        Obs.Counter.incr obs_recvs;
+        (Obj.obj pay : Engine.slice));
     work = (fun d -> if d < 0.0 then invalid_arg "Multicore.work: negative duration");
     sleep =
       (fun d ->
@@ -246,9 +404,8 @@ let engine fab st : Engine.t =
         if d > 0.0 then
           try
             ignore
-              (recv_packet fab st
-                 { want_src = None; want_tag = Some sleep_tag }
-                 (Some (now fab +. d)))
+              (recv_packet fab st ~src:(-1) ~tag:sleep_tag ~any_tag:false
+                 ~deadline:(now fab +. d))
           with Fault.Timeout _ -> ());
     time = (fun () -> now fab);
     note = (fun _ -> ());
@@ -267,17 +424,16 @@ let handler fab st : (unit, unit) Effect.Deep.handler =
                pending traffic is discarded and future senders drop *)
             st.crashed <- true;
             st.park <- Finished;
-            st.pending <- [];
+            Ring.clear st.pending;
             drain fab st;
-            st.pending <- []
+            Ring.clear st.pending
         | e ->
             st.park <- Finished;
             declare fab e);
     effc =
       (fun (type a) (eff : a Effect.t) ->
         match eff with
-        | E_wait (w, dl) ->
-            Some (fun (k : (a, unit) Effect.Deep.continuation) -> st.park <- Waiting (w, dl, k))
+        | E_wait -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> st.park <- Waiting k)
         | _ -> None);
   }
 
@@ -286,66 +442,69 @@ let run_rank fab st =
   | Ready thunk ->
       st.park <- Running;
       Effect.Deep.match_with thunk () (handler fab st)
-  | Waiting (w, dl, k) -> (
-      match take_pending st w with
-      | Some pkt ->
-          st.park <- Running;
-          (* receive counters are bumped by the engine-side [recv] wrapper
-             when [recv_packet] returns into the resumed fiber *)
-          Effect.Deep.continue k pkt
-      | None -> (
-          (* runnable without a matching packet only because the deadline
-             elapsed; delivery always wins when both are possible *)
-          match dl with
-          | Some d when now fab >= d ->
-              st.park <- Running;
-              Effect.Deep.discontinue k (timeout_exn st w)
-          | _ -> assert false))
+  | Waiting k ->
+      if take_pending st ~src:st.want_src ~tag:st.want_tag ~any_tag:st.want_any then begin
+        st.park <- Running;
+        (* receive counters are bumped by the engine-side [recv] wrapper
+           when [recv_packet] returns into the resumed fiber *)
+        Effect.Deep.continue k st.last_pay
+      end
+      else if st.deadline < Float.infinity && now fab >= st.deadline then begin
+        (* runnable without a matching packet only because the deadline
+           elapsed; delivery always wins when both are possible *)
+        st.park <- Running;
+        Effect.Deep.discontinue k
+          (timeout_exn st ~src:st.want_src ~any_tag:st.want_any ~tag:st.want_tag)
+      end
+      else assert false
   | Running | Finished -> assert false
 
 let domain_main fab d (my : rstate array) =
   Obs.Counter.incr obs_barrier_waits;
   Runtime.Barrier.await fab.start;
+  let mw0 = Gc.minor_words () in
   let bell = fab.bells.(d) in
   let backoff = Runtime.Backoff.create () in
+  (* Index of a runnable rank among [my], or -1 — no option boxing in the
+     scheduling sweep. *)
   let find_runnable () =
-    let found = ref None in
     let n = Array.length my in
+    let found = ref (-1) in
     let i = ref 0 in
-    while Option.is_none !found && !i < n do
+    while !found < 0 && !i < n do
       let st = my.(!i) in
       (match st.park with
-      | Ready _ -> found := Some st
-      | Waiting (w, dl, _) ->
+      | Ready _ -> found := !i
+      | Waiting _ ->
           drain fab st;
-          if List.exists (matches w) st.pending then found := Some st
-          else (
-            match dl with
-            | Some d when now fab >= d -> found := Some st
-            | _ -> ())
+          if exists_pending st ~src:st.want_src ~tag:st.want_tag ~any_tag:st.want_any then
+            found := !i
+          else if st.deadline < Float.infinity && now fab >= st.deadline then found := !i
       | Finished ->
           (* a crashed rank keeps absorbing (and discarding) traffic so the
              in-flight count cannot wedge quiescence detection *)
           if st.crashed then begin
             drain fab st;
-            st.pending <- []
+            Ring.clear st.pending
           end
       | Running -> assert false);
       incr i
     done;
     !found
   in
-  (* Earliest receive deadline among my parked ranks, if any: while one is
-     pending this domain must poll rather than sleep indefinitely on its
-     doorbell — a timeout needs no sender to ring us awake. *)
+  (* Earliest receive deadline among my parked ranks ([infinity] if none):
+     while one is pending this domain must poll rather than sleep
+     indefinitely on its doorbell — a timeout needs no sender to ring us
+     awake. *)
   let nearest_deadline () =
-    Array.fold_left
-      (fun acc st ->
+    let d = ref Float.infinity in
+    Array.iter
+      (fun st ->
         match st.park with
-        | Waiting (_, Some d, _) -> (
-            match acc with Some d0 when d0 <= d -> acc | _ -> Some d)
-        | _ -> acc)
-      None my
+        | Waiting _ -> if st.deadline < !d then d := st.deadline
+        | _ -> ())
+      my;
+    !d
   in
   let all_finished () =
     Array.for_all (fun st -> match st.park with Finished -> true | _ -> false) my
@@ -359,59 +518,64 @@ let domain_main fab d (my : rstate array) =
     Runtime.Backoff.reset backoff;
     let rec wait () =
       let seen = Atomic.get bell.rings in
-      match find_runnable () with
-      | Some _ -> ()
-      | None ->
-          if failed fab || all_finished () then ()
-          else if !spins < 16 then begin
-            incr spins;
-            Runtime.Backoff.once backoff;
-            wait ()
-          end
-          else if nearest_deadline () <> None then begin
-            (* poll: never park in Condition.wait while a deadline is
-               pending (and never count as a sleeper — a polling domain
-               still makes progress, so quiescence must not fire) *)
-            (match nearest_deadline () with
-            | Some d ->
-                let remaining = d -. now fab in
-                if remaining > 0.0 then Unix.sleepf (Float.min remaining 2e-4)
-            | None -> ());
-            wait ()
-          end
-          else begin
-            Atomic.incr fab.sleep_count;
-            Obs.Counter.incr obs_sleeps;
-            Mutex.lock bell.mu;
-            while Atomic.get bell.rings = seen && not (failed fab) do
-              let s = 1 + Atomic.fetch_and_add fab.sleepers 1 in
-              if s >= Atomic.get fab.active_domains && Atomic.get fab.in_flight = 0 then begin
-                ignore (Atomic.fetch_and_add fab.sleepers (-1));
-                (* quiescent: every live domain asleep, mailboxes empty *)
-                declare ~except:d fab (Deadlock (describe fab))
-              end
-              else begin
-                Condition.wait bell.cond bell.mu;
-                ignore (Atomic.fetch_and_add fab.sleepers (-1))
-              end
-            done;
-            Mutex.unlock bell.mu;
-            spins := 0;
-            wait ()
-          end
+      if find_runnable () >= 0 then ()
+      else if failed fab || all_finished () then ()
+      else if !spins < 16 then begin
+        incr spins;
+        Runtime.Backoff.once backoff;
+        wait ()
+      end
+      else begin
+        let dl = nearest_deadline () in
+        if dl < Float.infinity then begin
+          (* poll: never park in Condition.wait while a deadline is
+             pending (and never count as a sleeper — a polling domain
+             still makes progress, so quiescence must not fire) *)
+          let remaining = dl -. now fab in
+          if remaining > 0.0 then Unix.sleepf (Float.min remaining 2e-4);
+          wait ()
+        end
+        else begin
+          Atomic.incr fab.sleep_count;
+          Obs.Counter.incr obs_sleeps;
+          Mutex.lock bell.mu;
+          while Atomic.get bell.rings = seen && not (failed fab) do
+            let s = 1 + Atomic.fetch_and_add fab.sleepers 1 in
+            if s >= Atomic.get fab.active_domains && Atomic.get fab.in_flight = 0 then begin
+              ignore (Atomic.fetch_and_add fab.sleepers (-1));
+              (* quiescent: every live domain asleep, mailboxes empty *)
+              declare ~except:d fab (Deadlock (describe fab))
+            end
+            else begin
+              Condition.wait bell.cond bell.mu;
+              ignore (Atomic.fetch_and_add fab.sleepers (-1))
+            end
+          done;
+          Mutex.unlock bell.mu;
+          spins := 0;
+          wait ()
+        end
+      end
     in
     wait ()
   in
   let rec loop () =
     if failed fab then ()
-    else
-      match find_runnable () with
-      | Some st ->
-          run_rank fab st;
-          loop ()
-      | None -> if all_finished () then () else begin wait_for_mail (); loop () end
+    else begin
+      let i = find_runnable () in
+      if i >= 0 then begin
+        run_rank fab my.(i);
+        loop ()
+      end
+      else if all_finished () then ()
+      else begin
+        wait_for_mail ();
+        loop ()
+      end
+    end
   in
   (try loop () with e -> declare fab e);
+  Obs.Counter.add obs_minor_words (int_of_float (Gc.minor_words () -. mw0));
   (* Exit: absorb any last-gasp traffic to crashed ranks we own, then — if
      everyone still alive is already asleep with nothing in flight — nobody
      is left to ring their doorbells. *)
@@ -419,7 +583,7 @@ let domain_main fab d (my : rstate array) =
     (fun st ->
       if st.crashed then begin
         drain fab st;
-        st.pending <- []
+        Ring.clear st.pending
       end)
     my;
   let remaining = Atomic.fetch_and_add fab.active_domains (-1) - 1 in
@@ -458,13 +622,21 @@ let run_each ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
             Array.init procs (fun rk ->
                 {
                   rk;
-                  mailbox = Runtime.Mpmc_queue.create ();
-                  pending = [];
+                  mbox = Ring.create ();
+                  mbox_mu = Mutex.create ();
+                  pending = Ring.create ();
                   park = Finished;
                   crashed = false;
                   sent = 0;
                   received = 0;
-                });
+                  last_src = -1;
+                  last_pay = Ring.nil;
+                  want_src = -1;
+                  want_tag = 0;
+                  want_any = true;
+                  deadline = Float.infinity;
+                })
+          |> Fun.id;
           bells =
             Array.init ndomains (fun _ ->
                 { mu = Mutex.create (); cond = Condition.create (); rings = Atomic.make 0 });
@@ -497,15 +669,17 @@ let run_each ?domains ?(cost = Cost_model.ap1000) ?topology ~procs
       Array.iter
         (fun st ->
           drain fab st;
-          match st.pending with
-          | [] -> ()
-          | _ when st.crashed -> ()
-          | pkt :: _ ->
-              raise
-                (Deadlock
-                   (Printf.sprintf
-                      "processor %d finished with %d undelivered message(s); first from p%d tag %d"
-                      st.rk (List.length st.pending) pkt.pkt_src pkt.pkt_tag)))
+          let left = st.pending.Ring.count in
+          if left > 0 && not st.crashed then begin
+            let h = st.pending.Ring.head in
+            raise
+              (Deadlock
+                 (Printf.sprintf
+                    "processor %d finished with %d undelivered message(s); first from p%d tag %d"
+                    st.rk left
+                    st.pending.Ring.src.(h)
+                    st.pending.Ring.tag.(h)))
+          end)
         fab.ranks;
       let wall = Obs.Clock.ns_to_s (Obs.Clock.ns_since fab.t0) in
       let stats =

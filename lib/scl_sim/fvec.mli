@@ -1,0 +1,55 @@
+(** Block-distributed unboxed float vectors — the flat numeric tier.
+
+    The [Dvec] operations re-expressed over [Scl.Flat.float1] chunks so
+    data movement uses the engines' bulk slice tier: no marshalling, no
+    per-element boxing, zero-copy window handoff on the multicore engine,
+    and bytes-proportional pricing ([8 * length] per hop) on the
+    simulator. [Dvec] is the executable specification these are
+    differential-tested against.
+
+    All operations are SPMD: every member of the communicator must call
+    them in the same order. The local chunk is mutable storage owned by
+    this member; callers may mutate it between collective calls, but must
+    not mutate a chunk after sending a view of it until a synchronising
+    exchange (the engines' slice discipline). *)
+
+open Machine
+
+type t
+
+val comm : t -> Comm.t
+
+val local : t -> Scl.Flat.float1
+(** This processor's chunk (owned, mutable in place). *)
+
+val local_length : t -> int
+val total : t -> int
+
+val offset : t -> int
+(** Global index of the first local element. *)
+
+val block_bounds : total:int -> parts:int -> int array
+val owner_of : total:int -> parts:int -> int -> int
+
+val of_local : Comm.t -> Scl.Flat.float1 -> t
+(** Assemble from per-processor chunks (collective; computes offsets).
+    The chunk is adopted, not copied. *)
+
+val scatter : Comm.t -> root:int -> Scl.Flat.float1 option -> t
+(** Block-distribute a root-held flat array ([Comm.scatter_slice]
+    geometry: one bulk message per member). Each member owns a private
+    copy of its chunk. *)
+
+val gather : root:int -> t -> Scl.Flat.float1 option
+(** Collect to the root (one bulk message per member); [Some] only
+    there. *)
+
+val allgather : t -> Scl.Flat.float1
+
+val rotate : int -> t -> t
+(** Global rotation by [k] (result element [g] = input element
+    [(g+k) mod total]). Coalesced: everything owed to one destination
+    travels as ONE bulk message (at most [p-1] sends per member), with no
+    per-segment metadata — both sides re-derive segment geometry from the
+    closed-form block bounds. Bitwise-identical results to [Dvec.rotate]
+    on the same data. *)

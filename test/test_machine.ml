@@ -1198,4 +1198,128 @@ let suite =
       ] );
   ]
 
+(* --- bulk slice tier ------------------------------------------------------------ *)
+
+let slice_of_list xs =
+  let a = Bigarray.Array1.of_array Bigarray.float64 Bigarray.c_layout (Array.of_list xs) in
+  (a : Engine.slice)
+
+let slice_to_list (s : Engine.slice) =
+  List.init (Bigarray.Array1.dim s) (Bigarray.Array1.get s)
+
+let test_slice_p2p_roundtrip () =
+  List.iter
+    (fun n ->
+      let payload = List.init n (fun i -> float_of_int i *. 0.5) in
+      let got = ref [] in
+      let stats =
+        run_world ~procs:2 (fun c ->
+            if Comm.rank c = 0 then Comm.send_slice c ~dest:1 (slice_of_list payload)
+            else got := slice_to_list (Comm.recv_slice c ~src:0 ()))
+      in
+      Alcotest.(check (list (float 0.0))) (Printf.sprintf "n=%d" n) payload !got;
+      Alcotest.(check int) "one message" 1 stats.Sim.total_msgs;
+      Alcotest.(check int) "8 bytes per element" (8 * n) stats.Sim.total_bytes)
+    [ 0; 1; 13; 1024 ]
+
+let test_slice_fifo_with_boxed () =
+  (* slice and ordinary traffic on the SAME tagged channel keep their
+     relative order *)
+  let seen = ref [] in
+  let _ =
+    run_world ~procs:2 (fun c ->
+        if Comm.rank c = 0 then begin
+          Comm.send c ~dest:1 ~tag:7 "first";
+          Comm.send_slice c ~dest:1 ~tag:7 (slice_of_list [ 2.0 ]);
+          Comm.send c ~dest:1 ~tag:7 "third"
+        end
+        else begin
+          let a : string = Comm.recv c ~src:0 ~tag:7 () in
+          let b = Comm.recv_slice c ~src:0 ~tag:7 () in
+          let d : string = Comm.recv c ~src:0 ~tag:7 () in
+          seen := [ a; string_of_float (Bigarray.Array1.get b 0); d ]
+        end)
+  in
+  Alcotest.(check (list string)) "order" [ "first"; "2."; "third" ] !seen
+
+let slice_collective_battery c =
+  let p = Comm.size c in
+  let me = Comm.rank c in
+  let n = 17 in
+  let whole = List.init n (fun i -> float_of_int ((i * 3) + 1)) in
+  let bc = slice_to_list (Comm.bcast_slice c ~root:0 (if me = 0 then Some (slice_of_list whole) else None)) in
+  let mine = Comm.scatter_slice c ~root:0 (if me = 0 then Some (slice_of_list whole) else None) in
+  let back = Comm.gather_slice c ~root:0 mine in
+  let all = slice_to_list (Comm.allgather_slice c (slice_of_list [ float_of_int me; 100.0 ])) in
+  (bc, Option.map slice_to_list back, all)
+
+let test_slice_collectives () =
+  List.iter
+    (fun procs ->
+      let n = 17 in
+      let whole = List.init n (fun i -> float_of_int ((i * 3) + 1)) in
+      let expected_all =
+        List.concat (List.init procs (fun r -> [ float_of_int r; 100.0 ]))
+      in
+      let _ =
+        run_world ~procs (fun c ->
+            let bc, back, all = slice_collective_battery c in
+            Alcotest.(check (list (float 0.0))) "bcast_slice" whole bc;
+            (if Comm.rank c = 0 then
+               Alcotest.(check (list (float 0.0))) "gather inverts scatter" whole (Option.get back)
+             else Alcotest.(check bool) "non-root gets None" true (back = None));
+            Alcotest.(check (list (float 0.0))) "allgather_slice" expected_all all)
+      in
+      ())
+    [ 1; 2; 4 ]
+
+let test_slice_collectives_multicore () =
+  (* same battery through the multicore engine (zero-copy path) *)
+  List.iter
+    (fun procs ->
+      let n = 17 in
+      let whole = List.init n (fun i -> float_of_int ((i * 3) + 1)) in
+      let expected_all = List.concat (List.init procs (fun r -> [ float_of_int r; 100.0 ])) in
+      let _ =
+        Multicore.run ~procs (fun eng ->
+            let c = Comm.world eng in
+            let bc, back, all = slice_collective_battery c in
+            Alcotest.(check (list (float 0.0))) "bcast_slice" whole bc;
+            (if Comm.rank c = 0 then
+               Alcotest.(check (list (float 0.0))) "gather inverts scatter" whole (Option.get back)
+             else Alcotest.(check bool) "non-root gets None" true (back = None));
+            Alcotest.(check (list (float 0.0))) "allgather_slice" expected_all all)
+      in
+      ())
+    [ 1; 2; 4 ]
+
+let test_slice_chaos_coherent () =
+  (* the chaos wrapper holds/releases bulk sends like ordinary sends:
+     values survive perturbation, and the zero-fault wrap is identity *)
+  let battery c =
+    let me = Comm.rank c in
+    let _, back, all = slice_collective_battery c in
+    if me = 0 then Some (back, all) else None
+  in
+  let bare, _ = Spmd.run_collect ~procs:4 battery in
+  List.iter
+    (fun seed ->
+      let spec = Chaos.delays ~seed ~prob:0.5 ~max_hold:3 () in
+      let perturbed, _ = Spmd.run_collect ~procs:4 ~chaos:spec battery in
+      Alcotest.(check bool) (Printf.sprintf "seed=%d" seed) true (perturbed = bare))
+    [ 1; 7; 42 ]
+
+let suite =
+  suite
+  @ [
+      ( "slice",
+        [
+          Alcotest.test_case "p2p roundtrip + pricing" `Quick test_slice_p2p_roundtrip;
+          Alcotest.test_case "fifo with boxed traffic" `Quick test_slice_fifo_with_boxed;
+          Alcotest.test_case "collectives (sim)" `Quick test_slice_collectives;
+          Alcotest.test_case "collectives (multicore)" `Quick test_slice_collectives_multicore;
+          Alcotest.test_case "chaos coherence" `Quick test_slice_chaos_coherent;
+        ] );
+    ]
+
 let () = Alcotest.run "machine" suite

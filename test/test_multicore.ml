@@ -435,4 +435,110 @@ let suite =
       ] );
   ]
 
+(* --- allocation-free hot path ------------------------------------------------- *)
+
+let test_slice_zero_copy_roundtrip () =
+  (* a received slice aliases the sender's storage: zero copy, same words *)
+  let ok, _ =
+    Multicore.run_collect ~procs:2 ~domains:1 (fun eng ->
+        if eng.Engine.rank = 0 then begin
+          let s = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 64 in
+          for i = 0 to 63 do
+            s.{i} <- float_of_int i *. 2.0
+          done;
+          eng.Engine.send_slice ~dest:1 ~tag:1 s;
+          let (echoed : bool) = eng.Engine.recv ~src:1 ~tag:2 () in
+          Some echoed
+        end
+        else begin
+          let s = eng.Engine.recv_slice ~src:0 ~tag:1 () in
+          let good = ref (Bigarray.Array1.dim s = 64) in
+          for i = 0 to 63 do
+            if s.{i} <> float_of_int i *. 2.0 then good := false
+          done;
+          eng.Engine.send ~dest:0 ~tag:2 !good;
+          None
+        end)
+  in
+  Alcotest.(check bool) "slice contents survive zero-copy handoff" true ok
+
+let test_send_recv_allocation_free () =
+  (* The claim measured through [Gc.minor_words] inside the rank's own
+     fiber: a seeded 10k-message ping-pong whose steady-state receives are
+     satisfied from the pending ring (domains:1 interleaves the two fibers
+     on one domain, so a sent message is already drained by the time the
+     peer looks).  The payload is a preallocated immediate (int), so any
+     minor-heap growth would come from the fabric itself — packet boxing,
+     closure capture, option wrapping.  The measurement brackets only the
+     loop; a slack of a few hundred words absorbs the [Gc.minor_words]
+     call's own float boxing and effect-handler warmup, while a per-message
+     allocation of even one word would show up as >= 10k. *)
+  let batch = 1_000 and batches = 10 in
+  let rounds = batch * batches in
+  let delta, _ =
+    Multicore.run_collect ~procs:2 ~domains:1 (fun eng ->
+        if eng.Engine.rank = 0 then begin
+          (* Warm up with one full batch: grows both mailbox rings to their
+             steady-state capacity and exercises the effect handler once, so
+             the measured batches run entirely on recycled storage.  A batched
+             shape (send [batch], then recv [batch]) parks each fiber at most
+             once per batch instead of once per message — parking itself
+             allocates a continuation, which is scheduler bookkeeping, not a
+             per-message cost. *)
+          for _ = 1 to batch do
+            eng.Engine.send ~dest:1 ~tag:3 7
+          done;
+          for _ = 1 to batch do
+            ignore (eng.Engine.recv ~src:1 ~tag:4 () : int)
+          done;
+          let w0 = Gc.minor_words () in
+          for _ = 1 to batches do
+            for i = 1 to batch do
+              eng.Engine.send ~dest:1 ~tag:3 i
+            done;
+            for _ = 1 to batch do
+              ignore (eng.Engine.recv ~src:1 ~tag:4 () : int)
+            done
+          done;
+          let w1 = Gc.minor_words () in
+          Some (int_of_float (w1 -. w0))
+        end
+        else begin
+          for _ = 1 to batches + 1 do
+            for _ = 1 to batch do
+              ignore (eng.Engine.recv ~src:0 ~tag:3 () : int)
+            done;
+            for i = 1 to batch do
+              eng.Engine.send ~dest:0 ~tag:4 i
+            done
+          done;
+          None
+        end)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "minor words for %d messages: %d" rounds delta)
+    true (delta < 2_000)
+
+let test_minor_words_counter_surfaced () =
+  (* the [mc.minor_words] obs counter reports per-domain allocation *)
+  Obs.enable ();
+  Obs.reset ();
+  let _ = Multicore.run ~procs:2 ~domains:1 (fun eng -> ignore (Comm.world eng)) in
+  let c = Obs.Metrics.counter_value "mc.minor_words" in
+  Obs.disable ();
+  Alcotest.(check bool) "counter present and positive" true
+    (match c with Some v -> v > 0 | None -> false)
+
+let suite =
+  suite
+  @ [
+      ( "alloc-free",
+        [
+          Alcotest.test_case "slice zero-copy roundtrip" `Quick test_slice_zero_copy_roundtrip;
+          Alcotest.test_case "10k ping-pong allocates nothing" `Quick
+            test_send_recv_allocation_free;
+          Alcotest.test_case "mc.minor_words surfaced" `Quick test_minor_words_counter_surfaced;
+        ] );
+    ]
+
 let () = Alcotest.run "multicore" suite

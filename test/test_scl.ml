@@ -772,6 +772,104 @@ let test_fused_empty =
       Alcotest.(check int) "map_scan empty = empty" 0
         (Par_array.length (Elementary.map_scan ~exec ( + ) Fun.id (Par_array.of_list []))))
 
+(* --- Flat (unboxed Bigarray tier) -------------------------------------------------
+   [Partition] on boxed arrays is the executable specification: for every
+   pattern, [Flat.apply]/[unapply] must produce the same decomposition
+   element-for-element, including the fast paths (Block views,
+   Cyclic/Block_cyclic strided copies) against the generic assign-driven
+   path. *)
+
+let flat_of_ints xs = Flat.of_array Flat.int (Array.of_list xs)
+
+let prop_flat_apply_matches_partition =
+  qtest "Flat.apply = Partition.apply elementwise (int)"
+    QCheck.(list small_int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      let fa = flat_of_ints xs in
+      List.for_all
+        (fun pat ->
+          let boxed = Par_array.to_array (Partition.apply pat a) in
+          let flat = Flat.apply pat fa in
+          Array.length boxed = Array.length flat
+          && Array.for_all2 (fun b fl -> b = Flat.to_array fl) boxed flat)
+        (patterns_for (Array.length a)))
+
+let prop_flat_roundtrip =
+  qtest "Flat.unapply (Flat.apply pat a) = a for every pattern"
+    QCheck.(list small_int)
+    (fun xs ->
+      let fa = flat_of_ints xs in
+      List.for_all
+        (fun pat ->
+          Flat.to_array (Flat.unapply pat (Flat.apply pat fa) ~kind:Flat.int)
+          = Array.of_list xs)
+        (patterns_for (List.length xs)))
+
+let prop_flat_fastpath_matches_generic =
+  qtest "Flat fast paths = generic path"
+    QCheck.(list small_int)
+    (fun xs ->
+      let fa = flat_of_ints xs in
+      List.for_all
+        (fun pat ->
+          let fast = Flat.apply pat fa and spec = Flat.apply_generic pat fa in
+          Array.length fast = Array.length spec
+          && Array.for_all2 (fun a b -> Flat.equal a b) fast spec
+          && Flat.equal
+               (Flat.unapply pat fast ~kind:Flat.int)
+               (Flat.unapply_generic pat spec ~kind:Flat.int))
+        (patterns_for (List.length xs)))
+
+let prop_flat_float_roundtrip =
+  qtest "Flat float roundtrip across patterns"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let fa = Flat.of_float_array a in
+      List.for_all
+        (fun pat ->
+          Flat.to_float_array (Flat.unapply pat (Flat.apply pat fa) ~kind:Flat.float64) = a)
+        (patterns_for (Array.length a)))
+
+let test_flat_edge_sizes () =
+  (* empty, single-element, and non-divisible sizes across the three
+     regular patterns, checked against the boxed specification *)
+  let pats = [ Partition.Block 3; Partition.Cyclic 3; Partition.Block_cyclic { parts = 3; block = 2 } ] in
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun i -> (i * 7) + 1) in
+      let fa = Flat.of_array Flat.int a in
+      List.iter
+        (fun pat ->
+          let boxed = Par_array.to_array (Partition.apply pat a) in
+          let flat = Flat.apply pat fa in
+          Alcotest.(check int)
+            (Printf.sprintf "parts at n=%d" n)
+            (Array.length boxed) (Array.length flat);
+          Array.iteri
+            (fun k b -> Alcotest.(check (array int)) "part contents" b (Flat.to_array flat.(k)))
+            boxed;
+          Alcotest.(check (array int)) "roundtrip" a
+            (Flat.to_array (Flat.unapply pat flat ~kind:Flat.int)))
+        pats)
+    [ 0; 1; 2; 3; 5; 7 ]
+
+let test_flat_views_alias () =
+  let fa = Flat.of_float_array [| 0.0; 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let v = Flat.sub_view fa ~pos:2 ~len:3 in
+  Alcotest.(check int) "view length" 3 (Flat.length v);
+  Flat.set v 0 99.0;
+  Alcotest.(check (float 0.0)) "view aliases base" 99.0 (Flat.get fa 2);
+  (* Block parts are views of the input *)
+  let parts = Flat.apply (Partition.Block 2) fa in
+  Flat.set parts.(0) 0 (-1.0);
+  Alcotest.(check (float 0.0)) "block part aliases input" (-1.0) (Flat.get fa 0);
+  (* unapply always yields fresh storage *)
+  let joined = Flat.unapply (Partition.Block 2) parts ~kind:Flat.float64 in
+  Flat.set joined 0 7.0;
+  Alcotest.(check (float 0.0)) "unapply is fresh" (-1.0) (Flat.get fa 0)
+
 (* --- Exec internals --------------------------------------------------------------- *)
 
 let test_chunk_bounds () =
@@ -916,6 +1014,15 @@ let () =
           Alcotest.test_case "map_compose = map.map" `Quick test_fused_map_compose;
           Alcotest.test_case "combine order" `Quick test_fused_combine_order;
           Alcotest.test_case "empty inputs" `Quick test_fused_empty;
+        ] );
+      ( "flat",
+        [
+          prop_flat_apply_matches_partition;
+          prop_flat_roundtrip;
+          prop_flat_fastpath_matches_generic;
+          prop_flat_float_roundtrip;
+          Alcotest.test_case "edge sizes vs boxed spec" `Quick test_flat_edge_sizes;
+          Alcotest.test_case "view aliasing discipline" `Quick test_flat_views_alias;
         ] );
       ( "exec",
         [

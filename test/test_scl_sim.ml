@@ -354,6 +354,123 @@ let test_control_iter_for () =
        false
      with Invalid_argument _ -> true)
 
+(* --- Fvec (flat tier) -----------------------------------------------------------
+   [Dvec] is the executable specification: the unboxed slice-tier vector
+   must produce bitwise-identical contents, with coalesced bulk
+   messaging. *)
+
+let via_fvec ~procs op (a : float array) : float array =
+  let result, _ =
+    run_collect ~procs (fun comm ->
+        let fv =
+          Scl_sim.Fvec.scatter comm ~root:0
+            (if Comm.rank comm = 0 then Some (Scl.Flat.of_float_array a) else None)
+        in
+        Option.map Scl.Flat.to_float_array (Scl_sim.Fvec.gather ~root:0 (op fv)))
+  in
+  result
+
+let test_fvec_scatter_gather () =
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun i -> (float_of_int i *. 1.25) -. 3.0) in
+      List.iter
+        (fun procs ->
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "roundtrip n=%d p=%d" n procs)
+            a
+            (via_fvec ~procs Fun.id a))
+        [ 1; 2; 4; 7 ])
+    [ 0; 1; 5; 23 ]
+
+let test_fvec_allgather () =
+  let a = Array.init 13 (fun i -> float_of_int (i * i)) in
+  let got, _ =
+    run_collect ~procs:4 (fun comm ->
+        let fv =
+          Scl_sim.Fvec.scatter comm ~root:0
+            (if Comm.rank comm = 0 then Some (Scl.Flat.of_float_array a) else None)
+        in
+        let all = Scl_sim.Fvec.allgather fv in
+        if Comm.rank comm = 3 then Some (Scl.Flat.to_float_array all) else None)
+  in
+  Alcotest.(check (array (float 0.0))) "allgather on a non-root member" a got
+
+let prop_fvec_rotate_matches_dvec =
+  qtest ~count:60 "Fvec.rotate = Dvec.rotate (bitwise)"
+    QCheck.(
+      triple
+        (list_of_size (QCheck.Gen.int_range 0 40) (float_bound_exclusive 100.0))
+        (int_range (-15) 15) (int_range 1 8))
+    (fun (xs, k, procs) ->
+      let a = Array.of_list xs in
+      let boxed, _ =
+        run_collect ~procs (fun comm ->
+            let dv =
+              Scl_sim.Dvec.scatter comm ~root:0 (if Comm.rank comm = 0 then Some a else None)
+            in
+            Scl_sim.Dvec.gather ~root:0 (Scl_sim.Dvec.rotate k dv))
+      in
+      via_fvec ~procs (Scl_sim.Fvec.rotate k) a = boxed)
+
+let test_fvec_rotate_multicore () =
+  (* same data through the multicore engine: contents must equal the
+     simulator's bitwise (zero-copy slice path vs deep-copy sim path) *)
+  let a = Array.init 23 (fun i -> (float_of_int i *. 1.5) +. 0.25) in
+  List.iter
+    (fun k ->
+      let sim = via_fvec ~procs:4 (Scl_sim.Fvec.rotate k) a in
+      let mc, _ =
+        Scl_sim.Spmd.run_multicore_collect ~procs:4 (fun comm ->
+            let fv =
+              Scl_sim.Fvec.scatter comm ~root:0
+                (if Comm.rank comm = 0 then Some (Scl.Flat.of_float_array a) else None)
+            in
+            Option.map Scl.Flat.to_float_array
+              (Scl_sim.Fvec.gather ~root:0 (Scl_sim.Fvec.rotate k fv)))
+      in
+      Alcotest.(check (array (float 0.0))) (Printf.sprintf "k=%d" k) sim mc)
+    [ -7; -1; 0; 3; 23; 30 ]
+
+let test_halo_coalescing () =
+  (* a whole-row halo is ONE bulk message per neighbour whatever the row
+     width, and the simulator prices it at exactly 8 bytes/element *)
+  let p = 4 and rows = 8 and n = 16 in
+  let stats =
+    run ~procs:p (fun comm ->
+        let me = Comm.rank comm in
+        let u = Scl.Flat.make Scl.Flat.float64 (rows * n) (float_of_int me) in
+        if me > 0 then Comm.send_slice comm ~dest:(me - 1) (Scl.Flat.sub_view u ~pos:0 ~len:n);
+        if me < p - 1 then
+          Comm.send_slice comm ~dest:(me + 1) (Scl.Flat.sub_view u ~pos:((rows - 1) * n) ~len:n);
+        if me > 0 then begin
+          let h = Comm.recv_slice comm ~src:(me - 1) () in
+          assert (Scl.Flat.length h = n && Scl.Flat.get h 0 = float_of_int (me - 1))
+        end;
+        if me < p - 1 then begin
+          let h = Comm.recv_slice comm ~src:(me + 1) () in
+          assert (Scl.Flat.length h = n && Scl.Flat.get h 0 = float_of_int (me + 1))
+        end)
+  in
+  Alcotest.(check int) "one message per neighbour" (2 * (p - 1)) stats.Sim.total_msgs;
+  Alcotest.(check int) "bytes-proportional pricing" (2 * (p - 1) * 8 * n) stats.Sim.total_bytes
+
+let test_fvec_rotate_message_economy () =
+  (* rotate traffic itself: at most one coalesced message per (sender,
+     destination) pair, measured by differencing against the construction
+     traffic *)
+  let mk comm =
+    let me = Comm.rank comm in
+    Scl_sim.Fvec.of_local comm
+      (Scl.Flat.init Scl.Flat.float64 8 (fun i -> float_of_int ((me * 8) + i)))
+  in
+  let base = run ~procs:8 (fun comm -> ignore (mk comm)) in
+  let full = run ~procs:8 (fun comm -> ignore (Scl_sim.Fvec.rotate 3 (mk comm))) in
+  let rotate_msgs = full.Sim.total_msgs - base.Sim.total_msgs in
+  Alcotest.(check bool)
+    (Printf.sprintf "rotate msgs %d <= p" rotate_msgs)
+    true (rotate_msgs <= 8)
+
 let () =
   Alcotest.run "scl_sim"
     [
@@ -387,6 +504,15 @@ let () =
           Alcotest.test_case "bad grids rejected" `Quick test_dmat_rejects_bad_grid;
           prop_summa_matches_seq;
           Alcotest.test_case "summa vs cannon bytes" `Quick test_summa_vs_cannon_cost;
+        ] );
+      ( "fvec",
+        [
+          Alcotest.test_case "scatter/gather roundtrip" `Quick test_fvec_scatter_gather;
+          Alcotest.test_case "allgather" `Quick test_fvec_allgather;
+          prop_fvec_rotate_matches_dvec;
+          Alcotest.test_case "rotate on multicore = sim" `Quick test_fvec_rotate_multicore;
+          Alcotest.test_case "halo coalescing msg/byte counts" `Quick test_halo_coalescing;
+          Alcotest.test_case "rotate message economy" `Quick test_fvec_rotate_message_economy;
         ] );
       ( "control",
         [

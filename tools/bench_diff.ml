@@ -89,6 +89,45 @@ let () =
     List.length (List.filter (fun c -> c.Obs.Artifact.verdict = Obs.Artifact.Regression) comparisons)
   in
   if comparisons = [] then Printf.printf "  (no benchmarks in common)\n";
+  (* Throughput comparison: benchmarks that export a bytes/sec counter
+     (the slice ping-pong sweep) get a second table in bandwidth terms —
+     the natural axis for a message-size sweep, where wall-clock medians
+     conflate per-message overhead with volume.  Host throughput is as
+     noisy as host wall-clock, so this table is always informational
+     (warn-only); sim-backend counters are already compared bitwise by
+     --sim-strict above. *)
+  let bps_of (r : Obs.Artifact.result) =
+    List.find_map
+      (fun (k, v) -> if k = "slice.bytes_per_s" && v > 0.0 then Some v else None)
+      r.Obs.Artifact.counters
+  in
+  let throughput =
+    List.filter_map
+      (fun (b : Obs.Artifact.result) ->
+        match
+          ( bps_of b,
+            List.find_opt
+              (fun (c : Obs.Artifact.result) -> c.Obs.Artifact.name = b.Obs.Artifact.name)
+              candidate.Obs.Artifact.results )
+        with
+        | Some old_bps, Some c ->
+            Option.map (fun new_bps -> (b.Obs.Artifact.name, old_bps, new_bps)) (bps_of c)
+        | _ -> None)
+      baseline.Obs.Artifact.results
+  in
+  if throughput <> [] then begin
+    Printf.printf "  %-28s %12s %12s %8s  %s\n" "throughput" "old (MB/s)" "new (MB/s)" "ratio"
+      "verdict";
+    List.iter
+      (fun (name, old_bps, new_bps) ->
+        let ratio = old_bps /. new_bps in
+        Printf.printf "  %-28s %12.1f %12.1f %8.3f  %s\n" name (old_bps /. 1e6) (new_bps /. 1e6)
+          ratio
+          (if ratio > 1.0 +. !threshold then "SLOWER [warn-only]"
+           else if ratio < 1.0 -. !threshold then "faster"
+           else "ok"))
+      throughput
+  end;
   let strict_failed =
     !sim_strict
     &&

@@ -54,6 +54,13 @@
                             p ∈ {1, 2, 4} — before and after beam
                             optimisation (the segmented-flattening
                             differential).
+     9. flat-vs-boxed     — [--flat-cases] seeded workloads per solver:
+                            the unboxed Bigarray ports of jacobi, heat2d
+                            and cg must be bitwise-identical (iteration
+                            counts and every solution float) to the boxed
+                            oracles at the same process count, on the
+                            simulator at p ∈ {1, 2, 4} (heat2d {1, 4})
+                            and on the multicore engine at p = 3.
 
    Workload parameters in phases 5–7 (input lengths, value bounds, matrix
    sizes, chaos probabilities, crash points) are derived from the case
@@ -66,8 +73,8 @@
 
 let usage =
   "diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N] [--fused-cases N] \
-   [--engine-cases N] [--fault-cases N] [--search-cases N] [--tolerance F] [--no-pool] \
-   [--out FILE]"
+   [--engine-cases N] [--fault-cases N] [--search-cases N] [--flat-cases N] [--tolerance F] \
+   [--no-pool] [--out FILE]"
 
 let failures : string list ref = ref []
 
@@ -124,6 +131,7 @@ let () =
   let engine_cases = ref 3 in
   let fault_cases = ref 3 in
   let search_cases = ref 3 in
+  let flat_cases = ref 3 in
   let tolerance = ref 1.25 in
   let no_pool = ref false in
   let out = ref "" in
@@ -143,6 +151,9 @@ let () =
       ( "--search-cases",
         Arg.Set_int search_cases,
         "N seeded search-vs-greedy + flattening differentials (default 3)" );
+      ( "--flat-cases",
+        Arg.Set_int flat_cases,
+        "N seeded flat-vs-boxed solver differentials (default 3)" );
       ( "--tolerance",
         Arg.Set_float tolerance,
         "F allowed simulated-makespan regression factor (default 1.25)" );
@@ -482,7 +493,105 @@ let () =
     report_checks ~phase:"search-vs-greedy + flattening" (List.rev !cases)
   in
 
-  if ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo && ok_fault && ok_search
+  (* phase 9: flat-vs-boxed differential — the unboxed Bigarray ports of
+     jacobi/heat2d/cg against their boxed oracles at the same process
+     count.  Same block geometry and local summation order, so the
+     comparison is bitwise float equality on every solution component and
+     exact equality on iteration counts — not an epsilon check.  Workload
+     sizes and data derive from the case seed. *)
+  let ok_flat =
+    let vec_bitwise a b =
+      Array.length a = Array.length b && Array.for_all2 Float.equal a b
+    in
+    let diverged label (r0_it, r0_sol) (r1_it, r1_sol) =
+      if r0_it <> r1_it then
+        Some (Printf.sprintf "%s: iterations %d (boxed) vs %d (flat)" label r0_it r1_it)
+      else if not (vec_bitwise r0_sol r1_sol) then
+        Some (label ^ ": solutions differ bitwise")
+      else None
+    in
+    let cases = ref [] in
+    let add label f = cases := (label, f) :: !cases in
+    for k = 0 to !flat_cases - 1 do
+      let case_seed = !seed + (1019 * k) in
+      let shape = Runtime.Xoshiro.of_seed (case_seed lxor 0xf1a7) in
+      let jn = 8 + Runtime.Xoshiro.int shape 56 in
+      (* even: the boxed oracle decomposes on a qxq grid, so q=2 must
+         divide the heat2d dimension at p=4 *)
+      let hn = 2 * (3 + Runtime.Xoshiro.int shape 5) in
+      let cn = 8 + Runtime.Xoshiro.int shape 40 in
+      let rng = Runtime.Xoshiro.of_seed case_seed in
+      let jf = Array.init jn (fun _ -> Runtime.Xoshiro.float rng 4.0 -. 2.0) in
+      let hf = Array.init hn (fun _ -> Array.init hn (fun _ -> Runtime.Xoshiro.float rng 2.0)) in
+      let cb = Array.init cn (fun _ -> Runtime.Xoshiro.float rng 2.0 -. 1.0) in
+      List.iter
+        (fun procs ->
+          add
+            (Printf.sprintf "jacobi flat=boxed sim p=%d n=%d seed=%d" procs jn case_seed)
+            (fun () ->
+              let r0, _ =
+                Algorithms.Jacobi.solve_sim ~procs ~tol:1e-7 jf ~left:0.5 ~right:(-0.25)
+              in
+              let r1, _ =
+                Algorithms.Jacobi.solve_sim_flat ~procs ~tol:1e-7 jf ~left:0.5 ~right:(-0.25)
+              in
+              diverged "jacobi"
+                (r0.Algorithms.Jacobi.iterations, r0.Algorithms.Jacobi.solution)
+                (r1.Algorithms.Jacobi.iterations, r1.Algorithms.Jacobi.solution));
+          add
+            (Printf.sprintf "cg flat=boxed sim p=%d n=%d seed=%d" procs cn case_seed)
+            (fun () ->
+              let r0, _ = Algorithms.Cg.solve_sim ~procs ~tol:1e-10 cb in
+              let r1, _ = Algorithms.Cg.solve_sim_flat ~procs ~tol:1e-10 cb in
+              diverged "cg"
+                (r0.Algorithms.Cg.iterations, r0.Algorithms.Cg.solution)
+                (r1.Algorithms.Cg.iterations, r1.Algorithms.Cg.solution)))
+        [ 1; 2; 4 ];
+      List.iter
+        (fun procs ->
+          add
+            (Printf.sprintf "heat2d flat=boxed sim p=%d n=%d seed=%d" procs hn case_seed)
+            (fun () ->
+              let r0, _ = Algorithms.Heat2d.solve_sim ~procs ~tol:1e-6 hf in
+              let r1, _ = Algorithms.Heat2d.solve_sim_flat ~procs ~tol:1e-6 hf in
+              if r0.Algorithms.Heat2d.iterations <> r1.Algorithms.Heat2d.iterations then
+                Some
+                  (Printf.sprintf "heat2d: iterations %d (boxed) vs %d (flat)"
+                     r0.Algorithms.Heat2d.iterations r1.Algorithms.Heat2d.iterations)
+              else if
+                not
+                  (Array.for_all2 vec_bitwise r0.Algorithms.Heat2d.solution
+                     r1.Algorithms.Heat2d.solution)
+              then Some "heat2d: solutions differ bitwise"
+              else None))
+        [ 1; 4 ];
+      add
+        (Printf.sprintf "jacobi flat multicore=sim p=3 n=%d seed=%d" jn case_seed)
+        (fun () ->
+          let r0, _ =
+            Algorithms.Jacobi.solve_sim_flat ~procs:3 ~tol:1e-7 jf ~left:0.5 ~right:(-0.25)
+          in
+          let r1, _ =
+            Algorithms.Jacobi.solve_multicore_flat ~procs:3 ~tol:1e-7 jf ~left:0.5 ~right:(-0.25)
+          in
+          diverged "jacobi multicore"
+            (r0.Algorithms.Jacobi.iterations, r0.Algorithms.Jacobi.solution)
+            (r1.Algorithms.Jacobi.iterations, r1.Algorithms.Jacobi.solution));
+      add
+        (Printf.sprintf "cg flat multicore=sim p=3 n=%d seed=%d" cn case_seed)
+        (fun () ->
+          let r0, _ = Algorithms.Cg.solve_sim_flat ~procs:3 ~tol:1e-10 cb in
+          let r1, _ = Algorithms.Cg.solve_multicore_flat ~procs:3 ~tol:1e-10 cb in
+          diverged "cg multicore"
+            (r0.Algorithms.Cg.iterations, r0.Algorithms.Cg.solution)
+            (r1.Algorithms.Cg.iterations, r1.Algorithms.Cg.solution))
+    done;
+    report_checks ~phase:"flat-vs-boxed solvers" (List.rev !cases)
+  in
+
+  if
+    ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo && ok_fault && ok_search
+    && ok_flat
   then begin
     Printf.printf "diffcheck: all oracles agree (seed %d)\n" !seed;
     exit 0
