@@ -69,3 +69,32 @@ val apply_generic : Partition.t -> ('a, 'b) t -> ('a, 'b) t array
 
 val unapply_generic :
   Partition.t -> ('a, 'b) t array -> kind:('a, 'b) Bigarray.kind -> ('a, 'b) t
+
+(** {1 Int tier}
+
+    The sort-family local kernels ([Seq_kernels]'s SEQ_QUICKSORT /
+    MIDVALUE / SPLIT / MERGE) over unboxed native-int storage. Same
+    algorithms and tie-breaking as the boxed kernels, so outputs are
+    value-identical (property-tested); [split_at] additionally returns
+    O(1) zero-copy sub-views where the boxed kernel copies. *)
+module Int : sig
+  type t = int1
+
+  val sort : t -> unit
+  (** In-place three-way quicksort, insertion sort below 16 elements. *)
+
+  val sorted_copy : t -> t
+  val midvalue : t -> int option
+  (** Middle element of an already-sorted chunk; [None] when empty. *)
+
+  val split_at : int -> t -> t * t
+  (** [split_at pivot a] on sorted [a]: ([<= pivot], [> pivot]) as
+      zero-copy sub-views (binary search, O(log n), no copying). *)
+
+  val merge : t -> t -> t
+  (** Merge two sorted chunks into a fresh one. *)
+
+  val is_sorted : t -> bool
+  val of_int_array : int array -> t
+  val to_int_array : t -> int array
+end

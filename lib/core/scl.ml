@@ -30,6 +30,7 @@ module Par_array = struct
 end
 
 module Flat = Flat
+module Flat_exec = Flat_exec
 module Par_array2 = Par_array2
 module Partition = Partition
 module Partition2 = Partition2

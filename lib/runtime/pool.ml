@@ -328,6 +328,26 @@ let grain_for t n =
     max (min min_grain n) balanced
   end
 
+(* Bytes-aware variant for unboxed (Bigarray-backed) loops.  [grain_for]'s
+   32-element floor is tuned for boxed elements, where each application
+   chases a pointer and the body dwarfs the scheduling overhead; an
+   unboxed 8-byte float body is a handful of instructions, so the floor is
+   a byte budget instead — every task touches at least MIN_GRAIN_BYTES of
+   payload (2 KiB: 256 floats) before fork/join bookkeeping is allowed to
+   show up.  The balance term is unchanged, so large arrays chunk exactly
+   as [grain_for] does and only the small-array floor differs. *)
+let min_grain_bytes = 2048
+
+let grain_for_bytes t ~elem_bytes n =
+  if n <= 0 then 1
+  else begin
+    let eb = max 1 elem_bytes in
+    let w = max 1 (num_workers t) in
+    let balanced = (n + (tasks_per_worker * w) - 1) / (tasks_per_worker * w) in
+    let floor_elems = (min_grain_bytes + eb - 1) / eb in
+    max (min floor_elems n) balanced
+  end
+
 let default_grain = grain_for
 
 let parallel_for ?grain t ~lo ~hi body =

@@ -75,6 +75,16 @@ val grain_for : t -> int -> int
     instead of paying per-element scheduling overhead. This is the default
     when [?grain] is omitted below. *)
 
+val grain_for_bytes : t -> elem_bytes:int -> int -> int
+(** [grain_for_bytes t ~elem_bytes n] is {!grain_for} with a byte-budget
+    floor instead of the boxed 32-element one: chunks never shrink below
+    2048 bytes of payload ([2048 / elem_bytes] elements, so 256 for 8-byte
+    floats), because an unboxed loop body is a handful of instructions and
+    a 32-element task would be mostly scheduling overhead. The
+    load-balance term is identical to {!grain_for}, so large arrays chunk
+    the same on both heuristics. Used by the flat ([Scl.Flat_exec])
+    kernels. *)
+
 val parallel_for : ?grain:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** Evaluate [body i] for [lo <= i < hi] in parallel by recursive halving;
     chunks of at most [grain] run sequentially. *)

@@ -149,3 +149,96 @@ let rotate k t =
       { t with local = out }
     end
   end
+
+(* fetch f: result element at global index g is the input element at [f g]
+   — the irregular Fetch pattern.  [Dvec.fetch] pays two all-to-all phases
+   (marshalled index requests out, marshalled (slot, value) pairs back);
+   here NO metadata travels at all.  [f] is pure and the block geometry is
+   closed-form, so both sides can evaluate the same plan: the sender walks
+   each destination's slot range in ascending global order and packs the
+   values it owns into ONE slice per destination (at most p-1 sends per
+   member, zero-copy when the sources form one contiguous ascending run);
+   the receiver walks its own slots in the same ascending order, pulling
+   from a per-source cursor — the packed order is re-derived, never
+   transmitted.  Results are bitwise-identical to [Dvec.fetch]. *)
+let fetch f t =
+  let p = Comm.size t.comm in
+  let total = t.total in
+  let check g =
+    let s = f g in
+    if s < 0 || s >= total then invalid_arg "Fvec.fetch: source index out of range";
+    s
+  in
+  if total = 0 then t
+  else if p = 1 then begin
+    charge t (Kernels.copy_flops total);
+    { t with local = Scl.Flat.init Scl.Flat.float64 total (fun g -> Scl.Flat.get t.local (check g)) }
+  end
+  else begin
+    let me = Comm.rank t.comm in
+    let b = block_bounds ~total ~parts:p in
+    let lo = t.offset and hi = t.offset + local_length t in
+    (* Outbound: for each other member, collect the values I own for its
+       slots, in ITS ascending slot order (the order it will consume). *)
+    for dest = 0 to p - 1 do
+      if dest <> me then begin
+        (* First pass: count, and detect the single-contiguous-run case
+           (sources consecutive ascending), which ships as a zero-copy
+           sub-view of my chunk. *)
+        let cnt = ref 0 and first_src = ref 0 and prev_src = ref 0 and contiguous = ref true in
+        for g = b.(dest) to b.(dest + 1) - 1 do
+          let s = f g in
+          if s >= lo && s < hi then begin
+            if !cnt = 0 then first_src := s
+            else if s <> !prev_src + 1 then contiguous := false;
+            prev_src := s;
+            incr cnt
+          end
+        done;
+        if !cnt > 0 then
+          if !contiguous then
+            Comm.send_slice t.comm ~dest
+              (Scl.Flat.sub_view t.local ~pos:(!first_src - lo) ~len:!cnt)
+          else begin
+            let pack = Scl.Flat.create Scl.Flat.float64 !cnt in
+            let off = ref 0 in
+            for g = b.(dest) to b.(dest + 1) - 1 do
+              let s = f g in
+              if s >= lo && s < hi then begin
+                Scl.Flat.set pack !off (Scl.Flat.get t.local (s - lo));
+                incr off
+              end
+            done;
+            Comm.send_slice t.comm ~dest pack
+          end
+      end
+    done;
+    charge t (Kernels.copy_flops (local_length t));
+    (* Inbound: which owners feed my slots, and how many values each
+       sends — re-derived from the same geometry, no metadata. *)
+    let counts = Array.make p 0 in
+    for g = lo to hi - 1 do
+      let o = owner_of ~total ~parts:p (check g) in
+      counts.(o) <- counts.(o) + 1
+    done;
+    let slices = Array.make p None in
+    for src = 0 to p - 1 do
+      if src <> me && counts.(src) > 0 then slices.(src) <- Some (Comm.recv_slice t.comm ~src ())
+    done;
+    (* Reassemble: walk my slots ascending, pulling each value from its
+       owner's packed slice via a per-owner cursor — the exact order the
+       sender packed. *)
+    let out = Scl.Flat.create Scl.Flat.float64 (local_length t) in
+    let cursors = Array.make p 0 in
+    for g = lo to hi - 1 do
+      let s = f g in
+      let o = owner_of ~total ~parts:p s in
+      if o = me then Scl.Flat.set out (g - lo) (Scl.Flat.get t.local (s - lo))
+      else begin
+        let slice = match slices.(o) with Some sl -> sl | None -> assert false in
+        Scl.Flat.set out (g - lo) (Scl.Flat.get slice cursors.(o));
+        cursors.(o) <- cursors.(o) + 1
+      end
+    done;
+    { t with local = out }
+  end

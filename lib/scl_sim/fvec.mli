@@ -53,3 +53,14 @@ val rotate : int -> t -> t
     per-segment metadata — both sides re-derive segment geometry from the
     closed-form block bounds. Bitwise-identical results to [Dvec.rotate]
     on the same data. *)
+
+val fetch : (int -> int) -> t -> t
+(** Irregular gather: result element [g] = input element [f g]. [f] must
+    be pure — both sides evaluate it against the closed-form block
+    geometry to derive the same packing plan, so NO metadata travels
+    (versus [Dvec.fetch]'s two marshalled all-to-all phases): each member
+    sends at most one packed slice per destination (zero-copy sub-view
+    when the requested sources are one contiguous ascending run), and the
+    receiver reassembles by walking its slots in ascending order with a
+    per-source cursor. Bitwise-identical results to [Dvec.fetch].
+    @raise Invalid_argument if [f] produces an out-of-range index. *)

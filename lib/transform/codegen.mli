@@ -26,4 +26,13 @@ val generate_host : ?name:string -> Ast.expr -> string
     ([Scl.Elementary] / [Scl.Communication] over [Par_array]) — one AST,
     two targets. *)
 
+val generate_host_flat : ?name:string -> Ast.expr -> string
+(** Map/fold/scan chains of {!Flat_fns}-recognised float primitives
+    compiled to the unboxed {!Scl.Flat_exec} kernels; the last map of a
+    run fuses into a following fold/scan. The emitted function is
+    [val name : ?fx:Scl.Flat_exec.t -> float array -> float array] (or
+    [float] for a trailing fold), so one generated source runs
+    sequentially or on the pool. @raise Not_compilable for stages or
+    functions outside the flat vocabulary. *)
+
 val compilable : Ast.expr -> bool

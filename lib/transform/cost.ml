@@ -18,7 +18,16 @@ open Machine
 
 let word_bytes = 8
 
-type env = { cm : Cost_model.t; procs : int }
+type env = { cm : Cost_model.t; procs : int; flat : bool }
+
+(* Per-element discount for stages the flat host tier can run: unboxed
+   Bigarray loops with the operator matched outside the loop, versus the
+   boxed skeletons' closure call + Value boxing per element.  Applied
+   only to the flop term — barriers and combine-round messages are tier-
+   independent.  Calibrated against the host/{boxed,flat}-scan bench
+   pair; like the rest of the model it ranks plans, the simulator stays
+   the ground truth. *)
+let flat_factor = 0.25
 
 let ceil_div a b = (a + b - 1) / b
 
@@ -37,15 +46,22 @@ let elementwise env ~n fn_cost = flop env (ceil_div n env.procs * fn_cost) +. ba
 
 let reduce_rounds env fn_cost = float_of_int (log2_ceil env.procs) *. (msg env 1 +. flop env fn_cost)
 
+let discount1 env f work = if env.flat && Flat_fns.fun1_of f <> None then work *. flat_factor else work
+let discount2 env f work = if env.flat && Flat_fns.fun2_of f <> None then work *. flat_factor else work
+
 let rec estimate env ~n (e : Ast.expr) : float =
   match e with
   | Ast.Id -> 0.0
   | Ast.Compose (f, g) -> estimate env ~n g +. estimate env ~n f
-  | Ast.Map f -> elementwise env ~n f.Fn.cost
+  | Ast.Map f ->
+      discount1 env f (flop env (ceil_div n env.procs * f.Fn.cost)) +. barrier env
   | Ast.Imap f -> elementwise env ~n f.Fn.cost2
-  | Ast.Fold f -> flop env (ceil_div n env.procs * f.Fn.cost2) +. reduce_rounds env f.Fn.cost2
+  | Ast.Fold f ->
+      discount2 env f (flop env (ceil_div n env.procs * f.Fn.cost2))
+      +. reduce_rounds env f.Fn.cost2
   | Ast.Scan f ->
-      flop env (2 * ceil_div n env.procs * f.Fn.cost2) +. reduce_rounds env f.Fn.cost2
+      discount2 env f (flop env (2 * ceil_div n env.procs * f.Fn.cost2))
+      +. reduce_rounds env f.Fn.cost2
   | Ast.Foldr_compose (f, g) ->
       (* inherently sequential: all n elements on one processor *)
       flop env (n * (f.Fn.cost2 + g.Fn.cost)) +. barrier env
@@ -61,6 +77,6 @@ let rec estimate env ~n (e : Ast.expr) : float =
   | Ast.Map_nested body -> estimate env ~n body +. barrier env
   | Ast.Iter_for (k, body) -> float_of_int (max 0 k) *. estimate env ~n body
 
-let estimate_pipeline ?(cm = Cost_model.ap1000) ~procs ~n e =
+let estimate_pipeline ?(cm = Cost_model.ap1000) ?(flat = false) ~procs ~n e =
   if procs <= 0 then invalid_arg "Cost.estimate_pipeline: procs must be positive";
-  estimate { cm; procs } ~n e
+  estimate { cm; procs; flat } ~n e

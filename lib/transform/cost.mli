@@ -4,8 +4,14 @@
     the simulator ({!Sim_exec}) is the ground truth. *)
 
 val estimate_pipeline :
-  ?cm:Machine.Cost_model.t -> procs:int -> n:int -> Ast.expr -> float
-(** @raise Invalid_argument if [procs <= 0]. Default cost model: AP1000. *)
+  ?cm:Machine.Cost_model.t -> ?flat:bool -> procs:int -> n:int -> Ast.expr -> float
+(** @raise Invalid_argument if [procs <= 0]. Default cost model: AP1000.
+
+    With [~flat:true] (default [false]), map/fold/scan legs whose payload
+    functions the flat host tier recognises ({!Flat_fns}) have their flop
+    term discounted — the optimizer then sees unboxed kernels as cheaper
+    than boxed ones and ranks plans accordingly. Barriers and combine
+    rounds are tier-independent and never discounted. *)
 
 val log2_ceil : int -> int
 val ceil_div : int -> int -> int

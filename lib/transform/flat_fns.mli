@@ -1,0 +1,16 @@
+(** Recognition of [Fn] registry functions as flat-tier operators — the
+    single name-to-operator mapping shared by the cost model ({!Cost}),
+    the host evaluator ({!Host_exec}) and the code generator
+    ({!Codegen}). Recognition is name-based; fused closures are never
+    recognised (they would reintroduce a per-element closure call). *)
+
+val fun1_of : Fn.t -> Scl.Flat_exec.fun1 option
+(** [fincr]/[fneg]/[fhalve]/[fdouble]/[id] as flat unary operators. *)
+
+val fun2_of : Fn.t2 -> Scl.Flat_exec.fun2 option
+(** [fadd]/[fmax]/[fmin] as flat binary operators. *)
+
+val fun1_source : Fn.t -> string option
+(** OCaml source form of {!fun1_of}'s result, for code generation. *)
+
+val fun2_source : Fn.t2 -> string option

@@ -33,6 +33,65 @@ let arr a = Value.Arr (Scl.Par_array.unsafe_to_array a)
 (* Compose a run of map stages, first stage innermost. *)
 let compose_run fns x = List.fold_left (fun v (f : Fn.t) -> f.Fn.apply v) x fns
 
+(* --- flat fast path --------------------------------------------------------
+
+   When a maximal map run (and its fold/scan consumer, if any) consists
+   entirely of [Flat_fns]-recognised float primitives AND the value is an
+   all-float array, the run dispatches to the unboxed [Scl.Flat_exec]
+   kernels: one conversion to flat storage, the fused kernel, one
+   conversion back.  Bitwise-identical to the boxed path by construction —
+   the same float operations are applied to the same elements in the same
+   order (a multi-map run fuses to one closure over unboxed floats, the
+   same composition [compose_run] builds over boxed values). *)
+
+let flat_ops_of fns =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | f :: tl -> (
+        match Flat_fns.fun1_of f with Some op -> go (op :: acc) tl | None -> None)
+  in
+  go [] fns
+
+let fuse_ops = function
+  | [] -> Scl.Flat_exec.Id
+  | [ op ] -> op
+  | ops ->
+      Scl.Flat_exec.Fun1
+        (fun x -> List.fold_left (fun acc op -> Scl.Flat_exec.apply1 op acc) x ops)
+
+let flat_of_value v =
+  match v with
+  | Value.Arr a when Array.for_all (function Value.Float _ -> true | _ -> false) a ->
+      Some (Scl.Flat.of_float_array (Array.map Value.as_float a))
+  | _ -> None
+
+let value_of_flat fa =
+  Value.Arr (Array.map (fun x -> Value.Float x) (Scl.Flat.to_float_array fa))
+
+(* Try to run [map fns . consumer] (consumer = head of [tl]) on the flat
+   tier; [Some (result, remaining_chain)] on success. Empty-array edge
+   cases keep the boxed path's behaviour exactly (fold: Type_error; scan:
+   empty result) by bailing out to it. *)
+let flat_dispatch ~(fx : Scl.Flat_exec.t) fns tl v :
+    (Value.t * Ast.expr list) option =
+  match flat_ops_of fns with
+  | None -> None
+  | Some ops -> (
+      match flat_of_value v with
+      | None -> None
+      | Some fa -> (
+          let op1 = fuse_ops ops in
+          match tl with
+          | Ast.Fold op :: tl' when Flat_fns.fun2_of op <> None && Scl.Flat.length fa > 0 ->
+              let op2 = Option.get (Flat_fns.fun2_of op) in
+              Some (Value.Float (fx.Scl.Flat_exec.fmap_fold op1 op2 fa), tl')
+          | Ast.Scan op :: tl' when Flat_fns.fun2_of op <> None && Scl.Flat.length fa > 0 ->
+              let op2 = Option.get (Flat_fns.fun2_of op) in
+              Some (value_of_flat (fx.Scl.Flat_exec.fmap_scan op1 op2 fa), tl')
+          | tl' ->
+              if ops = [] then None (* bare consumer was not eligible: no work here *)
+              else Some (value_of_flat (fx.Scl.Flat_exec.fmap op1 fa), tl')))
+
 (* --- segmented values ------------------------------------------------------
 
    The host-side segment descriptor: a flat payload with per-segment
@@ -62,10 +121,10 @@ let is_nested_stage = function
   | Ast.Split _ | Ast.Combine | Ast.Map_nested _ -> true
   | _ -> false
 
-let rec eval_node ~exec (e : Ast.expr) (v : Value.t) : Value.t =
+let rec eval_node ~exec ~fx (e : Ast.expr) (v : Value.t) : Value.t =
   match e with
   | Ast.Id -> v
-  | Ast.Compose _ -> eval_chain ~exec (Ast.to_chain e) v
+  | Ast.Compose _ -> eval_chain ~exec ~fx (Ast.to_chain e) v
   | Ast.Map f -> wrap "map" (fun () -> arr (Scl.Elementary.map ~exec f.Fn.apply (pa v)))
   | Ast.Imap f ->
       wrap "imap" (fun () ->
@@ -118,17 +177,17 @@ let rec eval_node ~exec (e : Ast.expr) (v : Value.t) : Value.t =
   | Ast.Map_nested body ->
       let chain = Ast.to_chain body in
       wrap "map_nested" (fun () ->
-          arr (Scl.Elementary.map ~exec (fun g -> eval_chain ~exec chain g) (pa v)))
+          arr (Scl.Elementary.map ~exec (fun g -> eval_chain ~exec ~fx chain g) (pa v)))
   | Ast.Iter_for (k, body) ->
       if k < 0 then Value.type_error "iterFor: negative count";
       let chain = Ast.to_chain body in
       let acc = ref v in
       for _ = 1 to k do
-        acc := eval_chain ~exec chain !acc
+        acc := eval_chain ~exec ~fx chain !acc
       done;
       !acc
 
-and eval_chain ~exec (chain : Ast.expr list) (v : Value.t) : Value.t =
+and eval_chain ~exec ~fx (chain : Ast.expr list) (v : Value.t) : Value.t =
   match chain with
   | [] -> v
   | Ast.Map f :: rest ->
@@ -139,12 +198,15 @@ and eval_chain ~exec (chain : Ast.expr list) (v : Value.t) : Value.t =
       in
       let fns, tl = collect [ f ] rest in
       let g = compose_run fns in
-      (match tl with
+      (match flat_dispatch ~fx fns tl v with
+      | Some (r, tl') -> eval_chain ~exec ~fx tl' r
+      | None -> (
+      match tl with
       | Ast.Fold op :: tl' ->
           let a = pa v in
           if Scl.Par_array.length a = 0 then Value.type_error "fold: empty array";
           let r = wrap "fold" (fun () -> Scl.Elementary.map_fold ~exec op.Fn.apply2 g a) in
-          eval_chain ~exec tl' r
+          eval_chain ~exec ~fx tl' r
       | Ast.Scan op :: tl' ->
           let a = pa v in
           let r =
@@ -152,7 +214,7 @@ and eval_chain ~exec (chain : Ast.expr list) (v : Value.t) : Value.t =
             else
               wrap "scan" (fun () -> arr (Scl.Elementary.map_scan ~exec op.Fn.apply2 g a))
           in
-          eval_chain ~exec tl' r
+          eval_chain ~exec ~fx tl' r
       | tl' ->
           let r =
             match fns with
@@ -169,16 +231,24 @@ and eval_chain ~exec (chain : Ast.expr list) (v : Value.t) : Value.t =
                 wrap "map" (fun () ->
                     arr (Scl.Elementary.map_compose ~exec last.Fn.apply (compose_run prefix) (pa v)))
           in
-          eval_chain ~exec tl' r)
-  | stage :: rest -> eval_chain ~exec rest (eval_node ~exec stage v)
+          eval_chain ~exec ~fx tl' r))
+  | ((Ast.Fold _ | Ast.Scan _) :: _) as chain' -> (
+      (* A bare fold/scan over recognised float data also runs flat. *)
+      match flat_dispatch ~fx [] chain' v with
+      | Some (r, tl') -> eval_chain ~exec ~fx tl' r
+      | None -> (
+          match chain' with
+          | stage :: rest -> eval_chain ~exec ~fx rest (eval_node ~exec ~fx stage v)
+          | [] -> assert false))
+  | stage :: rest -> eval_chain ~exec ~fx rest (eval_node ~exec ~fx stage v)
 
 (* Top-level driver over segmented values. Maximal flat runs batch through
    the fusion-aware [eval_chain]; the three nesting stages operate on the
    descriptor when the shape fits the one-level discipline, and fall back
    to the materialised [eval_node] (exact reference semantics, including
    its error taxonomy) when it does not. *)
-and eval_hchain ~exec (chain : Ast.expr list) (hv : hval) : hval =
-  let fallback stage rest hv = eval_hchain ~exec rest (Plain (eval_node ~exec stage (reify hv))) in
+and eval_hchain ~exec ~fx (chain : Ast.expr list) (hv : hval) : hval =
+  let fallback stage rest hv = eval_hchain ~exec ~fx rest (Plain (eval_node ~exec ~fx stage (reify hv))) in
   match chain with
   | [] -> hv
   | Ast.Split p :: rest -> (
@@ -186,14 +256,14 @@ and eval_hchain ~exec (chain : Ast.expr list) (hv : hval) : hval =
       | Plain (Value.Arr a) when p > 0 ->
           let b = Ast.block_bounds ~total:(Array.length a) ~parts:p in
           let sizes = Array.init p (fun k -> b.(k + 1) - b.(k)) in
-          eval_hchain ~exec rest (Seg (a, sizes))
+          eval_hchain ~exec ~fx rest (Seg (a, sizes))
       | _ -> fallback (Ast.Split p) rest hv)
   | Ast.Combine :: rest -> (
       match hv with
       | Seg (payload, _) ->
           (* groups are contiguous slices of the payload, so concatenating
              them is the payload — combine costs nothing *)
-          eval_hchain ~exec rest (Plain (Value.Arr payload))
+          eval_hchain ~exec ~fx rest (Plain (Value.Arr payload))
       | Plain _ -> fallback Ast.Combine rest hv)
   | Ast.Map_nested body :: rest -> (
       match hv with
@@ -204,7 +274,7 @@ and eval_hchain ~exec (chain : Ast.expr list) (hv : hval) : hval =
             wrap "map_nested" (fun () ->
                 Scl.Par_array.unsafe_to_array
                   (Scl.Elementary.map ~exec
-                     (fun g -> eval_chain ~exec chain_b g)
+                     (fun g -> eval_chain ~exec ~fx chain_b g)
                      (Scl.Par_array.unsafe_of_array
                         (Array.init (Array.length sizes) (fun j ->
                              Value.Arr (Array.sub payload starts.(j) sizes.(j)))))))
@@ -218,7 +288,7 @@ and eval_hchain ~exec (chain : Ast.expr list) (hv : hval) : hval =
               (* e.g. a fold body: one scalar per group, now a flat array *)
               Plain (Value.Arr results)
           in
-          eval_hchain ~exec rest hv'
+          eval_hchain ~exec ~fx rest hv'
       | Plain _ -> fallback (Ast.Map_nested body) rest hv)
   | _ ->
       let rec span acc = function
@@ -226,14 +296,14 @@ and eval_hchain ~exec (chain : Ast.expr list) (hv : hval) : hval =
         | tl -> (List.rev acc, tl)
       in
       let flat, tl = span [] chain in
-      eval_hchain ~exec tl (Plain (eval_chain ~exec flat (reify hv)))
+      eval_hchain ~exec ~fx tl (Plain (eval_chain ~exec ~fx flat (reify hv)))
 
-let eval ?(exec = Scl.Exec.sequential) ?(optimize = false) (e : Ast.expr) (v : Value.t) :
-    Value.t =
+let eval ?(exec = Scl.Exec.sequential) ?(fx = Scl.Flat_exec.sequential) ?(optimize = false)
+    (e : Ast.expr) (v : Value.t) : Value.t =
   let e =
     if not optimize then e
     else
       let n = match v with Value.Arr a -> Some (Array.length a) | _ -> None in
       (Optimizer.optimize ?n e).Optimizer.output
   in
-  reify (eval_hchain ~exec (Ast.to_chain e) (Plain v))
+  reify (eval_hchain ~exec ~fx (Ast.to_chain e) (Plain v))

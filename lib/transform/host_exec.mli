@@ -24,9 +24,18 @@
     the same inputs (empty fold, out-of-range fetch/send, non-permutation
     send). *)
 
-val eval : ?exec:Scl.Exec.t -> ?optimize:bool -> Ast.expr -> Value.t -> Value.t
-(** [eval ?exec ?optimize e v] equals [Ast.eval e v] on every input where
-    the latter is defined. @raise Value.Type_error as {!Ast.eval} does.
+val eval :
+  ?exec:Scl.Exec.t -> ?fx:Scl.Flat_exec.t -> ?optimize:bool -> Ast.expr -> Value.t -> Value.t
+(** [eval ?exec ?fx ?optimize e v] equals [Ast.eval e v] on every input
+    where the latter is defined. @raise Value.Type_error as {!Ast.eval}
+    does.
+
+    Map runs (and their fold/scan consumers) made entirely of
+    {!Flat_fns}-recognised float primitives over all-float arrays dispatch
+    to the unboxed {!Scl.Flat_exec} kernels on the [?fx] backend (default
+    sequential; pass [Scl.Flat_exec.on_pool] to run flat legs on the
+    pool). The flat path is bitwise-identical to the boxed path: the same
+    float operations are applied in the same order.
 
     With [~optimize:true] (default [false]) the pipeline is first rewritten
     by {!Optimizer.optimize} (cost-gated, with [~n] taken from the actual

@@ -33,6 +33,7 @@ type report = {
 
 val optimize :
   ?cm:Machine.Cost_model.t ->
+  ?flat:bool ->
   ?procs:int ->
   ?n:int ->
   ?rules:Rules.rule list ->
@@ -43,7 +44,8 @@ val optimize :
     for [Greedy] (unchanged behaviour), {!Rules.all} for [Beam] (the
     search covers the whole algebra, flattening and unrolling included).
     [cost_after <= cost_before] always holds: the input program is itself
-    a candidate. *)
+    a candidate. [~flat:true] prices flat-eligible legs with the
+    discounted model ({!Cost.estimate_pipeline}'s [?flat]). *)
 
 val speedup : report -> float
 val strategy_name : strategy -> string

@@ -15,7 +15,9 @@
                | 'mapn' '[' pipeline ']'             (nested groups)
                | 'iter' INT '[' pipeline ']'
      FN  := incr | double | square | negate | halve | id
+          | fincr | fneg | fhalve | fdouble          (float tier)
      FN2 := add | mul | max | min | sub | add_index
+          | fadd | fmax | fmin                       (float tier)
      IFN := id | reverse | shift:INT
 
    [to_source] prints an expression back in this syntax; [parse] of that
@@ -32,8 +34,11 @@ let fail position fmt =
 
 (* --- registries ------------------------------------------------------------- *)
 
-let fns1 = [ Fn.incr; Fn.double; Fn.square; Fn.negate; Fn.halve; Fn.id ]
-let fns2 = [ Fn.add; Fn.mul; Fn.imax; Fn.imin; Fn.sub; Fn.add_index ]
+let fns1 =
+  [ Fn.incr; Fn.double; Fn.square; Fn.negate; Fn.halve; Fn.id;
+    Fn.fincr; Fn.fneg; Fn.fhalve; Fn.fdouble ]
+
+let fns2 = [ Fn.add; Fn.mul; Fn.imax; Fn.imin; Fn.sub; Fn.add_index; Fn.fadd; Fn.fmax; Fn.fmin ]
 
 let lookup1 name = List.find_opt (fun (f : Fn.t) -> f.name = name) fns1
 let lookup2 name = List.find_opt (fun (f : Fn.t2) -> f.name2 = name) fns2

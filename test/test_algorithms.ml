@@ -185,6 +185,41 @@ let test_hqs_sim_deterministic () =
   Alcotest.(check bool) "same makespan" true (s1.Machine.Sim.makespan = s2.Machine.Sim.makespan);
   Alcotest.(check int) "same messages" s1.Machine.Sim.total_msgs s2.Machine.Sim.total_msgs
 
+let prop_hqs_flatint_equals_boxed_sim =
+  qtest ~count:25 "flat-int sim = boxed sim (values and costs)"
+    QCheck.(pair (list int) (int_range 0 3))
+    (fun (xs, dims) ->
+      let a = Array.of_list xs in
+      let procs = 1 lsl dims in
+      let boxed, bs = Hyperquicksort.sort_sim ~procs a in
+      let flat, fs = Hyperquicksort.sort_sim_flatint ~procs a in
+      flat = boxed && fs.Machine.Sim.total_msgs = bs.Machine.Sim.total_msgs)
+
+let test_hqs_flatint_adversarial () =
+  List.iter
+    (fun a ->
+      let expect = sorted_copy a in
+      let s, _ = Hyperquicksort.sort_sim_flatint ~procs:8 a in
+      Alcotest.(check (array int)) "flat-int sim" expect s)
+    [
+      [||];
+      [| 5 |];
+      Array.make 100 7;
+      Array.init 100 (fun i -> -i);
+      Array.append (Array.make 50 0) (Array.make 50 1000);
+    ]
+
+let test_hqs_flatint_multicore () =
+  let rng = Runtime.Xoshiro.of_seed 31 in
+  let a = Runtime.Xoshiro.int_array rng ~len:10_000 ~bound:1_000_000 in
+  let sorted, _ = Hyperquicksort.sort_multicore_flatint ~procs:4 a in
+  Alcotest.(check (array int)) "flat-int multicore" (sorted_copy a) sorted;
+  Alcotest.(check bool) "procs=6 rejected" true
+    (try
+       ignore (Hyperquicksort.sort_multicore_flatint ~procs:6 [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
 let test_hqs_traced_figure2 () =
   (* The Figure 2 regeneration: 32 values on a 2-cube, with stage notes. *)
   let rng = Runtime.Xoshiro.of_seed 2 in
@@ -924,6 +959,9 @@ let () =
           Alcotest.test_case "speedup shape" `Slow test_hqs_sim_speedup_shape;
           Alcotest.test_case "simulator deterministic" `Quick test_hqs_sim_deterministic;
           Alcotest.test_case "figure-2 trace" `Quick test_hqs_traced_figure2;
+          prop_hqs_flatint_equals_boxed_sim;
+          Alcotest.test_case "flat-int adversarial inputs" `Quick test_hqs_flatint_adversarial;
+          Alcotest.test_case "flat-int multicore" `Slow test_hqs_flatint_multicore;
         ] );
       ( "gauss",
         [

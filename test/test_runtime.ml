@@ -430,6 +430,23 @@ let test_pool_parallel_for_grain_one () =
       Pool.parallel_for ~grain:1 pool ~lo:0 ~hi:64 (fun i -> hits.(i) <- hits.(i) + 1);
       Alcotest.(check bool) "each index exactly once" true (Array.for_all (( = ) 1) hits))
 
+let test_pool_grain_for_bytes () =
+  (* pins the bytes-aware chunking on a 2-worker pool: the 2 KiB floor is
+     256 elements at 8 bytes each, so it wins over the balance term
+     (ceil (1000/8) = 125) at n=1000, collapses n=100 to a single task,
+     and is invisible for large n where the balance term dominates *)
+  with_pool ~num_domains:2 (fun pool ->
+      let gb = Pool.grain_for_bytes pool ~elem_bytes:8 in
+      Alcotest.(check int) "n=0" 1 (gb 0);
+      Alcotest.(check int) "byte floor beats balance at n=1000" 256 (gb 1000);
+      Alcotest.(check int) "boxed grain would have chunked finer" 125 (Pool.grain_for pool 1000);
+      Alcotest.(check int) "small array runs as one task" 100 (gb 100);
+      Alcotest.(check int) "large n: balance term identical to grain_for"
+        (Pool.grain_for pool 100_000)
+        (gb 100_000);
+      Alcotest.(check int) "1-byte elements push the floor to 2048 elems" 1000
+        (Pool.grain_for_bytes pool ~elem_bytes:1 1000))
+
 let test_pool_reduce_non_commutative () =
   with_pool (fun pool ->
       let n = 300 in
@@ -627,6 +644,7 @@ let suite =
         Alcotest.test_case "deep nesting" `Quick test_pool_deep_nesting;
         Alcotest.test_case "many small tasks" `Slow test_pool_many_small_tasks;
         Alcotest.test_case "grain 1" `Quick test_pool_parallel_for_grain_one;
+        Alcotest.test_case "bytes-aware grain" `Quick test_pool_grain_for_bytes;
         Alcotest.test_case "non-commutative reduce order" `Quick test_pool_reduce_non_commutative;
         prop_pool_map_matches_seq;
         Alcotest.test_case "two pools coexist" `Quick test_barrier_two_pools_coexist;

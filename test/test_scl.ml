@@ -870,6 +870,183 @@ let test_flat_views_alias () =
   Flat.set joined 0 7.0;
   Alcotest.(check (float 0.0)) "unapply is fresh" (-1.0) (Flat.get fa 0)
 
+(* --- Flat_exec (unboxed host kernels) ---------------------------------------------
+
+   The boxed skeletons are the executable specification. Operands are
+   dyadic rationals and the operators exactly associative (+., max, min
+   on dyadics), so every grouping yields the same bits — all comparisons
+   below are bitwise ([Float.equal]), never epsilon. *)
+
+let dyadics_of_ints xs = Array.of_list (List.map (fun i -> float_of_int i *. 0.25) xs)
+let bitwise a b = Array.length a = Array.length b && Array.for_all2 Float.equal a b
+
+let flat_backends =
+  lazy [ Flat_exec.sequential; Flat_exec.on_pool (Lazy.force pool) ]
+
+let prop_flat_exec_bitwise =
+  qtest "Flat_exec kernels = boxed skeletons, bitwise (both backends)"
+    QCheck.(list (int_range (-2000) 2000))
+    (fun xs ->
+      let a = dyadics_of_ints xs in
+      let n = Array.length a in
+      let fa = Flat.of_float_array a in
+      let pa = Par_array.of_array a in
+      List.for_all
+        (fun ((fx : Flat_exec.t), exec) ->
+          let open Flat_exec in
+          bitwise
+            (Par_array.to_array (Elementary.map ~exec (fun x -> x *. 2.0) pa))
+            (Flat.to_float_array (fx.fmap (Scale 2.0) fa))
+          && bitwise
+               (Par_array.to_array (Elementary.scan ~exec ( +. ) pa))
+               (Flat.to_float_array (fx.fscan Add fa))
+          && bitwise
+               (Par_array.to_array
+                  (Elementary.map_scan ~exec Float.max (fun x -> x +. 1.0) pa))
+               (Flat.to_float_array (fx.fmap_scan (Offset 1.0) Max fa))
+          && (n = 0
+             || Float.equal (Elementary.fold ~exec ( +. ) pa) (fx.ffold Add fa)
+                && Float.equal
+                     (Elementary.map_fold ~exec Float.min (fun x -> -.x) pa)
+                     (fx.fmap_fold Neg Min fa)))
+        (List.combine (Lazy.force flat_backends)
+           [ Exec.sequential; Lazy.force pexec ]))
+
+let test_flat_exec_edge_sizes () =
+  (* every size from empty through 7: below, at, and above the pool's
+     single-chunk regime, including the fold precondition *)
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun i -> float_of_int (i - 3) *. 0.5) in
+      let fa = Flat.of_float_array a in
+      let expect_scan = Array.copy a in
+      for i = 1 to n - 1 do
+        expect_scan.(i) <- expect_scan.(i - 1) +. a.(i)
+      done;
+      List.iter
+        (fun (fx : Flat_exec.t) ->
+          let open Flat_exec in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s scan n=%d" fx.name n)
+            true
+            (bitwise expect_scan (Flat.to_float_array (fx.fscan Add fa)));
+          Alcotest.(check bool)
+            (Printf.sprintf "%s map n=%d" fx.name n)
+            true
+            (bitwise
+               (Array.map (fun x -> x +. 1.0) a)
+               (Flat.to_float_array (fx.fmap (Offset 1.0) fa)));
+          if n = 0 then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s ffold empty raises" fx.name)
+              true
+              (try
+                 ignore (fx.ffold Add fa : float);
+                 false
+               with Invalid_argument _ -> true)
+          else
+            Alcotest.(check bool)
+              (Printf.sprintf "%s fold n=%d" fx.name n)
+              true
+              (Float.equal
+                 (Array.fold_left ( +. ) a.(0) (Array.sub a 1 (n - 1)))
+                 (fx.ffold Add fa)))
+        (Lazy.force flat_backends))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_flat_scan_two_phase_vs_spec () =
+  (* The pool scan is the Blelloch-style two-phase layout; the spec is the
+     plain sequential prefix loop. Sizes straddle the grain so the run
+     always crosses several chunks plus a ragged tail. *)
+  let fx = Flat_exec.on_pool (Lazy.force pool) in
+  List.iter
+    (fun n ->
+      let a =
+        Array.init n (fun i -> float_of_int ((i * 37 mod 256) - 128) *. 0.125)
+      in
+      let fa = Flat.of_float_array a in
+      let spec = Array.copy a in
+      for i = 1 to n - 1 do
+        spec.(i) <- spec.(i - 1) +. a.(i)
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "two-phase scan = prefix spec at n=%d" n)
+        true
+        (bitwise spec (Flat.to_float_array (fx.Flat_exec.fscan Flat_exec.Add fa))))
+    [ 255; 256; 257; 1000; 4096; 5001 ]
+
+let test_flat_scan_minor_words () =
+  (* The acceptance pin for the bench pair host/{boxed,flat}-scan: the
+     flat leg must allocate strictly fewer minor words. Sequential
+     backends only — [Gc.minor_words] is per-domain, and the pool would
+     do its allocating on the workers where we cannot see it. The boxed
+     scan boxes a float per output element (>= 2n minor words at
+     n = 100k); the flat scan's output lives off-heap, so only the
+     Bigarray handle itself touches the minor heap. *)
+  let n = 100_000 in
+  let a = Array.init n (fun i -> float_of_int ((i * 7919 mod 4096) - 2048)) in
+  let fa = Flat.of_float_array a in
+  let pa = Par_array.of_array a in
+  let boxed () = ignore (Elementary.scan ( +. ) pa : float Par_array.t) in
+  let flat () =
+    ignore (Flat_exec.sequential.Flat_exec.fscan Flat_exec.Add fa : Flat.float1)
+  in
+  boxed ();
+  flat ();
+  let w0 = Gc.minor_words () in
+  boxed ();
+  let w1 = Gc.minor_words () in
+  flat ();
+  let w2 = Gc.minor_words () in
+  let boxed_words = w1 -. w0 and flat_words = w2 -. w1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flat scan %.0f minor words < boxed %.0f" flat_words
+       boxed_words)
+    true
+    (flat_words < boxed_words)
+
+(* --- Flat.Int (sort-family kernels) ----------------------------------------------- *)
+
+let prop_flat_int_sort =
+  qtest "Flat.Int.sort = Array.sort"
+    QCheck.(list int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      let fa = Flat.Int.of_int_array a in
+      Flat.Int.sort fa;
+      let expect = Array.copy a in
+      Array.sort compare expect;
+      Flat.Int.is_sorted fa && Flat.Int.to_int_array fa = expect)
+
+let test_flat_int_split_merge () =
+  let a = Array.init 101 (fun i -> i * 31 mod 97) in
+  let fa = Flat.Int.of_int_array a in
+  Flat.Int.sort fa;
+  let sorted = Flat.Int.to_int_array fa in
+  Alcotest.(check bool) "sorted" true (Flat.Int.is_sorted fa);
+  (match Flat.Int.midvalue fa with
+  | None -> Alcotest.fail "midvalue on non-empty chunk"
+  | Some m -> Alcotest.(check int) "midvalue = middle slot" sorted.(101 / 2) m);
+  Alcotest.(check bool) "midvalue empty" true
+    (Flat.Int.midvalue (Flat.Int.of_int_array [||]) = None);
+  List.iter
+    (fun pivot ->
+      let lo, hi = Flat.Int.split_at pivot fa in
+      Alcotest.(check int) "split lengths" 101 (Flat.length lo + Flat.length hi);
+      Alcotest.(check bool) "low side <= pivot" true
+        (Array.for_all (fun x -> x <= pivot) (Flat.Int.to_int_array lo));
+      Alcotest.(check bool) "high side > pivot" true
+        (Array.for_all (fun x -> x > pivot) (Flat.Int.to_int_array hi));
+      Alcotest.(check (array int)) "merge restores the chunk" sorted
+        (Flat.Int.to_int_array (Flat.Int.merge lo hi)))
+    [ -1; 0; 13; 48; 96; 200 ];
+  (* split_at halves are zero-copy views of the parent *)
+  let lo, _ = Flat.Int.split_at sorted.(50) fa in
+  let saved = Flat.get fa 0 in
+  Flat.set lo 0 (saved + 1);
+  Alcotest.(check int) "split halves alias parent" (saved + 1) (Flat.get fa 0);
+  Flat.set lo 0 saved
+
 (* --- Exec internals --------------------------------------------------------------- *)
 
 let test_chunk_bounds () =
@@ -1023,6 +1200,16 @@ let () =
           prop_flat_float_roundtrip;
           Alcotest.test_case "edge sizes vs boxed spec" `Quick test_flat_edge_sizes;
           Alcotest.test_case "view aliasing discipline" `Quick test_flat_views_alias;
+        ] );
+      ( "flat_exec",
+        [
+          prop_flat_exec_bitwise;
+          Alcotest.test_case "edge sizes 0..7 (both backends)" `Quick test_flat_exec_edge_sizes;
+          Alcotest.test_case "two-phase scan = prefix spec" `Quick test_flat_scan_two_phase_vs_spec;
+          Alcotest.test_case "flat scan allocates fewer minor words" `Quick
+            test_flat_scan_minor_words;
+          prop_flat_int_sort;
+          Alcotest.test_case "Flat.Int sort-family kernels" `Quick test_flat_int_split_merge;
         ] );
       ( "exec",
         [

@@ -471,6 +471,83 @@ let test_fvec_rotate_message_economy () =
     (Printf.sprintf "rotate msgs %d <= p" rotate_msgs)
     true (rotate_msgs <= 8)
 
+let via_fvec_fetch_vs_dvec ~procs f (a : float array) : bool =
+  let boxed, _ =
+    run_collect ~procs (fun comm ->
+        let dv =
+          Scl_sim.Dvec.scatter comm ~root:0 (if Comm.rank comm = 0 then Some a else None)
+        in
+        Scl_sim.Dvec.gather ~root:0 (Scl_sim.Dvec.fetch f dv))
+  in
+  via_fvec ~procs (Scl_sim.Fvec.fetch f) a = boxed
+
+let prop_fvec_fetch_matches_dvec =
+  qtest ~count:40 "Fvec.fetch = Dvec.fetch (bitwise)"
+    QCheck.(triple (int_range 1 40) (int_range 0 50) (int_range 1 6))
+    (fun (n, k, procs) ->
+      let a = Array.init n (fun i -> float_of_int (((i * 13) mod 32) - 16) *. 0.25) in
+      via_fvec_fetch_vs_dvec ~procs (fun g -> (g + k) mod n) a)
+
+let test_fvec_fetch_patterns () =
+  (* deterministic shapes beyond the shift: reverse (descending source
+     order), a seeded random permutation (scattered singleton runs), and
+     a constant slot (everyone fetches from one owner); p=1,2,4 against
+     the boxed spec *)
+  let n = 37 in
+  let a = Array.init n (fun i -> float_of_int ((i * 7) mod 16) *. 0.5) in
+  let rng = Runtime.Xoshiro.of_seed 99 in
+  let perm = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Runtime.Xoshiro.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun procs ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s p=%d" name procs)
+            true
+            (via_fvec_fetch_vs_dvec ~procs f a))
+        [ 1; 2; 4 ])
+    [
+      ("reverse", fun g -> n - 1 - g);
+      ("random permutation", fun g -> perm.(g));
+      ("constant slot", fun _ -> 17);
+    ]
+
+let test_fvec_fetch_out_of_range () =
+  Alcotest.(check bool) "requester rejects out-of-range index" true
+    (try
+       ignore
+         (via_fvec ~procs:2
+            (Scl_sim.Fvec.fetch (fun g -> g + 1))
+            (Array.init 8 float_of_int));
+       false
+     with Invalid_argument _ -> true)
+
+let test_fvec_fetch_message_economy () =
+  (* per-(sender,dest) run coalescing: a shift crosses at most two source
+     blocks per member, so fetch traffic is at most 2 messages per member
+     whatever the payload width — not one message per element *)
+  let p = 8 in
+  let mk comm =
+    let me = Comm.rank comm in
+    Scl_sim.Fvec.of_local comm
+      (Scl.Flat.init Scl.Flat.float64 8 (fun i -> float_of_int ((me * 8) + i)))
+  in
+  let total = p * 8 in
+  let f g = (g + 3) mod total in
+  let base = run ~procs:p (fun comm -> ignore (mk comm)) in
+  let full = run ~procs:p (fun comm -> ignore (Scl_sim.Fvec.fetch f (mk comm))) in
+  let fetch_msgs = full.Sim.total_msgs - base.Sim.total_msgs in
+  Alcotest.(check bool)
+    (Printf.sprintf "fetch msgs %d <= 2p" fetch_msgs)
+    true
+    (fetch_msgs <= 2 * p)
+
 let () =
   Alcotest.run "scl_sim"
     [
@@ -513,6 +590,10 @@ let () =
           Alcotest.test_case "rotate on multicore = sim" `Quick test_fvec_rotate_multicore;
           Alcotest.test_case "halo coalescing msg/byte counts" `Quick test_halo_coalescing;
           Alcotest.test_case "rotate message economy" `Quick test_fvec_rotate_message_economy;
+          prop_fvec_fetch_matches_dvec;
+          Alcotest.test_case "fetch patterns vs boxed spec" `Quick test_fvec_fetch_patterns;
+          Alcotest.test_case "fetch rejects out-of-range" `Quick test_fvec_fetch_out_of_range;
+          Alcotest.test_case "fetch message economy" `Quick test_fvec_fetch_message_economy;
         ] );
       ( "control",
         [

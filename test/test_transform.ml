@@ -860,6 +860,97 @@ let test_codegen_rejects_mid_fold () =
   let e = Ast.of_chain [ Ast.Fold Fn.add; Ast.Map Fn.incr ] in
   Alcotest.(check bool) "fold must be last" true (not (Codegen.compilable e))
 
+(* --- flat host target ----------------------------------------------------- *)
+
+let flat_pipeline_src = "fold fadd . map fdouble . scan fadd . map fhalve . map fincr"
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_codegen_flat_golden () =
+  let e = Parser.parse_exn flat_pipeline_src in
+  let generated = Codegen.generate_host_flat ~name:"run_pipeline_flat" e in
+  let path =
+    List.find Sys.file_exists
+      [
+        "../examples/generated/generated_pipeline_flat.ml";
+        "examples/generated/generated_pipeline_flat.ml";
+        "_build/default/examples/generated/generated_pipeline_flat.ml";
+      ]
+  in
+  Alcotest.(check string) "flat regeneration is byte-identical" (read_file path) generated;
+  (* the golden fuses: trailing map into the scan, next into the fold *)
+  Alcotest.(check bool) "fmap_scan emitted" true
+    (contains_substring generated "fmap_scan (Scl.Flat_exec.Scale 0.5) Scl.Flat_exec.Add");
+  Alcotest.(check bool) "fmap_fold emitted" true
+    (contains_substring generated "fmap_fold (Scl.Flat_exec.Scale 2.0) Scl.Flat_exec.Add")
+
+let test_codegen_flat_rejects () =
+  let flat_ok e =
+    match Codegen.generate_host_flat e with
+    | (_ : string) -> true
+    | exception Codegen.Not_compilable _ -> false
+  in
+  (* only the float registry vocabulary compiles *)
+  Alcotest.(check bool) "int map rejected" false (flat_ok (Ast.Map Fn.incr));
+  Alcotest.(check bool) "int fold rejected" false (flat_ok (Ast.Fold Fn.add));
+  Alcotest.(check bool) "rotate rejected" false (flat_ok (Ast.Rotate 2));
+  Alcotest.(check bool) "mid-pipeline fold rejected" false
+    (flat_ok (Ast.of_chain [ Ast.Fold Fn.fadd; Ast.Map Fn.fincr ]));
+  Alcotest.(check bool) "float chain accepted" true
+    (flat_ok (Parser.parse_exn flat_pipeline_src))
+
+(* The Host_exec flat fast path (seq and pool fx backends) must be
+   bitwise-identical to the reference interpreter on dyadic float data. *)
+let test_host_flat_bitwise () =
+  let e = Parser.parse_exn flat_pipeline_src in
+  let scan_e = Parser.parse_exn "scan fadd . map fdouble . map fneg" in
+  let data = Array.init 1003 (fun i -> float_of_int ((i * 37 mod 512) - 256) *. 0.25) in
+  let v = Value.Arr (Array.map (fun x -> Value.Float x) data) in
+  let check_pipeline label e =
+    let expected = Ast.eval e v in
+    let seq = Host_exec.eval e v in
+    Alcotest.(check bool) (label ^ ": flat seq = reference") true (Value.equal expected seq);
+    let pool = Runtime.Pool.create ~num_domains:2 () in
+    Fun.protect
+      ~finally:(fun () -> Runtime.Pool.teardown pool)
+      (fun () ->
+        let got =
+          Host_exec.eval ~exec:(Scl.Exec.on_pool pool) ~fx:(Scl.Flat_exec.on_pool pool) e v
+        in
+        Alcotest.(check bool) (label ^ ": flat pool = reference") true (Value.equal expected got))
+  in
+  check_pipeline "fold pipeline" e;
+  check_pipeline "scan pipeline" scan_e;
+  (* edge sizes through the flat dispatch, including empty scans *)
+  List.iter
+    (fun n ->
+      let v = Value.Arr (Array.init n (fun i -> Value.Float (float_of_int i))) in
+      Alcotest.(check bool)
+        (Printf.sprintf "scan pipeline n=%d" n)
+        true
+        (Value.equal (Ast.eval scan_e v) (Host_exec.eval scan_e v)))
+    [ 0; 1; 2; 3; 7 ]
+
+let test_cost_flat_discount () =
+  let float_e = Parser.parse_exn "fold fadd . scan fadd . map fdouble" in
+  let int_e = Parser.parse_exn "fold add . scan add . map double" in
+  let plain = Cost.estimate_pipeline ~procs:8 ~n:65536 float_e in
+  let flat = Cost.estimate_pipeline ~flat:true ~procs:8 ~n:65536 float_e in
+  Alcotest.(check bool) "flat pricing is strictly cheaper on float legs" true (flat < plain);
+  Alcotest.(check (float 0.0)) "int legs are never discounted"
+    (Cost.estimate_pipeline ~procs:8 ~n:65536 int_e)
+    (Cost.estimate_pipeline ~flat:true ~procs:8 ~n:65536 int_e);
+  (* the optimizer accepts and threads the flag *)
+  let r = Optimizer.optimize ~flat:true float_e in
+  Alcotest.(check bool) "optimize ~flat:true runs" true (r.Optimizer.cost_after <= r.Optimizer.cost_before)
+
+let test_parse_float_registry () =
+  Alcotest.(check string) "float pipeline round-trips" flat_pipeline_src
+    (Ast.to_string (Parser.parse_exn flat_pipeline_src))
+
 let prop_codegen_accepts_flat_pipelines =
   qtest ~count:100 "every flat registry pipeline is compilable"
     (QCheck.make ~print:Ast.to_string gen_parseable)
@@ -1116,5 +1207,13 @@ let () =
             test_codegen_rejects_unflattened_fold;
           Alcotest.test_case "fold must be last" `Quick test_codegen_rejects_mid_fold;
           prop_codegen_accepts_flat_pipelines;
+        ] );
+      ( "flat host tier",
+        [
+          Alcotest.test_case "flat golden file" `Quick test_codegen_flat_golden;
+          Alcotest.test_case "flat target vocabulary" `Quick test_codegen_flat_rejects;
+          Alcotest.test_case "host flat fast path bitwise" `Quick test_host_flat_bitwise;
+          Alcotest.test_case "cost model flat discount" `Quick test_cost_flat_discount;
+          Alcotest.test_case "parser float registry" `Quick test_parse_float_registry;
         ] );
     ]

@@ -90,15 +90,15 @@ let () =
   in
   if comparisons = [] then Printf.printf "  (no benchmarks in common)\n";
   (* Throughput comparison: benchmarks that export a bytes/sec counter
-     (the slice ping-pong sweep) get a second table in bandwidth terms —
-     the natural axis for a message-size sweep, where wall-clock medians
-     conflate per-message overhead with volume.  Host throughput is as
-     noisy as host wall-clock, so this table is always informational
-     (warn-only); sim-backend counters are already compared bitwise by
-     --sim-strict above. *)
+     (any "*.bytes_per_s" — the slice ping-pong sweep, the flat host
+     kernels) get a second table in bandwidth terms — the natural axis
+     where wall-clock medians conflate per-message overhead with volume.
+     Host throughput is as noisy as host wall-clock, so this table is
+     always informational (warn-only); sim-backend counters are already
+     compared bitwise by --sim-strict above. *)
   let bps_of (r : Obs.Artifact.result) =
     List.find_map
-      (fun (k, v) -> if k = "slice.bytes_per_s" && v > 0.0 then Some v else None)
+      (fun (k, v) -> if String.ends_with ~suffix:".bytes_per_s" k && v > 0.0 then Some v else None)
       r.Obs.Artifact.counters
   in
   let throughput =

@@ -60,7 +60,14 @@
                             counts and every solution float) to the boxed
                             oracles at the same process count, on the
                             simulator at p ∈ {1, 2, 4} (heat2d {1, 4})
-                            and on the multicore engine at p = 3.
+                            and on the multicore engine at p = 3.  Also
+                            the host-flat legs: the unboxed Flat_exec
+                            kernels (sequential and pool) vs the boxed
+                            Scl skeletons, the Host_exec flat fast path
+                            vs the reference interpreter, and the
+                            flat-int hyperquicksort vs the boxed
+                            simulator program — all bitwise, on dyadic
+                            data.
 
    Workload parameters in phases 5–7 (input lengths, value bounds, matrix
    sizes, chaos probabilities, crash points) are derived from the case
@@ -584,7 +591,88 @@ let () =
           let r1, _ = Algorithms.Cg.solve_multicore_flat ~procs:3 ~tol:1e-10 cb in
           diverged "cg multicore"
             (r0.Algorithms.Cg.iterations, r0.Algorithms.Cg.solution)
-            (r1.Algorithms.Cg.iterations, r1.Algorithms.Cg.solution))
+            (r1.Algorithms.Cg.iterations, r1.Algorithms.Cg.solution));
+      (* host-flat legs: the unboxed Flat_exec kernels (sequential and
+         pool) against the boxed Scl skeletons, the Host_exec flat fast
+         path against the reference interpreter, and the flat-int
+         hyperquicksort against the boxed simulator program.  Dyadic data
+         keeps parallel fadd reassociation exact, so every comparison is
+         bitwise. *)
+      let fn = 1 + Runtime.Xoshiro.int shape 64 in
+      let fdata =
+        Array.init fn (fun _ -> float_of_int (Runtime.Xoshiro.int rng 4096 - 2048) *. 0.25)
+      in
+      add
+        (Printf.sprintf "flat host kernels = boxed n=%d seed=%d" fn case_seed)
+        (fun () ->
+          let pa = Scl.Par_array.of_array fdata in
+          let fa = Scl.Flat.of_float_array fdata in
+          let boxed_map = Scl.Par_array.to_array (Scl.map (fun x -> x *. 2.0) pa) in
+          let boxed_fold = Scl.fold ( +. ) pa in
+          let boxed_scan = Scl.Par_array.to_array (Scl.scan ( +. ) pa) in
+          let boxed_mf = Scl.map_fold ( +. ) (fun x -> x +. 1.0) pa in
+          let boxed_ms = Scl.Par_array.to_array (Scl.map_scan ( +. ) (fun x -> x *. 0.5) pa) in
+          let pool = Runtime.Pool.create ~num_domains:2 () in
+          Fun.protect
+            ~finally:(fun () -> Runtime.Pool.teardown pool)
+            (fun () ->
+              List.fold_left
+                (fun acc (bname, fx) ->
+                  match acc with
+                  | Some _ -> acc
+                  | None ->
+                      let open Scl.Flat_exec in
+                      if
+                        not
+                          (vec_bitwise (Scl.Flat.to_float_array (fx.fmap (Scale 2.0) fa)) boxed_map)
+                      then Some (bname ^ ": fmap differs from boxed map")
+                      else if not (Float.equal (fx.ffold Add fa) boxed_fold) then
+                        Some (bname ^ ": ffold differs from boxed fold")
+                      else if
+                        not (vec_bitwise (Scl.Flat.to_float_array (fx.fscan Add fa)) boxed_scan)
+                      then Some (bname ^ ": fscan differs from boxed scan")
+                      else if not (Float.equal (fx.fmap_fold (Offset 1.0) Add fa) boxed_mf) then
+                        Some (bname ^ ": fmap_fold differs from boxed map_fold")
+                      else if
+                        not
+                          (vec_bitwise
+                             (Scl.Flat.to_float_array (fx.fmap_scan (Scale 0.5) Add fa))
+                             boxed_ms)
+                      then Some (bname ^ ": fmap_scan differs from boxed map_scan")
+                      else None)
+                None
+                [ ("seq", Scl.Flat_exec.sequential); ("pool", Scl.Flat_exec.on_pool pool) ]));
+      add
+        (Printf.sprintf "host-exec flat pipeline = reference n=%d seed=%d" fn case_seed)
+        (fun () ->
+          let e =
+            Transform.Parser.parse_exn "fold fadd . map fdouble . scan fadd . map fhalve . map fincr"
+          in
+          let v = Transform.Value.Arr (Array.map (fun x -> Transform.Value.Float x) fdata) in
+          let expected = Transform.Ast.eval e v in
+          let pool = Runtime.Pool.create ~num_domains:2 () in
+          Fun.protect
+            ~finally:(fun () -> Runtime.Pool.teardown pool)
+            (fun () ->
+              let host_seq = Transform.Host_exec.eval e v in
+              let host_pool =
+                Transform.Host_exec.eval ~exec:(Scl.Exec.on_pool pool)
+                  ~fx:(Scl.Flat_exec.on_pool pool) e v
+              in
+              if not (Transform.Value.equal expected host_seq) then
+                Some "host flat (seq) differs from reference"
+              else if not (Transform.Value.equal expected host_pool) then
+                Some "host flat (pool) differs from reference"
+              else None));
+      add
+        (Printf.sprintf "hyperquicksort flatint=boxed sim p=4 seed=%d" case_seed)
+        (fun () ->
+          let sdata =
+            Array.init (64 + Runtime.Xoshiro.int rng 192) (fun _ -> Runtime.Xoshiro.int rng 10_000)
+          in
+          let r0, _ = Algorithms.Hyperquicksort.sort_sim ~procs:4 sdata in
+          let r1, _ = Algorithms.Hyperquicksort.sort_sim_flatint ~procs:4 sdata in
+          if r0 <> r1 then Some "flat-int sort differs from boxed" else None)
     done;
     report_checks ~phase:"flat-vs-boxed solvers" (List.rev !cases)
   in

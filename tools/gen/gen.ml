@@ -5,6 +5,10 @@ let pipeline_src = "fold add . map square . rotate 3 . iter 2 [ map incr ] . fet
 (* A nested pipeline compiled as-is: the segmented region emits flat maps. *)
 let seg_pipeline_src = "fold add . combine . mapn [ map square . map incr ] . split 4"
 
+(* A float pipeline compiled to the unboxed flat host kernels: the trailing
+   map fuses into the scan, the next into the fold (fmap_scan / fmap_fold). *)
+let flat_pipeline_src = "fold fadd . map fdouble . scan fadd . map fhalve . map fincr"
+
 let write path s =
   let oc = open_out path in
   output_string oc s;
@@ -20,4 +24,7 @@ let () =
   write "examples/generated/generated_pipeline_seg.ml"
     (Transform.Codegen.generate ~name:"run_pipeline_seg" seg);
   write "examples/generated/generated_pipeline_seg_host.ml"
-    (Transform.Codegen.generate_host ~name:"run_pipeline_seg" seg)
+    (Transform.Codegen.generate_host ~name:"run_pipeline_seg" seg);
+  let flat = Transform.Parser.parse_exn flat_pipeline_src in
+  write "examples/generated/generated_pipeline_flat.ml"
+    (Transform.Codegen.generate_host_flat ~name:"run_pipeline_flat" flat)
