@@ -7,7 +7,10 @@
    (open in chrome://tracing or https://ui.perfetto.dev).
    Pass [--engine multicore] to run the same SPMD program on real OCaml 5
    domains instead of the simulator: identical sorted output, wall-clock
-   stats instead of a simulated makespan. *)
+   stats instead of a simulated makespan.
+   Pass [--engine procs] to run it on real forked OS processes talking
+   over Unix-domain sockets (Machine.Procs): same output again, plus the
+   message totals the socket fabric counted. *)
 
 let chrome_out =
   let rec find = function
@@ -17,11 +20,11 @@ let chrome_out =
   in
   find (Array.to_list Sys.argv)
 
-let multicore_engine =
+let engine =
   let rec find = function
-    | "--engine" :: e :: _ -> e = "multicore"
+    | "--engine" :: e :: _ -> e
     | _ :: rest -> find rest
-    | [] -> false
+    | [] -> "sim"
   in
   find (Array.to_list Sys.argv)
 
@@ -42,11 +45,34 @@ let run_multicore () =
   assert (sorted = check);
   Format.printf "verified against sequential sort. ok.@."
 
+let run_procs () =
+  let rng = Runtime.Xoshiro.of_seed 1995 in
+  let data = Runtime.Xoshiro.int_array rng ~len:32 ~bound:100 in
+  Format.printf "=== Hyperquicksort on 4 forked OS processes (procs engine) ===@.@.";
+  Format.printf "unsorted input on rank 0:@.  [%s]@.@."
+    (String.concat " " (Array.to_list (Array.map string_of_int data)));
+  let sorted, stats = Algorithms.Hyperquicksort.sort_procs ~procs:4 data in
+  Format.printf "sorted result gathered on rank 0:@.  [%s]@.@."
+    (String.concat " " (Array.to_list (Array.map string_of_int sorted)));
+  Format.printf "wall clock: %.6f s on %d process(es); %d messages over the sockets@."
+    stats.Machine.Procs.wall stats.Machine.Procs.procs_used stats.Machine.Procs.total_msgs;
+  let check = Array.copy data in
+  Array.sort compare check;
+  assert (sorted = check);
+  Format.printf "verified against sequential sort. ok.@."
+
 let () =
-  if multicore_engine then begin
-    run_multicore ();
-    exit 0
-  end;
+  (match engine with
+  | "multicore" ->
+      run_multicore ();
+      exit 0
+  | "procs" ->
+      run_procs ();
+      exit 0
+  | "sim" -> ()
+  | other ->
+      Format.eprintf "unknown --engine %S (expected sim, multicore or procs)@." other;
+      exit 2);
   let rng = Runtime.Xoshiro.of_seed 1995 in
   let data = Runtime.Xoshiro.int_array rng ~len:32 ~bound:100 in
   Format.printf "=== Hyperquicksort on a 2-dimensional hypercube (Figure 2) ===@.@.";

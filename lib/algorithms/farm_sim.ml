@@ -193,6 +193,15 @@ let dynamic_multicore ?domains ?grace ?chaos ~procs (spec : 'r job_spec) :
     invalid_arg "Farm_sim.dynamic_multicore: needs a master and at least one worker";
   Scl_sim.Spmd.run_multicore_collect ?domains ?chaos ~procs (dynamic_program ?grace spec)
 
+(* On real processes the failure detector finally earns its keep: a
+   worker that dies here is a dead PID, not a simulated raise, and the
+   master's grace timeouts plus re-dealing are the only thing standing
+   between that and a hung run. *)
+let dynamic_procs ?grace ?chaos ~procs (spec : 'r job_spec) : 'r array * Procs.stats =
+  if procs < 2 then
+    invalid_arg "Farm_sim.dynamic_procs: needs a master and at least one worker";
+  Scl_sim.Spmd.run_procs_collect ?chaos ~procs (dynamic_program ?grace spec)
+
 (* Skewed job mix used by tests and benches: the heavy jobs are clustered
    at the front of the index range, so static block dealing dumps them all
    on the first processors while demand-driven dealing spreads them. *)

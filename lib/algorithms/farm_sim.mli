@@ -49,6 +49,28 @@ val dynamic_multicore :
     indexed results. [~grace] is wall-clock seconds here.
     @raise Invalid_argument if [procs < 2]. *)
 
+val dynamic_procs :
+  ?grace:float ->
+  ?chaos:Chaos.spec ->
+  procs:int ->
+  'r job_spec ->
+  'r array * Procs.stats
+(** The dynamic farm on real OS processes ([Machine.Procs]): a worker
+    crash is a dead PID, detected by the master's [~grace] timeouts and
+    healed by re-dealing, end-to-end for real. Job bodies and results
+    must be marshalable. [~grace] is wall-clock seconds. Fork safety:
+    only callable in a process that has never created another domain
+    (see {!Machine.Procs}).
+    @raise Invalid_argument if [procs < 2]. *)
+
+val dynamic_program : ?grace:float -> 'r job_spec -> Comm.t -> 'r array option
+(** The dynamic farm's SPMD body itself (rank 0 = master, others =
+    workers), for embedding in a larger program via [Spmd.run_*] — e.g.
+    running the farm alongside ranks that deliberately misbehave in
+    fault-injection tests. Rank 0 returns [Some results]; workers return
+    [None]. The [dynamic*] wrappers above are [Spmd.run_*_collect] over
+    this body. *)
+
 val skewed_spec : njobs:int -> skew:int -> int job_spec
 (** A job mix with a few [skew]-times-heavier jobs among light ones — the
     distribution that defeats static dealing. *)

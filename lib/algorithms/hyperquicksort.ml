@@ -175,6 +175,16 @@ let sort_multicore ?domains ~procs (data : int array) : int array * Multicore.st
   Scl_sim.Spmd.run_multicore_collect ?domains ~procs (fun comm ->
       hqs_program ~verbose:false (if Comm.rank comm = 0 then Some data else None) comm)
 
+(* And on real OS processes: the input array reaches every child by fork
+   (each rank's closure ignores it except at rank 0), the portions cross
+   the sockets by [Marshal], and the sorted result returns in rank 0's
+   verdict. Same values as both other engines. *)
+let sort_procs ~procs (data : int array) : int array * Procs.stats =
+  if not (Topology.is_power_of_two procs) then
+    invalid_arg "Hyperquicksort.sort_procs: processor count must be a power of two";
+  Scl_sim.Spmd.run_procs_collect ~procs (fun comm ->
+      hqs_program ~verbose:false (if Comm.rank comm = 0 then Some data else None) comm)
+
 (* The same SPMD program with the local phases on the unboxed int flat
    tier ([Scl.Flat.Int]): in-place local sort, O(log n) zero-copy
    [split_at] (the boxed kernel copies both halves), and merge into fresh

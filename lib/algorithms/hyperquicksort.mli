@@ -41,6 +41,12 @@ val sort_multicore :
     domains ([Machine.Multicore]): identical output, wall-clock stats.
     [procs] must be a power of two. *)
 
+val sort_procs : procs:int -> int array -> int array * Procs.stats
+(** The same SPMD program body on real OS processes ([Machine.Procs]):
+    forked ranks, marshalled exchanges over Unix-domain sockets,
+    identical output to both other engines. [procs] must be a power of
+    two. *)
+
 val sort_sim_flatint :
   ?cost:Cost_model.t ->
   ?trace:Trace.t ->

@@ -12,10 +12,11 @@
      (dest, tag) — exactly the per-(src,tag) FIFO relaxation both engines
      document: messages to different destinations or on different tags may
      reorder freely, same-channel messages may not.
-   - stalls        : a per-rank straggler tax charged before every
-     communication operation — [Engine.work] seconds on the simulator
-     (visible in the makespan), a real [Unix.sleepf] on the multicore
-     engine ([Engine.real_time] picks which).
+   - stalls        : a per-rank straggler tax paid before every
+     communication operation via [Engine.sleep] — simulated seconds on
+     the simulator (visible in the makespan), a fiber-aware deadline
+     park on the real engines (only the straggler's fiber stalls, never
+     the whole OS thread it shares with other ranks).
    - crashes       : rank r fail-stops ([Fault.Crashed]) just before its
      n-th communication operation; held sends die with it.
 
@@ -119,7 +120,13 @@ let tick st =
   | _ -> ());
   if st.my_stall > 0.0 then begin
     Obs.Counter.incr obs_faults;
-    if st.base.Engine.real_time then Unix.sleepf st.my_stall else st.base.Engine.work st.my_stall
+    (* [Engine.sleep], not [Unix.sleepf]: on the multicore engine several
+       rank fibers multiplex one OS thread, and a raw sleepf would stall
+       every one of them with the straggler (the hazard Multicore's
+       deadline park exists to avoid).  [sleep] parks only this fiber; on
+       the simulator it advances the clock, so the stall still shows up
+       in the makespan. *)
+    st.base.Engine.sleep st.my_stall
   end;
   List.iter (fun h -> h.h_left <- h.h_left - 1) st.outbox;
   flush_ready st

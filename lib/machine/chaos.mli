@@ -23,9 +23,10 @@ type spec = {
           operations of its sender (or at the next blocking receive /
           program end, whichever comes first) *)
   stalls : (int * float) list;
-      (** per-rank straggler tax, charged before every communication
-          operation: simulated seconds on the simulator, real sleep on the
-          multicore engine *)
+      (** per-rank straggler tax, paid before every communication
+          operation via [Engine.sleep]: simulated seconds on the
+          simulator, a fiber-aware park on the real engines (ranks
+          sharing the straggler's OS thread keep running) *)
   crashes : (int * int) list;
       (** [(rank, n)]: rank fail-stops just before its [n]-th (1-based)
           communication operation; held sends are lost with it *)

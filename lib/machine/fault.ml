@@ -25,8 +25,16 @@ exception Timeout of string
 exception Crashed of int
 (* Fail-stop: the given rank stops executing at the raise point. *)
 
+exception Unserializable of string
+(* A payload crossed a process boundary that [Marshal] cannot ship
+   (closure, custom block without serializers).  Raised at the *send*
+   call site by engines whose ranks do not share a heap, so the
+   programming error surfaces where it was made instead of as a raw
+   [Marshal] exception mid-protocol on some other rank. *)
+
 let () =
   Printexc.register_printer (function
     | Timeout msg -> Some (Printf.sprintf "Machine.Fault.Timeout(%s)" msg)
     | Crashed rank -> Some (Printf.sprintf "Machine.Fault.Crashed(rank %d)" rank)
+    | Unserializable msg -> Some (Printf.sprintf "Machine.Fault.Unserializable(%s)" msg)
     | _ -> None)

@@ -17,3 +17,11 @@ exception Crashed of int
     to it are discarded without tripping the undelivered-message check.
     Other processors are unaffected (a blocking receive from a crashed
     rank without a timeout will end in the engine's [Deadlock]). *)
+
+exception Unserializable of string
+(** Raised at the [send] call site by engines whose ranks live in
+    separate OS processes ({!Procs}) when the payload cannot cross the
+    process boundary — a closure, or a custom block without [Marshal]
+    serializers.  In-process engines (simulator, multicore) share a heap
+    and never raise it; programs meant to be engine-portable must stick
+    to marshalable payloads. *)

@@ -170,16 +170,32 @@ let any_regression comparisons = List.exists (fun c -> c.verdict = Regression) c
 
 (* -------------------------------------------------------- strict sim gate *)
 
-(* Entries whose backend starts with "sim" come from the discrete-event
-   simulator and are bit-deterministic: same code + same seed produce
-   identical times and counters, and the artifact writer prints floats so
-   they re-read exactly.  Drift on a sim entry is therefore a semantic
-   change, never measurement noise — bench_diff --sim-strict hard-fails on
-   any of it (including entries appearing or vanishing, which would
-   otherwise let a renamed benchmark dodge the gate), while wall-clock
-   entries keep the threshold comparison. *)
+(* Entries from the discrete-event simulator are bit-deterministic: same
+   code + same seed produce identical times and counters, and the
+   artifact writer prints floats so they re-read exactly.  Drift on a sim
+   entry is therefore a semantic change, never measurement noise —
+   bench_diff --sim-strict hard-fails on any of it (including entries
+   appearing or vanishing, which would otherwise let a renamed benchmark
+   dodge the gate), while wall-clock entries keep the threshold
+   comparison.
+
+   The gate keys on the exact simulator family — ["sim"],
+   ["sim-ap1000"] (the calibrated bench backend) and ["sim-p{N}"] (the
+   differential oracle's per-procs labels) — not on a "sim" prefix: a
+   prefix match would silently pull any future backend that happens to
+   start with those letters (["simd-avx2"], ["sim-procs"], ...) under
+   the hard gate — or worse, let an author *think* an entry is gated
+   when its real-time numbers make it flake. *)
 let is_sim_backend (r : result) =
-  String.length r.backend >= 3 && String.sub r.backend 0 3 = "sim"
+  let digits_from i s =
+    String.length s > i
+    && (let ok = ref true in
+        String.iteri (fun j c -> if j >= i && not ('0' <= c && c <= '9') then ok := false) s;
+        !ok)
+  in
+  match r.backend with
+  | "sim" | "sim-ap1000" -> true
+  | b -> String.length b > 5 && String.sub b 0 5 = "sim-p" && digits_from 5 b
 
 type strict_violation = { sv_bench : string; sv_reason : string }
 

@@ -63,13 +63,17 @@ val any_regression : comparison list -> bool
 
 (** {1 Strict deterministic gate}
 
-    Simulator-backed entries (backend starting with ["sim"]) are
-    bit-deterministic: same code and seed produce identical times and
-    counters, and floats survive the JSON round-trip exactly. Under
-    [bench_diff --sim-strict] any drift on them is a hard failure. *)
+    Simulator-backed entries are bit-deterministic: same code and seed
+    produce identical times and counters, and floats survive the JSON
+    round-trip exactly. Under [bench_diff --sim-strict] any drift on
+    them is a hard failure. *)
 
 val is_sim_backend : result -> bool
-(** [true] when the entry's backend names the simulator. *)
+(** [true] when the entry's backend names the discrete-event simulator:
+    exactly ["sim"], ["sim-ap1000"], or ["sim-p{N}"] with [N] digits.
+    Deliberately not a prefix test — other backends whose names merely
+    start with "sim" (["simd-avx2"], ["sim-procs"], a wall-clock procs
+    label, ...) must not silently fall under the strict gate. *)
 
 type strict_violation = {
   sv_bench : string;  (** benchmark name *)

@@ -1,7 +1,8 @@
 (* Convenience runners for SPMD skeleton programs: the same
    [Comm.t -> 'a option] program body runs on the simulated machine
-   ([run] / [run_collect]) or on real OCaml 5 domains
-   ([run_multicore] / [run_multicore_collect]). *)
+   ([run] / [run_collect]), on real OCaml 5 domains
+   ([run_multicore] / [run_multicore_collect]), or on real forked OS
+   processes ([run_procs] / [run_procs_collect]). *)
 
 open Machine
 
@@ -15,6 +16,7 @@ let default_topology procs =
    and the aggregate simulated seconds, both under spmd.* names. *)
 let obs_runs = Obs.Counter.make "spmd.runs"
 let obs_mc_runs = Obs.Counter.make "spmd.multicore_runs"
+let obs_procs_runs = Obs.Counter.make "spmd.procs_runs"
 let obs_wall = Obs.Span.make "spmd.run_wall"
 let obs_sim_us = Obs.Histogram.make ~unit_:"us" "spmd.sim_makespan_us"
 
@@ -65,3 +67,22 @@ let run_multicore_collect ?domains ?(cost = Cost_model.ap1000) ?topology ?chaos 
       if Obs.enabled () then Obs.Counter.incr obs_mc_runs;
       Multicore.run_collect ?domains ~cost ~topology ~procs (fun eng ->
           with_chaos chaos program eng))
+
+(* The process engine forks: the chaos wrapper (like the program body)
+   runs inside each child, so held sends and fail-stops perturb the real
+   socket fabric.  Only callable in a process that has never created
+   another domain — see the fork-safety note on {!Machine.Procs}. *)
+
+let run_procs ?(cost = Cost_model.ap1000) ?topology ?chaos ~procs
+    (program : Comm.t -> unit) : Procs.stats =
+  Obs.Span.timed obs_wall (fun () ->
+      let topology = match topology with Some t -> t | None -> default_topology procs in
+      if Obs.enabled () then Obs.Counter.incr obs_procs_runs;
+      Procs.run ~cost ~topology ~procs (fun eng -> with_chaos chaos program eng))
+
+let run_procs_collect ?(cost = Cost_model.ap1000) ?topology ?chaos ~procs
+    (program : Comm.t -> 'a option) : 'a * Procs.stats =
+  Obs.Span.timed obs_wall (fun () ->
+      let topology = match topology with Some t -> t | None -> default_topology procs in
+      if Obs.enabled () then Obs.Counter.incr obs_procs_runs;
+      Procs.run_collect ~cost ~topology ~procs (fun eng -> with_chaos chaos program eng))

@@ -1,5 +1,6 @@
-(** Run SPMD skeleton programs — on the simulated machine or on real
-    OCaml 5 domains. The same program body works on both engines. *)
+(** Run SPMD skeleton programs — on the simulated machine, on real
+    OCaml 5 domains, or on real forked OS processes. The same program
+    body works on all three engines. *)
 
 open Machine
 
@@ -51,3 +52,29 @@ val run_multicore_collect :
   (Comm.t -> 'a option) ->
   'a * Multicore.stats
 (** Like {!run_multicore} for programs that produce a value. *)
+
+val run_procs :
+  ?cost:Cost_model.t ->
+  ?topology:Topology.t ->
+  ?chaos:Chaos.spec ->
+  procs:int ->
+  (Comm.t -> unit) ->
+  Procs.stats
+(** Run the same program on real OS processes: each rank is forked and
+    ranks talk over Unix-domain sockets ({!Machine.Procs}), so payloads
+    must be marshalable and a dead process is a real {!Fault.Crashed}.
+    [?chaos] as in {!run}; the wrapper runs inside each child. Fork
+    safety: only valid in a process that has never created another
+    domain — [Unix.fork] refuses permanently after the first
+    [Domain.spawn], so run procs work before any pool or multicore
+    run (see {!Machine.Procs}). *)
+
+val run_procs_collect :
+  ?cost:Cost_model.t ->
+  ?topology:Topology.t ->
+  ?chaos:Chaos.spec ->
+  procs:int ->
+  (Comm.t -> 'a option) ->
+  'a * Procs.stats
+(** Like {!run_procs} for programs that produce a value; the value
+    returns to the parent by [Marshal]. *)

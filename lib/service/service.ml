@@ -463,6 +463,10 @@ let run_multicore ?domains ?chaos ~procs (cfg : config) (wl : 'r workload) :
   validate cfg wl ~procs;
   Scl_sim.Spmd.run_multicore_collect ?domains ?chaos ~procs (program cfg wl)
 
+let run_procs ?chaos ~procs (cfg : config) (wl : 'r workload) : report * Procs.stats =
+  validate cfg wl ~procs;
+  Scl_sim.Spmd.run_procs_collect ?chaos ~procs (program cfg wl)
+
 (* ------------------------------------------------------------------ JSON *)
 
 let report_to_json (r : report) : Obs.Json.t =

@@ -109,6 +109,19 @@ val run_multicore :
     seconds. Counts (submitted/accepted/completed/...) are reproducible,
     timings are not. *)
 
+val run_procs :
+  ?chaos:Machine.Chaos.spec ->
+  procs:int ->
+  config ->
+  'r workload ->
+  report * Machine.Procs.stats
+(** The same service on real OS processes ([Machine.Procs]): every rank
+    is a forked process, a crashed worker is a dead PID, and the
+    master's grace timeouts plus re-dealing recover for real. Job
+    results must be marshalable; latencies are wall-clock seconds. Only
+    callable in a process that has never created another domain (fork
+    safety — see {!Machine.Procs}). *)
+
 val report_to_json : report -> Obs.Json.t
 (** Flat object, keys suffixed with units ([duration_s], [jobs_per_s],
     [p99_s], ...). *)

@@ -390,6 +390,39 @@ let test_mc_farm_survives_worker_crash () =
   in
   Alcotest.(check bool) "all jobs done exactly once" true (got = expected)
 
+let test_mc_chaos_stall_parks_fiber_not_domain () =
+  (* Regression: chaos straggler stalls used to be [Unix.sleepf], which
+     blocks the whole OS domain — on a shared domain every co-scheduled
+     rank froze for the stall, not just the straggler.  Now the stall
+     goes through [Engine.sleep] (a fiber-aware park).
+
+     Both ranks share ONE domain.  Rank 1 is stalled 0.5 s at its first
+     communication op; rank 0 concurrently times ten 10 ms sleeps of its
+     own.  Through the old blocking path rank 0's first sleep yields to
+     rank 1, whose stall then freezes the domain, so rank 0 measures
+     >= 0.5 s.  With the fiber-aware park rank 0 keeps ticking and
+     measures ~0.1 s. *)
+  let chaos = { Chaos.none with Chaos.stalls = [ (1, 0.5) ] } in
+  let elapsed, _ =
+    Spmd.run_multicore_collect ~procs:2 ~domains:1 ~chaos (fun comm ->
+        if Comm.rank comm = 0 then begin
+          let t0 = Comm.time comm in
+          for _ = 1 to 10 do
+            Comm.sleep comm 0.01
+          done;
+          let dt = Comm.time comm -. t0 in
+          Comm.send comm ~dest:1 "release";
+          Some dt
+        end
+        else begin
+          let (_ : string) = Comm.recv comm ~src:0 () in
+          None
+        end)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "straggler stall must not freeze its domain-mates (rank 0 took %.3fs)" elapsed)
+    true (elapsed < 0.35)
+
 let suite =
   [
     ( "fabric",
@@ -432,6 +465,8 @@ let suite =
         Alcotest.test_case "chaos delays preserve values" `Quick
           test_mc_chaos_delays_value_identical;
         Alcotest.test_case "farm survives worker crash" `Quick test_mc_farm_survives_worker_crash;
+        Alcotest.test_case "chaos stall parks fiber not domain" `Quick
+          test_mc_chaos_stall_parks_fiber_not_domain;
       ] );
   ]
 

@@ -417,6 +417,31 @@ let test_strict_sim_violations () =
   Alcotest.(check int) "self-compare is clean" 0
     (List.length (Obs.Artifact.strict_sim_violations ~baseline ~candidate:baseline))
 
+let test_is_sim_backend_boundaries () =
+  (* exact-family membership, not a "sim" prefix test: every backend the
+     simulator actually emits is in, every near-miss spelling is out *)
+  let with_backend b = { (sample_result "x" 1.0) with Obs.Artifact.backend = b } in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) (Printf.sprintf "%S gated" b) true
+        (Obs.Artifact.is_sim_backend (with_backend b)))
+    [ "sim"; "sim-ap1000"; "sim-p2"; "sim-p4"; "sim-p16" ];
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) (Printf.sprintf "%S not gated" b) false
+        (Obs.Artifact.is_sim_backend (with_backend b)))
+    [
+      "simd-avx2";  (* prefix lookalike, wall-clock *)
+      "sim-procs";  (* hypothetical wall-clock procs label *)
+      "procs";
+      "host-sim";  (* sim suffix, not prefix *)
+      "sim-p";  (* p with no digits *)
+      "sim-p4x";  (* trailing junk after the digits *)
+      "sim-ap1000x";
+      "Sim";  (* case-sensitive *)
+      "";
+    ]
+
 let test_strict_sim_counter_drift () =
   let base = sample_result "counters" 1.0 in
   let baseline = Obs.Artifact.make ~smoke:true ~host:[] [ base ] in
@@ -494,6 +519,8 @@ let () =
           Alcotest.test_case "comparison verdicts" `Quick test_artifact_compare;
           Alcotest.test_case "median" `Quick test_median;
           Alcotest.test_case "strict sim gate" `Quick test_strict_sim_violations;
+          Alcotest.test_case "sim-backend family boundaries" `Quick
+            test_is_sim_backend_boundaries;
           Alcotest.test_case "strict sim counter drift" `Quick test_strict_sim_counter_drift;
           Alcotest.test_case "metrics export" `Quick test_metrics_to_json;
         ] );

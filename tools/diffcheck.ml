@@ -5,6 +5,17 @@
                [--search-cases N] [--tolerance F] [--no-pool] [--out FILE]
 
    Phases:
+     0. procs equivalence — hyperquicksort and the collective battery
+                            must produce identical values on the
+                            simulator and on the forked-process engine
+                            [Machine.Procs] at p ∈ {1, 2, 4}, and the
+                            farm must survive a seeded chaos worker
+                            crash on real processes (the crash is a
+                            child dying with its sockets) with the dead
+                            rank reported in [stats.crashed].  Runs
+                            FIRST: OCaml permanently refuses Unix.fork
+                            once any other domain has ever been created
+                            in the process.
      1. rule oracle       — every rule in Transform.Rules.all gets
                             [--rule-cases] generated pipelines in which it
                             fires; eval (rewrite e) must equal eval e.
@@ -28,6 +39,8 @@
                             produce identical values on the simulator and
                             on the real-domain multicore engine at
                             p ∈ {1, 2, 4} (grids 1 and 2 for Cannon).
+                            The forked-process legs of the same programs
+                            live in phase 0.
      6. topology cost     — for a hypercube-exchange program
                             (hyperquicksort), the simulated makespan on a
                             Hypercube must not exceed the makespan on a
@@ -41,7 +54,8 @@
                             simulator (plus one delay case on the real
                             multicore engine); a single worker crash
                             mid-farm must still yield the complete result
-                            set; and the zero-fault chaos wrapper must be
+                            set (the real-process variant is phase 0);
+                            and the zero-fault chaos wrapper must be
                             bit-identical to the unwrapped simulated run.
      8. search oracle     — [--search-cases] seeded pipelines: the beam
                             search must never pick a plan the cost model
@@ -74,6 +88,10 @@
    seed, so a nightly run with a random --seed explores different
    workloads, not merely different data for a fixed shape.
 
+   [--only-engines] restricts the run to phases 0, 5 and 7 (the engine
+   backends and the fault injector) — the cheap cross-engine gate CI
+   runs per-push without paying for the full pipeline oracles.
+
    On failure: prints the shrunk counterexample (Ast.to_string + input +
    seed + case index), optionally writes it to --out, exits 1.
    Exit codes: 0 all pass, 1 divergence found, 2 usage error / gave up. *)
@@ -81,7 +99,7 @@
 let usage =
   "diffcheck [--budget N] [--seed S] [--rule-cases N] [--cost-cases N] [--fused-cases N] \
    [--engine-cases N] [--fault-cases N] [--search-cases N] [--flat-cases N] [--tolerance F] \
-   [--no-pool] [--out FILE]"
+   [--only-engines] [--no-pool] [--out FILE]"
 
 let failures : string list ref = ref []
 
@@ -140,6 +158,7 @@ let () =
   let search_cases = ref 3 in
   let flat_cases = ref 3 in
   let tolerance = ref 1.25 in
+  let only_engines = ref false in
   let no_pool = ref false in
   let out = ref "" in
   let spec =
@@ -164,6 +183,9 @@ let () =
       ( "--tolerance",
         Arg.Set_float tolerance,
         "F allowed simulated-makespan regression factor (default 1.25)" );
+      ( "--only-engines",
+        Arg.Set only_engines,
+        " run only the engine-equivalence and fault-injection phases (5 and 7)" );
       ("--no-pool", Arg.Set no_pool, " skip the multicore pool backend");
       ("--out", Arg.Set_string out, "FILE write failing seed + counterexample to FILE");
     ]
@@ -173,11 +195,85 @@ let () =
      prerr_endline m;
      exit 2);
   let config count = { Prop.Runner.default with count; seed = !seed } in
-  Printf.printf "diffcheck: seed %d, budget %d, %d cases/rule\n%!" !seed !budget !rule_cases;
+  let full = not !only_engines in
+  Printf.printf "diffcheck: seed %d, budget %d, %d cases/rule%s\n%!" !seed !budget !rule_cases
+    (if full then "" else " (engines-only)");
+
+  let collective_battery (comm : Machine.Comm.t) =
+    let open Machine in
+    let p = Comm.size comm in
+    let me = Comm.rank comm in
+    let reduced = Comm.allreduce comm ( + ) (me + 1) in
+    let scanned = Comm.scan comm ( + ) (me + 1) in
+    let gathered = Comm.allgather comm (me * me) in
+    let transposed = Comm.alltoall comm (Array.init p (fun j -> (me * 100) + j)) in
+    Option.map Array.to_list
+      (Comm.gather comm ~root:0 (reduced, scanned, gathered, transposed))
+  in
+
+  (* phase 0: forked-process engine equivalence + faults.  This MUST run
+     first: OCaml permanently refuses [Unix.fork] once any other domain
+     has EVER been created in the process, so every [Machine.Procs] leg
+     has to run before the pool phases or any multicore case spawns a
+     domain. *)
+  let ok_procs =
+    let open Machine in
+    let cases = ref [] in
+    let add label f = cases := (label, f) :: !cases in
+    for k = 0 to !engine_cases - 1 do
+      let case_seed = !seed + (1009 * k) in
+      let shape = Runtime.Xoshiro.of_seed (case_seed lxor 0x5eed) in
+      let len = 64 * (4 + Runtime.Xoshiro.int shape 12) in
+      let bound = 1_000 + Runtime.Xoshiro.int shape 99_000 in
+      List.iter
+        (fun procs ->
+          add
+            (Printf.sprintf "hyperquicksort procs p=%d len=%d bound=%d seed=%d" procs len bound
+               case_seed)
+            (fun () ->
+              let rng = Runtime.Xoshiro.of_seed case_seed in
+              let data = Runtime.Xoshiro.int_array rng ~len ~bound in
+              let s, _ = Algorithms.Hyperquicksort.sort_sim ~procs data in
+              let f, _ = Algorithms.Hyperquicksort.sort_procs ~procs data in
+              if s = f then None else Some "sim and forked-process outputs differ");
+          add
+            (Printf.sprintf "collectives procs p=%d seed=%d" procs case_seed)
+            (fun () ->
+              let s, _ = Scl_sim.Spmd.run_collect ~procs collective_battery in
+              let f, _ = Scl_sim.Spmd.run_procs_collect ~procs collective_battery in
+              if s = f then None else Some "forked-process collective values differ"))
+        [ 1; 2; 4 ]
+    done;
+    for k = 0 to !fault_cases - 1 do
+      let case_seed = !seed + (1013 * k) in
+      let shape = Runtime.Xoshiro.of_seed (case_seed lxor 0x9c5) in
+      let crash_op = 1 + Runtime.Xoshiro.int shape 10 in
+      add
+        (Printf.sprintf "farm worker crash procs op=%d seed=%d" crash_op case_seed)
+        (fun () ->
+          (* a chaos crash on this engine is a forked child dying with
+             its sockets; recovery is the master's grace timeouts +
+             re-dealing over the live pipes *)
+          let njobs = 24 + Runtime.Xoshiro.int shape 24 in
+          let spec = Algorithms.Farm_sim.skewed_spec ~njobs ~skew:6 in
+          let victim = 1 + Runtime.Xoshiro.int shape 3 in
+          let chaos = { Chaos.none with Chaos.crashes = [ (victim, crash_op) ] } in
+          let got, stats = Algorithms.Farm_sim.dynamic_procs ~procs:4 ~grace:0.5 ~chaos spec in
+          if got <> Array.init njobs (fun i -> i * i) then
+            Some "procs farm lost or corrupted results under a worker crash"
+          else if stats.Procs.crashed <> [ victim ] then
+            Some
+              (Printf.sprintf "procs farm crash list wrong: expected [%d], got [%s]" victim
+                 (String.concat "; " (List.map string_of_int stats.Procs.crashed)))
+          else None)
+    done;
+    report_checks ~phase:"procs-equivalence + faults" (List.rev !cases)
+  in
 
   (* phase 1: rule oracle *)
   let ok_rules =
-    List.for_all
+    full = false
+    || List.for_all
       (fun (rule : Transform.Rules.rule) ->
         report
           ~phase:(Printf.sprintf "rule %s" rule.Transform.Rules.rname)
@@ -188,48 +284,45 @@ let () =
 
   (* phase 2: cost-model consistency *)
   let ok_cost =
-    report ~phase:"cost-vs-simulator" Prop.Pipe_gen.print
-      (Prop.Oracle.check_cost ~config:(config !cost_cases) ~procs:4 ~tolerance:!tolerance ())
+    (not full)
+    || report ~phase:"cost-vs-simulator" Prop.Pipe_gen.print
+         (Prop.Oracle.check_cost ~config:(config !cost_cases) ~procs:4 ~tolerance:!tolerance ())
   in
 
   (* phases 3 and 4 share the pool backend *)
-  let pool = if !no_pool then None else Some (Runtime.Pool.create ~num_domains:3 ()) in
-  let stats = Prop.Oracle.new_stats () in
   let ok_fused, ok_diff =
-    Fun.protect
-      ~finally:(fun () -> Option.iter Runtime.Pool.teardown pool)
-      (fun () ->
-        let pool_exec = Option.map Scl.Exec.on_pool pool in
-        (* phase 3: fused primitives vs composed forms *)
-        let ok_fused =
-          report ~phase:"fused-primitives" Prop.Oracle.print_fused
-            (Prop.Oracle.check_fused ~config:(config !fused_cases) ?pool_exec ())
-        in
-        (* phase 4: differential oracle *)
-        let ok_diff =
-          report ~phase:"differential" Prop.Pipe_gen.print
-            (Prop.Oracle.check_differential ~config:(config !budget) ?pool_exec ~stats
-               ~sim_procs:[ 1; 2; 4 ] ())
-        in
-        (ok_fused, ok_diff))
+    if not full then (true, true)
+    else begin
+      let pool = if !no_pool then None else Some (Runtime.Pool.create ~num_domains:3 ()) in
+      let stats = Prop.Oracle.new_stats () in
+      let ok_fused, ok_diff =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Runtime.Pool.teardown pool)
+          (fun () ->
+            let pool_exec = Option.map Scl.Exec.on_pool pool in
+            (* phase 3: fused primitives vs composed forms *)
+            let ok_fused =
+              report ~phase:"fused-primitives" Prop.Oracle.print_fused
+                (Prop.Oracle.check_fused ~config:(config !fused_cases) ?pool_exec ())
+            in
+            (* phase 4: differential oracle *)
+            let ok_diff =
+              report ~phase:"differential" Prop.Pipe_gen.print
+                (Prop.Oracle.check_differential ~config:(config !budget) ?pool_exec ~stats
+                   ~sim_procs:[ 1; 2; 4 ] ())
+            in
+            (ok_fused, ok_diff))
+      in
+      Printf.printf "differential: %d compared, %d on simulator, %d sim-skipped (nested)\n%!"
+        stats.Prop.Oracle.compared stats.Prop.Oracle.sim_ran stats.Prop.Oracle.sim_skipped;
+      (ok_fused, ok_diff)
+    end
   in
-  Printf.printf "differential: %d compared, %d on simulator, %d sim-skipped (nested)\n%!"
-    stats.Prop.Oracle.compared stats.Prop.Oracle.sim_ran stats.Prop.Oracle.sim_skipped;
 
   (* phase 5: engine equivalence — identical values from the simulator and
-     the real-domain multicore engine for the same SPMD program. *)
+     the real-domain multicore engine for the same SPMD program.  (The
+     forked-process legs are phase 0: fork must precede any domain.) *)
   let ok_engine =
-    let open Machine in
-    let collective_battery (comm : Comm.t) =
-      let p = Comm.size comm in
-      let me = Comm.rank comm in
-      let reduced = Comm.allreduce comm ( + ) (me + 1) in
-      let scanned = Comm.scan comm ( + ) (me + 1) in
-      let gathered = Comm.allgather comm (me * me) in
-      let transposed = Comm.alltoall comm (Array.init p (fun j -> (me * 100) + j)) in
-      Option.map Array.to_list
-        (Comm.gather comm ~root:0 (reduced, scanned, gathered, transposed))
-    in
     let cases = ref [] in
     let add label f = cases := (label, f) :: !cases in
     for k = 0 to !engine_cases - 1 do
@@ -279,6 +372,8 @@ let () =
      (where those partners are multi-hop) must never be cheaper than on the
      Hypercube. *)
   let ok_topo =
+    if not full then true
+    else begin
     let open Machine in
     let cases =
       List.concat_map
@@ -303,6 +398,7 @@ let () =
         [ 4; 8 ]
     in
     report_checks ~phase:"topology-cost (hypercube <= ring)" cases
+    end
   in
 
   (* phase 7: fault injection — chaos schedules must never change values,
@@ -386,6 +482,8 @@ let () =
      cost model, searched plans preserve meaning and makespan, and nested
      pipelines agree across all backends before and after optimisation. *)
   let ok_search =
+    if not full then true
+    else begin
     let open Transform in
     let gen_nested =
       let open Prop.Gen in
@@ -498,6 +596,7 @@ let () =
                     b.Optimizer.output))
     done;
     report_checks ~phase:"search-vs-greedy + flattening" (List.rev !cases)
+    end
   in
 
   (* phase 9: flat-vs-boxed differential — the unboxed Bigarray ports of
@@ -507,6 +606,8 @@ let () =
      exact equality on iteration counts — not an epsilon check.  Workload
      sizes and data derive from the case seed. *)
   let ok_flat =
+    if not full then true
+    else begin
     let vec_bitwise a b =
       Array.length a = Array.length b && Array.for_all2 Float.equal a b
     in
@@ -675,11 +776,12 @@ let () =
           if r0 <> r1 then Some "flat-int sort differs from boxed" else None)
     done;
     report_checks ~phase:"flat-vs-boxed solvers" (List.rev !cases)
+    end
   in
 
   if
-    ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo && ok_fault && ok_search
-    && ok_flat
+    ok_procs && ok_rules && ok_cost && ok_fused && ok_diff && ok_engine && ok_topo && ok_fault
+    && ok_search && ok_flat
   then begin
     Printf.printf "diffcheck: all oracles agree (seed %d)\n" !seed;
     exit 0
